@@ -1,0 +1,42 @@
+//! Ablation: sensitivity of the dynamic approach to the broadcast threshold.
+//!
+//! The paper's gains hinge on recognizing (after predicate execution) that a
+//! filtered dimension table is small enough to broadcast. This bench sweeps the
+//! broadcast threshold of the join-algorithm rule from "never broadcast" to
+//! "broadcast almost anything" and runs the dynamic strategy on Q8 and Q50,
+//! the two queries whose plans flip the most joins between hash and broadcast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_bench::{run_once, ExperimentConfig};
+use rdo_core::Strategy;
+use rdo_workloads::{q50, q8};
+
+fn bench_broadcast_threshold(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        scales: vec![5],
+        partitions: 8,
+        ..Default::default()
+    };
+    let mut env = config.load_env(5, false);
+
+    let mut group = c.benchmark_group("ablation_broadcast_threshold_sf5");
+    group.sample_size(10);
+    for query in [q8(), q50(9, 2000)] {
+        for threshold in [0.0f64, 1_000.0, 25_000.0, 1e9] {
+            let mut cfg = config.clone();
+            cfg.broadcast_threshold = threshold;
+            let runner = cfg.runner(false);
+            group.bench_with_input(
+                BenchmarkId::new(query.name.clone(), format!("threshold-{threshold:.0}")),
+                &runner,
+                |b, runner| {
+                    b.iter(|| run_once(runner, Strategy::Dynamic, &query, &mut env));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast_threshold);
+criterion_main!(benches);

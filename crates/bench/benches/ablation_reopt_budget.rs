@@ -1,0 +1,53 @@
+//! Ablation: how many re-optimization points are worth paying for?
+//!
+//! The paper's future-work section asks whether fewer re-optimization points
+//! (less blocking, less materialization) can retain most of the benefit. This
+//! bench sweeps the re-optimization budget of the dynamic driver from 0 (plan
+//! the whole query statically after predicate push-down) to unlimited (the
+//! paper's configuration) on the two queries with the most joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_bench::ExperimentConfig;
+use rdo_core::{DynamicConfig, DynamicDriver};
+use rdo_planner::JoinAlgorithmRule;
+use rdo_workloads::{q17, q9};
+
+fn bench_reopt_budget(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        scales: vec![5],
+        partitions: 8,
+        ..Default::default()
+    };
+    let mut env = config.load_env(5, false);
+    let rule = JoinAlgorithmRule::with_threshold(config.broadcast_threshold);
+
+    let mut group = c.benchmark_group("ablation_reopt_budget_sf5");
+    group.sample_size(10);
+    for query in [q17(), q9()] {
+        for budget in [Some(0u32), Some(1), Some(2), None] {
+            let label = match budget {
+                Some(b) => format!("budget-{b}"),
+                None => "unlimited".to_string(),
+            };
+            let driver_config = match budget {
+                Some(b) => DynamicConfig::dynamic(rule).with_reopt_budget(b),
+                None => DynamicConfig::dynamic(rule),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(query.name.clone(), label),
+                &driver_config,
+                |b, driver_config| {
+                    b.iter(|| {
+                        DynamicDriver::new(*driver_config)
+                            .execute(&query, &mut env.catalog)
+                            .expect("budgeted dynamic execution")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reopt_budget);
+criterion_main!(benches);

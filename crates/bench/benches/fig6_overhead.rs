@@ -1,0 +1,43 @@
+//! Criterion benchmark behind Figure 6: the cost of the dynamic machinery
+//! itself. For every query we measure (a) the optimal plan with statistics
+//! known upfront (best-order), (b) re-optimization points without online
+//! statistics and (c) the full dynamic approach — the differences are the
+//! materialization and statistics-collection overheads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_bench::{run_once, ExperimentConfig};
+use rdo_core::Strategy;
+use rdo_workloads::all_queries;
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        scales: vec![5],
+        partitions: 8,
+        ..Default::default()
+    };
+    let runner = config.runner(false);
+    let mut env = config.load_env(5, false);
+
+    let mut group = c.benchmark_group("fig6_overhead_sf5");
+    group.sample_size(10);
+    for query in all_queries() {
+        for (label, strategy) in [
+            ("stats-upfront", Strategy::BestOrder),
+            ("reopt-only", Strategy::ReoptWithoutOnlineStats),
+            ("dynamic-full", Strategy::Dynamic),
+            ("no-pushdown", Strategy::DynamicWithoutPushdown),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(query.name.clone(), label),
+                &strategy,
+                |b, strategy| {
+                    b.iter(|| run_once(&runner, *strategy, &query, &mut env));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark behind Figure 7: wall-clock execution time of every
+//! optimization strategy on the four evaluation queries (hash/broadcast joins
+//! only). The figure itself is produced by the `figures` binary from the
+//! simulated cluster cost; this bench tracks the real in-process time so
+//! regressions in the engine show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_bench::{run_once, ExperimentConfig};
+use rdo_core::Strategy;
+use rdo_workloads::all_queries;
+
+fn bench_fig7(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        scales: vec![5],
+        partitions: 8,
+        ..Default::default()
+    };
+    let runner = config.runner(false);
+    let mut env = config.load_env(5, false);
+
+    let mut group = c.benchmark_group("fig7_strategy_comparison_sf5");
+    group.sample_size(10);
+    for query in all_queries() {
+        for strategy in Strategy::COMPARISON {
+            group.bench_with_input(
+                BenchmarkId::new(query.name.clone(), strategy.label()),
+                &strategy,
+                |b, strategy| {
+                    b.iter(|| run_once(&runner, *strategy, &query, &mut env));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

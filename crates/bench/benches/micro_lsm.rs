@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the LSM ingestion substrate: insert throughput under the
+//! different merge policies and the cost of deriving dataset statistics from
+//! component sketches (versus rescanning the merged data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_common::{DataType, Schema, Tuple, Value};
+use rdo_lsm::{LsmDataset, LsmOptions, MergePolicy, NoMergePolicy, PrefixMergePolicy, TieredMergePolicy};
+use rdo_sketch::DatasetStatsBuilder;
+
+fn schema() -> Schema {
+    Schema::for_dataset(
+        "orders",
+        &[
+            ("o_orderkey", DataType::Int64),
+            ("o_custkey", DataType::Int64),
+            ("o_total", DataType::Float64),
+        ],
+    )
+}
+
+fn row(i: i64) -> Tuple {
+    Tuple::new(vec![
+        Value::Int64(i),
+        Value::Int64(i % 997),
+        Value::Float64((i % 10_000) as f64 * 0.01),
+    ])
+}
+
+fn policies() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn MergePolicy>>)> {
+    vec![
+        ("no-merge", Box::new(|| Box::new(NoMergePolicy) as Box<dyn MergePolicy>)),
+        (
+            "tiered-4",
+            Box::new(|| Box::new(TieredMergePolicy { max_components: 4 }) as Box<dyn MergePolicy>),
+        ),
+        (
+            "prefix",
+            Box::new(|| Box::new(PrefixMergePolicy::default()) as Box<dyn MergePolicy>),
+        ),
+    ]
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    const ROWS: i64 = 20_000;
+    let mut group = c.benchmark_group("lsm_ingest_20k_rows");
+    group.sample_size(10);
+    for (label, make_policy) in policies() {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut dataset = LsmDataset::with_policy(
+                    "orders",
+                    schema(),
+                    "o_orderkey",
+                    LsmOptions {
+                        memtable_capacity: 1_024,
+                    },
+                    make_policy(),
+                )
+                .unwrap();
+                for i in 0..ROWS {
+                    dataset.insert(row(i)).unwrap();
+                }
+                dataset.flush().unwrap();
+                dataset
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats_derivation(c: &mut Criterion) {
+    const ROWS: i64 = 20_000;
+    let mut dataset = LsmDataset::with_policy(
+        "orders",
+        schema(),
+        "o_orderkey",
+        LsmOptions {
+            memtable_capacity: 1_024,
+        },
+        Box::new(PrefixMergePolicy::default()),
+    )
+    .unwrap();
+    for i in 0..ROWS {
+        dataset.insert(row(i)).unwrap();
+    }
+    dataset.flush().unwrap();
+
+    let mut group = c.benchmark_group("lsm_statistics_20k_rows");
+    group.sample_size(10);
+    group.bench_function("merge-component-sketches", |b| {
+        b.iter(|| dataset.merged_stats());
+    });
+    group.bench_function("rescan-merged-data", |b| {
+        b.iter(|| {
+            let mut builder = DatasetStatsBuilder::all_columns(&schema());
+            builder.observe_relation(&dataset.scan());
+            builder.build()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion, bench_stats_derivation);
+criterion_main!(benches);

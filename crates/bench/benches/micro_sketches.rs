@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the statistics sketches (Greenwald–Khanna quantiles and
+//! HyperLogLog). The paper's argument that online statistics collection is a
+//! small overhead rests on these being cheap relative to join work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_common::Value;
+use rdo_sketch::{ColumnStatsBuilder, EquiHeightHistogram, GkSketch, HyperLogLog};
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketches");
+    group.sample_size(20);
+
+    for n in [10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("gk_insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sketch = GkSketch::new(0.01);
+                for i in 0..n {
+                    sketch.insert(((i * 2_654_435_761) % 1_000_003) as f64);
+                }
+                sketch.quantile(0.5)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hll_insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut hll = HyperLogLog::default_precision();
+                for i in 0..n {
+                    hll.insert(&Value::Int64(i as i64));
+                }
+                hll.estimate_count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("column_stats", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut builder = ColumnStatsBuilder::new();
+                for i in 0..n {
+                    builder.observe(&Value::Int64((i % 10_000) as i64));
+                }
+                builder.build().distinct
+            });
+        });
+    }
+
+    group.bench_function("histogram_range_estimates", |b| {
+        let histogram = EquiHeightHistogram::from_values((0..100_000).map(|i| i as f64), 64);
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..1_000 {
+                total += histogram.range_selectivity(i as f64 * 10.0, i as f64 * 10.0 + 500.0);
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

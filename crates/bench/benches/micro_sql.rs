@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the SQL++ frontend: parsing and binding the paper
+//! queries. Compilation sits on the critical path of every re-optimization in
+//! AsterixDB's integration (the reconstructed query re-enters the SQL++
+//! parser), so it must stay cheap relative to execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_bench::ExperimentConfig;
+use rdo_sql::parse;
+use rdo_workloads::{compile_paper_query, Q17_SQL, Q50_SQL, Q8_SQL, Q9_SQL};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_parse");
+    for (name, sql) in [("Q17", Q17_SQL), ("Q50", Q50_SQL), ("Q8", Q8_SQL), ("Q9", Q9_SQL)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| parse(sql).expect("paper query parses"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        scales: vec![2],
+        partitions: 4,
+        ..Default::default()
+    };
+    let env = config.load_env(2, false);
+    let mut group = c.benchmark_group("sql_parse_and_bind");
+    for name in ["Q17", "Q50", "Q8", "Q9"] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| compile_paper_query(name, &env.catalog).expect("paper query compiles"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_compile);
+criterion_main!(benches);

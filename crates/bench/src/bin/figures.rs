@@ -1,0 +1,181 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p rdo-bench --bin figures -- [--fig 6|7|8] [--table1] [--plans]
+//!     [--scales 10,100,1000] [--partitions 16] [--out results] [--quick] [--all]
+//! ```
+//!
+//! Without arguments the binary runs `--all --quick` (every experiment at
+//! reduced scale factors). Text tables go to stdout; JSON files with the raw
+//! rows are written to the output directory.
+
+use rdo_bench::{
+    correlations, figure6_overheads, figure6_pushdown, figure7, figure8, plans, render_budget,
+    render_comparison, render_correlations, render_overheads, render_plans, render_table1,
+    reopt_budget_ablation, table1, ExperimentConfig,
+};
+use std::fs;
+use std::path::PathBuf;
+
+#[derive(Debug)]
+struct Args {
+    figures: Vec<u32>,
+    table1: bool,
+    plans: bool,
+    ablations: bool,
+    config: ExperimentConfig,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut figures = Vec::new();
+    let mut want_table1 = false;
+    let mut want_plans = false;
+    let mut want_ablations = false;
+    let mut config = ExperimentConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut all = false;
+    let mut quick = false;
+    let mut explicit_scales = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fig" => {
+                i += 1;
+                let value = argv.get(i).expect("--fig requires a number (6, 7 or 8)");
+                figures.push(value.parse().expect("figure number"));
+            }
+            "--table1" => want_table1 = true,
+            "--plans" => want_plans = true,
+            "--ablations" => want_ablations = true,
+            "--all" => all = true,
+            "--quick" => quick = true,
+            "--scales" => {
+                i += 1;
+                let value = argv.get(i).expect("--scales requires a comma-separated list");
+                config.scales = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("scale factor"))
+                    .collect();
+                explicit_scales = true;
+            }
+            "--partitions" => {
+                i += 1;
+                config.partitions = argv
+                    .get(i)
+                    .expect("--partitions requires a number")
+                    .parse()
+                    .expect("partition count");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(argv.get(i).expect("--out requires a path"));
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+
+    if figures.is_empty() && !want_table1 && !want_plans && !want_ablations {
+        all = true;
+        if !explicit_scales {
+            quick = true;
+        }
+    }
+    if all {
+        figures = vec![6, 7, 8];
+        want_table1 = true;
+        want_plans = true;
+        want_ablations = true;
+    }
+    if quick && !explicit_scales {
+        config.scales = ExperimentConfig::quick().scales;
+    }
+    Args {
+        figures,
+        table1: want_table1,
+        plans: want_plans,
+        ablations: want_ablations,
+        config,
+        out_dir,
+    }
+}
+
+fn write_json<T: serde::Serialize>(out_dir: &PathBuf, name: &str, rows: &T) {
+    fs::create_dir_all(out_dir).expect("create output directory");
+    let path = out_dir.join(name);
+    let json = serde_json::to_string_pretty(rows).expect("serialize rows");
+    fs::write(&path, json).expect("write results file");
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "running experiments at scale factors {:?} with {} partitions",
+        args.config.scales, args.config.partitions
+    );
+
+    let mut figure7_rows = None;
+
+    for figure in &args.figures {
+        match figure {
+            6 => {
+                let left = figure6_overheads(&args.config);
+                let right = figure6_pushdown(&args.config);
+                println!("{}", render_overheads(&left, &right));
+                write_json(&args.out_dir, "figure6_overheads.json", &left);
+                write_json(&args.out_dir, "figure6_pushdown.json", &right);
+            }
+            7 => {
+                let rows = figure7(&args.config);
+                println!(
+                    "Figure 7: strategy comparison (hash/broadcast joins)\n{}",
+                    render_comparison(&rows)
+                );
+                write_json(&args.out_dir, "figure7.json", &rows);
+                figure7_rows = Some(rows);
+            }
+            8 => {
+                let rows = figure8(&args.config);
+                println!(
+                    "Figure 8: strategy comparison with indexed nested-loop joins\n{}",
+                    render_comparison(&rows)
+                );
+                write_json(&args.out_dir, "figure8.json", &rows);
+            }
+            other => panic!("unknown figure {other}; supported figures are 6, 7 and 8"),
+        }
+    }
+
+    if args.table1 {
+        let rows = match figure7_rows {
+            Some(ref rows) => rows.clone(),
+            None => figure7(&args.config),
+        };
+        let table = table1(&rows);
+        println!("{}", render_table1(&table));
+        write_json(&args.out_dir, "table1.json", &table);
+    }
+
+    if args.plans {
+        let without = plans(&args.config, false);
+        let with = plans(&args.config, true);
+        println!("Appendix plans (Figures 11–18, INL off)\n{}", render_plans(&without));
+        println!("Appendix plans (Figures 19–23, INL on)\n{}", render_plans(&with));
+        write_json(&args.out_dir, "plans_inl_off.json", &without);
+        write_json(&args.out_dir, "plans_inl_on.json", &with);
+    }
+
+    if args.ablations {
+        let rows = reopt_budget_ablation(&args.config);
+        println!("{}", render_budget(&rows));
+        write_json(&args.out_dir, "ablation_reopt_budget.json", &rows);
+
+        let rows = correlations(&args.config);
+        println!("{}", render_correlations(&rows));
+        write_json(&args.out_dir, "correlations.json", &rows);
+    }
+}

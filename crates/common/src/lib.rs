@@ -1,0 +1,16 @@
+//! Common data-model types shared by every crate of the reproduction.
+//!
+//! The paper's substrate (AsterixDB) stores semi-structured ADM records; for the
+//! reproduction we use a flat relational model — every dataset is a relation with
+//! a [`Schema`] and rows of [`Value`]s — which is sufficient for the join-centric
+//! workloads evaluated in the paper (TPC-H Q8/Q9, TPC-DS Q17/Q50).
+
+pub mod error;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{RdoError, Result};
+pub use schema::{Field, FieldRef, Schema};
+pub use tuple::{Relation, Tuple};
+pub use value::{DataType, Value};

@@ -1,0 +1,530 @@
+//! The runtime dynamic optimization driver (Algorithm 1 of the paper).
+
+use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
+use rdo_exec::{materialize, ExecutionMetrics, Executor, PhysicalPlan};
+use rdo_planner::greedy::join_edges;
+use rdo_planner::{
+    reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, GreedyPlanner,
+    JoinAlgorithmRule, NextJoinPolicy, Optimizer, QuerySpec,
+};
+use rdo_storage::Catalog;
+
+/// Configuration of the dynamic driver. The paper's approach and the
+/// INGRES-like baseline share the same driver and differ only in these knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicConfig {
+    /// How the next join is scored ([`NextJoinPolicy::Statistics`] for the
+    /// paper's approach, [`NextJoinPolicy::CardinalityOnly`] for INGRES-like).
+    pub policy: NextJoinPolicy,
+    /// Physical join-algorithm rule.
+    pub rule: JoinAlgorithmRule,
+    /// Whether sketches (GK + HLL) are collected on materialized intermediate
+    /// results. Disabled for the INGRES-like baseline (cardinalities only) and
+    /// for the Figure 6 ablation that isolates the online-statistics cost.
+    pub collect_online_stats: bool,
+    /// Whether datasets with multiple or complex local predicates are executed
+    /// first as single-variable queries (Algorithm 1 lines 6–9).
+    pub push_down_predicates: bool,
+    /// Maximum number of re-optimization points to spend. `None` (the paper's
+    /// configuration) re-optimizes until only two joins remain; `Some(k)` stops
+    /// after `k` materialized joins and plans the remaining query statically
+    /// over whatever statistics have been gathered so far — the overhead/
+    /// accuracy trade-off the paper's future-work section raises.
+    pub reopt_budget: Option<u32>,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        Self {
+            policy: NextJoinPolicy::Statistics,
+            rule: JoinAlgorithmRule::default(),
+            collect_online_stats: true,
+            push_down_predicates: true,
+            reopt_budget: None,
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// The paper's full dynamic approach.
+    pub fn dynamic(rule: JoinAlgorithmRule) -> Self {
+        Self {
+            rule,
+            ..Default::default()
+        }
+    }
+
+    /// The INGRES-like baseline: same decomposition, but the next join is
+    /// chosen by dataset cardinalities only and no sketches are collected.
+    pub fn ingres_like(rule: JoinAlgorithmRule) -> Self {
+        Self {
+            policy: NextJoinPolicy::CardinalityOnly,
+            rule,
+            collect_online_stats: false,
+            push_down_predicates: true,
+            reopt_budget: None,
+        }
+    }
+
+    /// Ablation used in Figure 6: re-optimization points enabled but online
+    /// statistics collection disabled.
+    pub fn without_online_stats(rule: JoinAlgorithmRule) -> Self {
+        Self {
+            rule,
+            collect_online_stats: false,
+            ..Default::default()
+        }
+    }
+
+    /// Caps the number of re-optimization points (builder style).
+    pub fn with_reopt_budget(mut self, budget: u32) -> Self {
+        self.reopt_budget = Some(budget);
+        self
+    }
+}
+
+/// What one dynamic execution did.
+#[derive(Debug, Clone)]
+pub struct DynamicOutcome {
+    /// The final query result (already projected onto the SELECT list).
+    pub result: Relation,
+    /// Metrics of everything the driver executed (including overheads).
+    pub total: ExecutionMetrics,
+    /// Subset of `total` incurred by the predicate push-down stage.
+    pub pushdown: ExecutionMetrics,
+    /// Number of Planner invocations (re-optimization points + final planning).
+    pub planner_invocations: u32,
+    /// Number of materialized intermediate results (re-optimization points).
+    pub reoptimization_points: u32,
+    /// Signature of the plan executed at every stage, in order.
+    pub stage_plans: Vec<String>,
+}
+
+impl DynamicOutcome {
+    /// The overall plan shape as a single string (for EXPLAIN-style reports).
+    pub fn plan_description(&self) -> String {
+        self.stage_plans.join(" ; ")
+    }
+}
+
+/// The runtime dynamic optimization driver.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicDriver {
+    /// Driver configuration.
+    pub config: DynamicConfig,
+}
+
+impl DynamicDriver {
+    /// Creates a driver.
+    pub fn new(config: DynamicConfig) -> Self {
+        Self { config }
+    }
+
+    /// Executes the query with runtime dynamic optimization. The catalog is
+    /// mutated while the query runs (temporary tables for intermediate results)
+    /// but restored before returning.
+    pub fn execute(&self, spec: &QuerySpec, catalog: &mut Catalog) -> Result<DynamicOutcome> {
+        spec.validate()?;
+        let planner = GreedyPlanner::new(self.config.policy, self.config.rule);
+        let mut spec = spec.clone();
+        let mut total = ExecutionMetrics::new();
+        let mut pushdown = ExecutionMetrics::new();
+        let mut planner_invocations = 0u32;
+        let mut reoptimization_points = 0u32;
+        let mut stage_plans = Vec::new();
+        let mut temp_tables: Vec<String> = Vec::new();
+        let mut intermediate_counter = 0usize;
+
+        let outcome = (|| -> Result<DynamicOutcome> {
+            // ---- Stage 1: predicate push-down (Algorithm 1, lines 6–9). ----
+            if self.config.push_down_predicates {
+                for alias in spec.pushdown_candidates() {
+                    let mut stage_metrics = ExecutionMetrics::new();
+                    let plan = Self::pushdown_plan(&spec, &alias)?;
+                    stage_plans.push(format!("pushdown {}", plan.signature()));
+                    let data = {
+                        let executor = Executor::new(catalog);
+                        executor.execute(&plan, &mut stage_metrics)?
+                    };
+                    let table_name = format!("{}__{}_filtered", sanitize(&spec.name), alias);
+                    let partition_key = spec
+                        .joins_involving(&alias)
+                        .first()
+                        .and_then(|j| j.key_of(&alias))
+                        .map(|k| k.field.clone());
+                    let tracked = Self::tracked_columns(&spec, &alias);
+                    materialize(
+                        catalog,
+                        &table_name,
+                        &data,
+                        partition_key.as_deref(),
+                        &tracked,
+                        self.config.collect_online_stats,
+                        &mut stage_metrics,
+                    )?;
+                    temp_tables.push(table_name.clone());
+                    spec = reconstruct_after_pushdown(&spec, &alias, &table_name);
+                    pushdown.add(&stage_metrics);
+                    total.add(&stage_metrics);
+                }
+            }
+
+            // ---- Stage 2: the re-optimization loop (Algorithm 1, lines 11–15). ----
+            while join_edges(&spec).len() > 2
+                && self
+                    .config
+                    .reopt_budget
+                    .map_or(true, |budget| reoptimization_points < budget)
+            {
+                planner_invocations += 1;
+                reoptimization_points += 1;
+                let planned = planner.next_join(&spec, catalog, catalog.stats())?;
+                let plan = planner.join_plan(&spec, &planned)?;
+                stage_plans.push(plan.signature());
+
+                let mut stage_metrics = ExecutionMetrics::new();
+                let data = {
+                    let executor = Executor::new(catalog);
+                    executor.execute(&plan, &mut stage_metrics)?
+                };
+
+                intermediate_counter += 1;
+                let name = format!("{}__I{}", sanitize(&spec.name), intermediate_counter);
+                let new_spec = reconstruct_after_join(
+                    &spec,
+                    &planned.probe_alias,
+                    &planned.build_alias,
+                    &name,
+                );
+                // Online statistics are collected on the attributes that
+                // participate in later join stages, and skipped entirely on the
+                // last iteration (Section 5.3, "Online Statistics").
+                let remaining_edges = join_edges(&new_spec).len();
+                let collect = self.config.collect_online_stats && remaining_edges > 2;
+                let tracked = Self::tracked_columns(&new_spec, &name);
+                let partition_key = planned.keys.first().map(|(probe, _)| probe.field.clone());
+                materialize(
+                    catalog,
+                    &name,
+                    &data,
+                    partition_key.as_deref(),
+                    &tracked,
+                    collect,
+                    &mut stage_metrics,
+                )?;
+                temp_tables.push(name);
+                spec = new_spec;
+                total.add(&stage_metrics);
+            }
+
+            // ---- Stage 3: final job. With an unlimited budget at most two joins
+            // remain and the greedy planner orders them; with an exhausted
+            // budget the rest of the query is planned statically (Selinger DP)
+            // over whatever statistics the executed stages refreshed. ----
+            planner_invocations += 1;
+            let final_plan = if join_edges(&spec).len() > 2 {
+                CostBasedOptimizer::new(self.config.rule).plan(&spec, catalog, catalog.stats())?
+            } else {
+                planner.plan_remaining(&spec, catalog, catalog.stats())?
+            };
+            stage_plans.push(final_plan.signature());
+            let mut stage_metrics = ExecutionMetrics::new();
+            let relation = {
+                let executor = Executor::new(catalog);
+                executor.execute_to_relation(&final_plan, &mut stage_metrics)?
+            };
+            total.add(&stage_metrics);
+            let result = project_result(relation, &spec.projection)?;
+
+            Ok(DynamicOutcome {
+                result,
+                total,
+                pushdown,
+                planner_invocations,
+                reoptimization_points,
+                stage_plans,
+            })
+        })();
+
+        // Always clean up temporary tables, even on error.
+        for table in &temp_tables {
+            catalog.drop_table(table);
+        }
+        outcome
+    }
+
+    /// Builds the single-variable query for one pushed-down dataset (the paper's
+    /// Q2/Q3): its local predicates plus a projection onto the attributes the
+    /// remaining query needs.
+    pub(crate) fn pushdown_plan(spec: &QuerySpec, alias: &str) -> Result<PhysicalPlan> {
+        let table = spec.table_of(alias)?;
+        let predicates = spec.predicates_for(alias).into_iter().cloned().collect();
+        let projection = spec.required_columns(alias, false);
+        let mut plan = PhysicalPlan::scan_aliased(alias, table).with_predicates(predicates);
+        if !projection.is_empty() {
+            plan = plan.with_projection(projection);
+        }
+        Ok(plan)
+    }
+
+    /// The columns of `alias` worth collecting statistics on: its join keys in
+    /// the (remaining) query.
+    pub(crate) fn tracked_columns(spec: &QuerySpec, alias: &str) -> Vec<String> {
+        spec.join_key_columns()
+            .remove(alias)
+            .unwrap_or_default()
+    }
+}
+
+/// Projects the final relation onto the SELECT list (empty list keeps all
+/// columns).
+pub fn project_result(relation: Relation, projection: &[FieldRef]) -> Result<Relation> {
+    if projection.is_empty() {
+        return Ok(relation);
+    }
+    let schema = relation.schema().clone();
+    let indexes = projection
+        .iter()
+        .map(|f| schema.resolve(f))
+        .collect::<Result<Vec<usize>>>()?;
+    let out_schema = schema.project(&indexes);
+    let rows: Vec<Tuple> = relation
+        .rows()
+        .iter()
+        .map(|r| r.project(&indexes))
+        .collect();
+    Relation::new(out_schema, rows).map_err(|e| RdoError::Execution(e.to_string()))
+}
+
+pub(crate) fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::{DataType, Schema, Value};
+    use rdo_exec::{CmpOp, Predicate};
+    use rdo_planner::DatasetRef;
+    use rdo_storage::IngestOptions;
+
+    /// A star-ish schema with four datasets and three joins so the driver goes
+    /// through at least one real re-optimization point:
+    /// fact(10_000) ⋈ d1(100, filtered by a UDF) ⋈ d2(200) ⋈ d3(50).
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new(4);
+        let fact_schema = Schema::for_dataset(
+            "fact",
+            &[
+                ("f_id", DataType::Int64),
+                ("f_d1", DataType::Int64),
+                ("f_d2", DataType::Int64),
+                ("f_d3", DataType::Int64),
+                ("f_val", DataType::Int64),
+            ],
+        );
+        let fact_rows = (0..10_000)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int64(i),
+                    Value::Int64(i % 100),
+                    Value::Int64(i % 200),
+                    Value::Int64(i % 50),
+                    Value::Int64(i % 7),
+                ])
+            })
+            .collect();
+        cat.ingest(
+            "fact",
+            Relation::new(fact_schema, fact_rows).unwrap(),
+            IngestOptions::partitioned_on("f_id"),
+        )
+        .unwrap();
+
+        for (name, rows) in [("d1", 100i64), ("d2", 200), ("d3", 50)] {
+            let schema = Schema::for_dataset(
+                name,
+                &[("id", DataType::Int64), ("attr", DataType::Int64)],
+            );
+            let data = (0..rows)
+                .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10)]))
+                .collect();
+            cat.ingest(
+                name,
+                Relation::new(schema, data).unwrap(),
+                IngestOptions::partitioned_on("id"),
+            )
+            .unwrap();
+        }
+        cat
+    }
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new("star")
+            .with_dataset(DatasetRef::named("fact"))
+            .with_dataset(DatasetRef::named("d1"))
+            .with_dataset(DatasetRef::named("d2"))
+            .with_dataset(DatasetRef::named("d3"))
+            .with_join(FieldRef::new("fact", "f_d1"), FieldRef::new("d1", "id"))
+            .with_join(FieldRef::new("fact", "f_d2"), FieldRef::new("d2", "id"))
+            .with_join(FieldRef::new("fact", "f_d3"), FieldRef::new("d3", "id"))
+            .with_predicate(Predicate::udf("pick", FieldRef::new("d1", "attr"), |v| {
+                v.as_i64() == Some(3)
+            }))
+            .with_predicate(Predicate::compare(
+                FieldRef::new("d1", "id"),
+                CmpOp::Lt,
+                1_000i64,
+            ))
+            .with_projection(vec![FieldRef::new("fact", "f_id"), FieldRef::new("fact", "f_val")])
+    }
+
+    /// The truth: d1 keeps ids with attr==3 and id<1000 → ids {3,13,...,93} (10
+    /// rows); every fact row matches d2 and d3 always, and d1 when f_d1 % 10 == 3
+    /// → 1/10 of fact rows → 1_000 results.
+    const EXPECTED_ROWS: usize = 1_000;
+
+    #[test]
+    fn dynamic_execution_produces_correct_result() {
+        let mut cat = catalog();
+        let driver = DynamicDriver::new(DynamicConfig::dynamic(
+            JoinAlgorithmRule::with_threshold(500.0),
+        ));
+        let outcome = driver.execute(&spec(), &mut cat).unwrap();
+        assert_eq!(outcome.result.len(), EXPECTED_ROWS);
+        assert_eq!(outcome.result.schema().len(), 2, "projected to the SELECT list");
+        // One re-optimization point: 3 edges → after one materialized join, 2
+        // edges remain and the final job runs.
+        assert_eq!(outcome.reoptimization_points, 1);
+        assert_eq!(outcome.planner_invocations, 2);
+        assert!(outcome.total.rows_materialized > 0);
+        assert!(outcome.pushdown.rows_scanned >= 100, "d1 was pushed down");
+        assert!(outcome.stage_plans.len() >= 3, "pushdown + loop + final");
+        assert!(!outcome.plan_description().is_empty());
+    }
+
+    #[test]
+    fn temporary_tables_are_cleaned_up() {
+        let mut cat = catalog();
+        let tables_before = cat.table_names();
+        let driver = DynamicDriver::new(DynamicConfig::default());
+        driver.execute(&spec(), &mut cat).unwrap();
+        assert_eq!(cat.table_names(), tables_before);
+    }
+
+    #[test]
+    fn ingres_like_matches_result_but_skips_sketches() {
+        let mut cat = catalog();
+        let dynamic = DynamicDriver::new(DynamicConfig::dynamic(JoinAlgorithmRule::default()))
+            .execute(&spec(), &mut cat)
+            .unwrap();
+        let ingres = DynamicDriver::new(DynamicConfig::ingres_like(JoinAlgorithmRule::default()))
+            .execute(&spec(), &mut cat)
+            .unwrap();
+        assert_eq!(dynamic.result.len(), ingres.result.len());
+        assert_eq!(
+            dynamic.result.clone().sorted(),
+            ingres.result.clone().sorted(),
+            "both strategies compute the same answer"
+        );
+        assert!(ingres.total.stats_values_observed == 0);
+        assert!(dynamic.total.stats_values_observed > 0);
+    }
+
+    #[test]
+    fn disabling_pushdown_still_computes_the_query() {
+        let mut cat = catalog();
+        let config = DynamicConfig {
+            push_down_predicates: false,
+            ..DynamicConfig::default()
+        };
+        let outcome = DynamicDriver::new(config).execute(&spec(), &mut cat).unwrap();
+        assert_eq!(outcome.result.len(), EXPECTED_ROWS);
+        assert_eq!(outcome.pushdown, ExecutionMetrics::new());
+    }
+
+    #[test]
+    fn without_online_stats_observes_no_values_in_the_loop() {
+        let mut cat = catalog();
+        let outcome = DynamicDriver::new(DynamicConfig::without_online_stats(
+            JoinAlgorithmRule::default(),
+        ))
+        .execute(&spec(), &mut cat)
+        .unwrap();
+        assert_eq!(outcome.result.len(), EXPECTED_ROWS);
+        assert_eq!(outcome.total.stats_values_observed, 0);
+    }
+
+    #[test]
+    fn reopt_budget_zero_plans_statically_but_stays_correct() {
+        let mut cat = catalog();
+        let config = DynamicConfig::dynamic(JoinAlgorithmRule::default()).with_reopt_budget(0);
+        let outcome = DynamicDriver::new(config).execute(&spec(), &mut cat).unwrap();
+        assert_eq!(outcome.result.len(), EXPECTED_ROWS);
+        assert_eq!(outcome.reoptimization_points, 0);
+        // One planner invocation for the final (static) job; the push-down stage
+        // still ran and refreshed the statistics it produced.
+        assert_eq!(outcome.planner_invocations, 1);
+        assert!(outcome.pushdown.rows_scanned > 0);
+    }
+
+    #[test]
+    fn reopt_budget_caps_the_number_of_materialized_joins() {
+        let mut cat = catalog();
+        let unlimited = DynamicDriver::new(DynamicConfig::default())
+            .execute(&spec(), &mut cat)
+            .unwrap();
+        let capped = DynamicDriver::new(DynamicConfig::default().with_reopt_budget(1))
+            .execute(&spec(), &mut cat)
+            .unwrap();
+        assert!(capped.reoptimization_points <= 1);
+        assert!(capped.reoptimization_points <= unlimited.reoptimization_points);
+        assert_eq!(
+            capped.result.clone().sorted(),
+            unlimited.result.clone().sorted(),
+            "budgeted and unlimited runs must agree on the answer"
+        );
+        // A large budget behaves exactly like the unlimited configuration.
+        let large = DynamicDriver::new(DynamicConfig::default().with_reopt_budget(100))
+            .execute(&spec(), &mut cat)
+            .unwrap();
+        assert_eq!(large.reoptimization_points, unlimited.reoptimization_points);
+    }
+
+    #[test]
+    fn two_join_query_needs_no_reoptimization_point() {
+        let mut cat = catalog();
+        let q = QuerySpec::new("small")
+            .with_dataset(DatasetRef::named("fact"))
+            .with_dataset(DatasetRef::named("d1"))
+            .with_dataset(DatasetRef::named("d2"))
+            .with_join(FieldRef::new("fact", "f_d1"), FieldRef::new("d1", "id"))
+            .with_join(FieldRef::new("fact", "f_d2"), FieldRef::new("d2", "id"));
+        let outcome = DynamicDriver::new(DynamicConfig::default())
+            .execute(&q, &mut cat)
+            .unwrap();
+        assert_eq!(outcome.reoptimization_points, 0);
+        assert_eq!(outcome.planner_invocations, 1);
+        assert_eq!(outcome.result.len(), 10_000);
+    }
+
+    #[test]
+    fn projection_of_missing_column_errors() {
+        let mut cat = catalog();
+        let q = spec().with_projection(vec![FieldRef::new("fact", "not_a_column")]);
+        let result = DynamicDriver::new(DynamicConfig::default()).execute(&q, &mut cat);
+        assert!(result.is_err());
+        // Cleanup still happened.
+        assert!(cat.table_names().iter().all(|t| !t.contains("__I")));
+    }
+
+    #[test]
+    fn project_result_empty_projection_keeps_everything() {
+        let schema = Schema::for_dataset("t", &[("a", DataType::Int64)]);
+        let rel = Relation::new(schema, vec![Tuple::new(vec![Value::Int64(1)])]).unwrap();
+        let out = project_result(rel.clone(), &[]).unwrap();
+        assert_eq!(out, rel);
+    }
+}

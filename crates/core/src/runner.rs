@@ -1,0 +1,391 @@
+//! The unified query runner: executes a query under any of the strategies the
+//! paper compares and reports wall time, simulated cluster cost and (for the
+//! dynamic variants) the overhead breakdown.
+
+use crate::driver::{project_result, DynamicConfig, DynamicDriver};
+use crate::report::CostBreakdown;
+use rdo_common::{Relation, Result};
+use rdo_exec::{CostModel, ExecutionMetrics, Executor};
+use rdo_planner::{
+    BestOrderOptimizer, CostBasedOptimizer, JoinAlgorithmRule, Optimizer, PilotRunOptimizer,
+    QuerySpec, WorstOrderOptimizer,
+};
+use rdo_storage::Catalog;
+use std::fmt;
+use std::time::Instant;
+
+/// The optimization strategies compared in the paper's evaluation (Figures 7
+/// and 8) plus the ablation variants used for the overhead analysis (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// The paper's runtime dynamic optimization.
+    Dynamic,
+    /// Dynamic decomposition driven by dataset cardinalities only (INGRES-like).
+    IngresLike,
+    /// Static Selinger-style cost-based optimization over initial statistics.
+    CostBased,
+    /// The user-supplied best FROM order with broadcast hints.
+    BestOrder,
+    /// The user-supplied worst FROM order (hash joins only).
+    WorstOrder,
+    /// Pilot runs over samples followed by a static plan.
+    PilotRun,
+    /// Ablation: re-optimization points enabled but online statistics disabled.
+    ReoptWithoutOnlineStats,
+    /// Ablation: dynamic approach without the predicate push-down stage.
+    DynamicWithoutPushdown,
+}
+
+impl Strategy {
+    /// Every strategy compared in Figure 7 / Figure 8.
+    pub const COMPARISON: [Strategy; 6] = [
+        Strategy::Dynamic,
+        Strategy::BestOrder,
+        Strategy::CostBased,
+        Strategy::PilotRun,
+        Strategy::IngresLike,
+        Strategy::WorstOrder,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Dynamic => "dynamic",
+            Strategy::IngresLike => "ingres-like",
+            Strategy::CostBased => "cost-based",
+            Strategy::BestOrder => "best-order",
+            Strategy::WorstOrder => "worst-order",
+            Strategy::PilotRun => "pilot-run",
+            Strategy::ReoptWithoutOnlineStats => "reopt-no-online-stats",
+            Strategy::DynamicWithoutPushdown => "dynamic-no-pushdown",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of running one query under one strategy.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Query name.
+    pub query: String,
+    /// The (projected) result relation.
+    pub result: Relation,
+    /// Wall-clock seconds of the in-process execution.
+    pub wall_seconds: f64,
+    /// Simulated cluster cost under the runner's cost model.
+    pub simulated_cost: f64,
+    /// Raw execution metrics (including any planning overhead such as pilot
+    /// runs).
+    pub metrics: ExecutionMetrics,
+    /// Human-readable plan description.
+    pub plan: String,
+    /// Overhead breakdown (dynamic variants only).
+    pub breakdown: Option<CostBreakdown>,
+}
+
+impl RunReport {
+    /// Number of result rows.
+    pub fn result_rows(&self) -> usize {
+        self.result.len()
+    }
+}
+
+/// Runs queries under the different strategies with a shared configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRunner {
+    /// Cost model of the simulated cluster.
+    pub cost_model: CostModel,
+    /// Join-algorithm rule shared by all strategies.
+    pub rule: JoinAlgorithmRule,
+    /// Sample limit for the pilot-run baseline.
+    pub pilot_sample_limit: usize,
+}
+
+impl Default for QueryRunner {
+    fn default() -> Self {
+        Self {
+            cost_model: CostModel::default(),
+            rule: JoinAlgorithmRule::default(),
+            pilot_sample_limit: 2_000,
+        }
+    }
+}
+
+impl QueryRunner {
+    /// Creates a runner with the given cost model and algorithm rule.
+    pub fn new(cost_model: CostModel, rule: JoinAlgorithmRule) -> Self {
+        Self {
+            cost_model,
+            rule,
+            pilot_sample_limit: 2_000,
+        }
+    }
+
+    /// Enables or disables indexed nested-loop joins for every strategy
+    /// (Figure 7 vs Figure 8).
+    pub fn with_indexed_nested_loop(mut self, enabled: bool) -> Self {
+        self.rule = self.rule.with_indexed_nested_loop(enabled);
+        self
+    }
+
+    /// Runs `spec` under `strategy`.
+    pub fn run(
+        &self,
+        strategy: Strategy,
+        spec: &QuerySpec,
+        catalog: &mut Catalog,
+    ) -> Result<RunReport> {
+        match strategy {
+            Strategy::Dynamic => self.run_dynamic(strategy, spec, catalog, DynamicConfig::dynamic(self.rule)),
+            Strategy::IngresLike => {
+                self.run_dynamic(strategy, spec, catalog, DynamicConfig::ingres_like(self.rule))
+            }
+            Strategy::ReoptWithoutOnlineStats => self.run_dynamic(
+                strategy,
+                spec,
+                catalog,
+                DynamicConfig::without_online_stats(self.rule),
+            ),
+            Strategy::DynamicWithoutPushdown => self.run_dynamic(
+                strategy,
+                spec,
+                catalog,
+                DynamicConfig {
+                    push_down_predicates: false,
+                    ..DynamicConfig::dynamic(self.rule)
+                },
+            ),
+            Strategy::CostBased => {
+                self.run_static(strategy, spec, catalog, &CostBasedOptimizer::new(self.rule))
+            }
+            Strategy::BestOrder => {
+                self.run_static(strategy, spec, catalog, &BestOrderOptimizer::new(self.rule))
+            }
+            Strategy::WorstOrder => self.run_static(strategy, spec, catalog, &WorstOrderOptimizer),
+            Strategy::PilotRun => self.run_static(
+                strategy,
+                spec,
+                catalog,
+                &PilotRunOptimizer::new(self.rule, self.pilot_sample_limit),
+            ),
+        }
+    }
+
+    /// Runs every Figure 7 strategy and returns the reports in the same order.
+    pub fn run_comparison(
+        &self,
+        spec: &QuerySpec,
+        catalog: &mut Catalog,
+    ) -> Result<Vec<RunReport>> {
+        Strategy::COMPARISON
+            .iter()
+            .map(|s| self.run(*s, spec, catalog))
+            .collect()
+    }
+
+    fn run_dynamic(
+        &self,
+        strategy: Strategy,
+        spec: &QuerySpec,
+        catalog: &mut Catalog,
+        config: DynamicConfig,
+    ) -> Result<RunReport> {
+        let start = Instant::now();
+        let outcome = DynamicDriver::new(config).execute(spec, catalog)?;
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let breakdown = CostBreakdown::of(&outcome, &self.cost_model);
+        Ok(RunReport {
+            strategy,
+            query: spec.name.clone(),
+            result: outcome.result,
+            wall_seconds,
+            simulated_cost: breakdown.total,
+            metrics: outcome.total,
+            plan: outcome.stage_plans.join(" ; "),
+            breakdown: Some(breakdown),
+        })
+    }
+
+    fn run_static(
+        &self,
+        strategy: Strategy,
+        spec: &QuerySpec,
+        catalog: &mut Catalog,
+        optimizer: &dyn Optimizer,
+    ) -> Result<RunReport> {
+        let start = Instant::now();
+        let (plan, mut metrics) = optimizer.plan_with_overhead(spec, catalog, catalog.stats())?;
+        let relation = {
+            let executor = Executor::new(catalog);
+            executor.execute_to_relation(&plan, &mut metrics)?
+        };
+        let result = project_result(relation, &spec.projection)?;
+        let wall_seconds = start.elapsed().as_secs_f64();
+        Ok(RunReport {
+            strategy,
+            query: spec.name.clone(),
+            result,
+            wall_seconds,
+            simulated_cost: metrics.simulated_cost(&self.cost_model),
+            metrics,
+            plan: plan.signature(),
+            breakdown: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::{DataType, FieldRef, Schema, Tuple, Value};
+    use rdo_exec::{CmpOp, Predicate};
+    use rdo_planner::DatasetRef;
+    use rdo_storage::IngestOptions;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new(4);
+        let fact_schema = Schema::for_dataset(
+            "fact",
+            &[
+                ("f_id", DataType::Int64),
+                ("f_a", DataType::Int64),
+                ("f_b", DataType::Int64),
+                ("f_c", DataType::Int64),
+            ],
+        );
+        let fact_rows = (0..8_000)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int64(i),
+                    Value::Int64(i % 80),
+                    Value::Int64(i % 400),
+                    Value::Int64(i % 40),
+                ])
+            })
+            .collect();
+        cat.ingest(
+            "fact",
+            Relation::new(fact_schema, fact_rows).unwrap(),
+            IngestOptions::partitioned_on("f_id").with_index("f_a"),
+        )
+        .unwrap();
+        for (name, rows) in [("da", 80i64), ("db", 400), ("dc", 40)] {
+            let schema = Schema::for_dataset(
+                name,
+                &[("id", DataType::Int64), ("attr", DataType::Int64)],
+            );
+            let data = (0..rows)
+                .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 6)]))
+                .collect();
+            cat.ingest(
+                name,
+                Relation::new(schema, data).unwrap(),
+                IngestOptions::partitioned_on("id"),
+            )
+            .unwrap();
+        }
+        cat
+    }
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new("runner-q")
+            .with_dataset(DatasetRef::named("fact"))
+            .with_dataset(DatasetRef::named("da"))
+            .with_dataset(DatasetRef::named("db"))
+            .with_dataset(DatasetRef::named("dc"))
+            .with_join(FieldRef::new("fact", "f_a"), FieldRef::new("da", "id"))
+            .with_join(FieldRef::new("fact", "f_b"), FieldRef::new("db", "id"))
+            .with_join(FieldRef::new("fact", "f_c"), FieldRef::new("dc", "id"))
+            .with_predicate(Predicate::udf("da_pick", FieldRef::new("da", "attr"), |v| {
+                v.as_i64() == Some(2)
+            }))
+            .with_predicate(Predicate::compare(
+                FieldRef::new("da", "id"),
+                CmpOp::Lt,
+                1_000i64,
+            ))
+            .with_projection(vec![FieldRef::new("fact", "f_id")])
+    }
+
+    #[test]
+    fn all_strategies_return_identical_results() {
+        let mut cat = catalog();
+        let runner = QueryRunner::default();
+        let q = spec();
+        let reports = runner.run_comparison(&q, &mut cat).unwrap();
+        assert_eq!(reports.len(), 6);
+        let reference = reports[0].result.clone().sorted();
+        for report in &reports {
+            assert_eq!(
+                report.result.clone().sorted(),
+                reference,
+                "{} returned a different result",
+                report.strategy
+            );
+            assert!(report.simulated_cost > 0.0);
+            assert!(report.wall_seconds >= 0.0);
+            assert!(!report.plan.is_empty());
+        }
+    }
+
+    #[test]
+    fn dynamic_report_has_breakdown_and_static_does_not() {
+        let mut cat = catalog();
+        let runner = QueryRunner::default();
+        let q = spec();
+        let dynamic = runner.run(Strategy::Dynamic, &q, &mut cat).unwrap();
+        assert!(dynamic.breakdown.is_some());
+        assert!(dynamic.result_rows() > 0);
+        let cost_based = runner.run(Strategy::CostBased, &q, &mut cat).unwrap();
+        assert!(cost_based.breakdown.is_none());
+    }
+
+    #[test]
+    fn worst_order_costs_more_than_dynamic() {
+        let mut cat = catalog();
+        let runner = QueryRunner::default();
+        let q = spec();
+        let dynamic = runner.run(Strategy::Dynamic, &q, &mut cat).unwrap();
+        let worst = runner.run(Strategy::WorstOrder, &q, &mut cat).unwrap();
+        assert!(
+            worst.simulated_cost > dynamic.simulated_cost,
+            "worst {} vs dynamic {}",
+            worst.simulated_cost,
+            dynamic.simulated_cost
+        );
+    }
+
+    #[test]
+    fn ablation_strategies_run() {
+        let mut cat = catalog();
+        let runner = QueryRunner::default();
+        let q = spec();
+        let no_stats = runner
+            .run(Strategy::ReoptWithoutOnlineStats, &q, &mut cat)
+            .unwrap();
+        assert_eq!(no_stats.metrics.stats_values_observed, 0);
+        let no_pushdown = runner
+            .run(Strategy::DynamicWithoutPushdown, &q, &mut cat)
+            .unwrap();
+        assert_eq!(
+            no_pushdown.result.clone().sorted(),
+            no_stats.result.clone().sorted()
+        );
+    }
+
+    #[test]
+    fn inl_toggle_changes_rule() {
+        let runner = QueryRunner::default().with_indexed_nested_loop(true);
+        assert!(runner.rule.enable_indexed_nested_loop);
+        let labels: Vec<&str> = Strategy::COMPARISON.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(Strategy::Dynamic.to_string(), "dynamic");
+    }
+}

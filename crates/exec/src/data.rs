@@ -1,0 +1,212 @@
+//! Partitioned intermediate data flowing between operators.
+
+use rdo_common::{Relation, Schema, Tuple, Value};
+use rdo_sketch::hll::hash_value;
+
+/// Data produced by an operator, kept partitioned exactly as it would be across
+/// the nodes of the shared-nothing cluster.
+#[derive(Debug, Clone)]
+pub struct PartitionedData {
+    schema: Schema,
+    partitions: Vec<Vec<Tuple>>,
+    /// Column (unqualified name) the data is currently hash-partitioned on, if
+    /// any. A subsequent hash join on the same column skips the re-partition
+    /// exchange for this input — the "already partitioned on the join key(s)"
+    /// case of the paper's hash-join description.
+    partition_key: Option<String>,
+    /// If the data is exactly a base-table scan with *no* residual predicates or
+    /// projection, the table name is recorded here so that an indexed
+    /// nested-loop join can use the table's secondary indexes.
+    base_table: Option<String>,
+}
+
+impl PartitionedData {
+    /// Creates partitioned data.
+    pub fn new(
+        schema: Schema,
+        partitions: Vec<Vec<Tuple>>,
+        partition_key: Option<String>,
+    ) -> Self {
+        Self {
+            schema,
+            partitions,
+            partition_key,
+            base_table: None,
+        }
+    }
+
+    /// Creates empty data with the given schema and partition count.
+    pub fn empty(schema: Schema, num_partitions: usize) -> Self {
+        Self::new(schema, vec![Vec::new(); num_partitions.max(1)], None)
+    }
+
+    /// Tags the data as an un-filtered, un-projected scan of `table`.
+    pub fn with_base_table(mut self, table: impl Into<String>) -> Self {
+        self.base_table = Some(table.into());
+        self
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The partitions.
+    pub fn partitions(&self) -> &[Vec<Tuple>] {
+        &self.partitions
+    }
+
+    /// Mutable access to the partitions.
+    pub fn partitions_mut(&mut self) -> &mut [Vec<Tuple>] {
+        &mut self.partitions
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Column the data is hash-partitioned on, if any.
+    pub fn partition_key(&self) -> Option<&str> {
+        self.partition_key.as_deref()
+    }
+
+    /// Base table name, if the data is a bare scan of one.
+    pub fn base_table(&self) -> Option<&str> {
+        self.base_table.as_deref()
+    }
+
+    /// Total number of rows.
+    pub fn row_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Approximate total bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|t| t.approx_bytes())
+            .sum()
+    }
+
+    /// True if the data is hash-partitioned on `column` (unqualified comparison).
+    pub fn is_partitioned_on(&self, column: &str) -> bool {
+        let unqualified = column.rsplit('.').next().unwrap_or(column);
+        self.partition_key.as_deref() == Some(unqualified)
+    }
+
+    /// Re-partitions the data by hashing the value at `key_index`; returns the
+    /// new data and the number of rows that had to move between partitions
+    /// (the shuffle volume the cost model charges for).
+    pub fn repartition(&self, key_index: usize, key_name: &str) -> (PartitionedData, u64, u64) {
+        let n = self.num_partitions();
+        let mut new_partitions: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+        let mut moved_rows = 0u64;
+        let mut moved_bytes = 0u64;
+        for (from, partition) in self.partitions.iter().enumerate() {
+            for row in partition {
+                let to = (hash_value(row.value(key_index)) % n as u64) as usize;
+                if to != from {
+                    moved_rows += 1;
+                    moved_bytes += row.approx_bytes() as u64;
+                }
+                new_partitions[to].push(row.clone());
+            }
+        }
+        let key_name = key_name.rsplit('.').next().unwrap_or(key_name).to_string();
+        (
+            PartitionedData::new(self.schema.clone(), new_partitions, Some(key_name)),
+            moved_rows,
+            moved_bytes,
+        )
+    }
+
+    /// Gathers all partitions into a single relation (result delivery).
+    pub fn gather(&self) -> Relation {
+        let mut rel = Relation::empty(self.schema.clone());
+        for p in &self.partitions {
+            for row in p {
+                rel.push(row.clone());
+            }
+        }
+        rel
+    }
+
+    /// Flattens into a single vector of rows (broadcast build sides).
+    pub fn all_rows(&self) -> Vec<Tuple> {
+        self.partitions.iter().flat_map(|p| p.iter().cloned()).collect()
+    }
+}
+
+/// Partition id of a value for a cluster with `n` partitions.
+pub fn partition_for(value: &Value, n: usize) -> usize {
+    (hash_value(value) % n.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::DataType;
+
+    fn data(n: i64, partitions: usize) -> PartitionedData {
+        let schema = Schema::for_dataset("t", &[("k", DataType::Int64), ("g", DataType::Int64)]);
+        let mut parts = vec![Vec::new(); partitions];
+        for i in 0..n {
+            parts[(i % partitions as i64) as usize]
+                .push(Tuple::new(vec![Value::Int64(i), Value::Int64(i % 7)]));
+        }
+        PartitionedData::new(schema, parts, None)
+    }
+
+    #[test]
+    fn row_count_and_bytes() {
+        let d = data(100, 4);
+        assert_eq!(d.row_count(), 100);
+        assert_eq!(d.num_partitions(), 4);
+        assert!(d.approx_bytes() > 0);
+        assert_eq!(d.gather().len(), 100);
+        assert_eq!(d.all_rows().len(), 100);
+    }
+
+    #[test]
+    fn repartition_moves_rows_to_hash_partition() {
+        let d = data(1000, 8);
+        let (r, moved_rows, moved_bytes) = d.repartition(1, "t.g");
+        assert_eq!(r.row_count(), 1000);
+        assert!(r.is_partitioned_on("g"));
+        assert!(r.is_partitioned_on("t.g"));
+        assert!(moved_rows > 0 && moved_rows <= 1000);
+        assert!(moved_bytes > 0);
+        // Every row must be in the partition its key hashes to.
+        for (p, rows) in r.partitions().iter().enumerate() {
+            for row in rows {
+                assert_eq!(partition_for(row.value(1), 8), p);
+            }
+        }
+    }
+
+    #[test]
+    fn repartition_on_same_key_moves_nothing_second_time() {
+        let d = data(500, 4);
+        let (once, _, _) = d.repartition(0, "k");
+        let (_twice, moved, _) = once.repartition(0, "k");
+        assert_eq!(moved, 0, "already partitioned data should not move");
+    }
+
+    #[test]
+    fn base_table_tag() {
+        let d = data(10, 2).with_base_table("lineitem");
+        assert_eq!(d.base_table(), Some("lineitem"));
+        assert_eq!(data(10, 2).base_table(), None);
+    }
+
+    #[test]
+    fn empty_data() {
+        let schema = Schema::for_dataset("t", &[("k", DataType::Int64)]);
+        let d = PartitionedData::empty(schema, 3);
+        assert_eq!(d.row_count(), 0);
+        assert_eq!(d.num_partitions(), 3);
+        assert!(d.partition_key().is_none());
+    }
+}

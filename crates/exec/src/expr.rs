@@ -1,0 +1,449 @@
+//! Selection predicates, including the "complex" predicates (UDFs and
+//! parameterized values) whose selectivity a static optimizer cannot estimate.
+//!
+//! Section 5.1 of the paper distinguishes three cases:
+//!
+//! 1. a single fixed-value predicate — estimable from the equi-height histogram;
+//! 2. multiple fixed-value predicates — traditional optimizers multiply the
+//!    individual selectivities (assuming independence), which is wrong under
+//!    correlation;
+//! 3. complex predicates (UDFs, parameterized values) — traditional optimizers
+//!    fall back to the System-R default factors (1/10 for equality, 1/3 for
+//!    inequalities).
+//!
+//! The dynamic approach instead *executes* such predicates first and measures
+//! the result, so [`Predicate::evaluate`] is the ground truth while
+//! [`Predicate::estimate_selectivity`] is what the static baselines see.
+
+use rdo_common::{FieldRef, RdoError, Result, Schema, Tuple, Value};
+use rdo_sketch::DatasetStats;
+use std::fmt;
+use std::sync::Arc;
+
+/// Comparison operators supported in the WHERE clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(&self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The System-R default selectivity factor used when nothing is known about
+    /// the operand (Selinger et al., as cited by the paper).
+    pub fn default_selectivity(&self) -> f64 {
+        match self {
+            CmpOp::Eq => 0.1,
+            CmpOp::Ne => 0.9,
+            _ => 1.0 / 3.0,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A user-defined boolean function over one column value.
+pub type UdfFn = Arc<dyn Fn(&Value) -> bool + Send + Sync>;
+
+/// The expression forms a local predicate can take.
+#[derive(Clone)]
+pub enum PredicateExpr {
+    /// `field op constant`
+    Compare {
+        /// Column being filtered.
+        field: FieldRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: Value,
+    },
+    /// `field BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column being filtered.
+        field: FieldRef,
+        /// Lower bound (inclusive).
+        lo: Value,
+        /// Upper bound (inclusive).
+        hi: Value,
+    },
+    /// `field IN (values...)`.
+    InList {
+        /// Column being filtered.
+        field: FieldRef,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+    /// `udf(field)` — a black-box boolean UDF.
+    Udf {
+        /// Name used for display/explain output.
+        name: String,
+        /// Column the UDF reads.
+        field: FieldRef,
+        /// The function itself.
+        func: UdfFn,
+    },
+}
+
+impl fmt::Debug for PredicateExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredicateExpr::Compare { field, op, value } => {
+                write!(f, "{field} {op} {value}")
+            }
+            PredicateExpr::Between { field, lo, hi } => {
+                write!(f, "{field} BETWEEN {lo} AND {hi}")
+            }
+            PredicateExpr::InList { field, values } => {
+                write!(f, "{field} IN ({} values)", values.len())
+            }
+            PredicateExpr::Udf { name, field, .. } => write!(f, "{name}({field})"),
+        }
+    }
+}
+
+/// A local selection predicate on a single dataset.
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    /// The predicate expression.
+    pub expr: PredicateExpr,
+    /// True if the constant(s) are query parameters bound only at runtime, so a
+    /// static optimizer must use default selectivities even for simple
+    /// comparisons.
+    pub parameterized: bool,
+}
+
+impl Predicate {
+    /// A simple comparison with a fixed value.
+    pub fn compare(field: FieldRef, op: CmpOp, value: impl Into<Value>) -> Self {
+        Self {
+            expr: PredicateExpr::Compare {
+                field,
+                op,
+                value: value.into(),
+            },
+            parameterized: false,
+        }
+    }
+
+    /// An inclusive range predicate with fixed bounds.
+    pub fn between(field: FieldRef, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        Self {
+            expr: PredicateExpr::Between {
+                field,
+                lo: lo.into(),
+                hi: hi.into(),
+            },
+            parameterized: false,
+        }
+    }
+
+    /// An IN-list predicate with fixed values.
+    pub fn in_list(field: FieldRef, values: Vec<Value>) -> Self {
+        Self {
+            expr: PredicateExpr::InList { field, values },
+            parameterized: false,
+        }
+    }
+
+    /// A black-box UDF predicate.
+    pub fn udf(
+        name: impl Into<String>,
+        field: FieldRef,
+        func: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            expr: PredicateExpr::Udf {
+                name: name.into(),
+                field,
+                func: Arc::new(func),
+            },
+            parameterized: false,
+        }
+    }
+
+    /// Marks the predicate as parameterized (value bound at runtime).
+    pub fn parameterized(mut self) -> Self {
+        self.parameterized = true;
+        self
+    }
+
+    /// The dataset the predicate is local to.
+    pub fn dataset(&self) -> &str {
+        &self.field().dataset
+    }
+
+    /// The column the predicate reads.
+    pub fn field(&self) -> &FieldRef {
+        match &self.expr {
+            PredicateExpr::Compare { field, .. }
+            | PredicateExpr::Between { field, .. }
+            | PredicateExpr::InList { field, .. }
+            | PredicateExpr::Udf { field, .. } => field,
+        }
+    }
+
+    /// True if the predicate is "complex" in the paper's sense: a UDF or a
+    /// parameterized comparison, whose selectivity a static optimizer cannot
+    /// derive from histograms.
+    pub fn is_complex(&self) -> bool {
+        self.parameterized || matches!(self.expr, PredicateExpr::Udf { .. })
+    }
+
+    /// Evaluates the predicate against one tuple.
+    pub fn evaluate(&self, schema: &Schema, tuple: &Tuple) -> Result<bool> {
+        let idx = schema.resolve(self.field())?;
+        let value = tuple.value(idx);
+        if value.is_null() {
+            return Ok(false);
+        }
+        Ok(match &self.expr {
+            PredicateExpr::Compare { op, value: rhs, .. } => op.apply(value, rhs),
+            PredicateExpr::Between { lo, hi, .. } => value >= lo && value <= hi,
+            PredicateExpr::InList { values, .. } => values.contains(value),
+            PredicateExpr::Udf { func, .. } => func(value),
+        })
+    }
+
+    /// Selectivity as seen by a *static* optimizer: histogram-based for simple
+    /// fixed-value predicates, System-R default factors for complex ones.
+    pub fn estimate_selectivity(&self, stats: Option<&DatasetStats>) -> f64 {
+        if self.is_complex() {
+            return self.default_selectivity();
+        }
+        let column = stats.and_then(|s| s.column(&self.field().field));
+        match (&self.expr, column) {
+            (PredicateExpr::Compare { op, value, .. }, Some(col)) => {
+                let v = value.numeric_rank();
+                match op {
+                    CmpOp::Eq => col.equality_selectivity(v),
+                    CmpOp::Ne => 1.0 - col.equality_selectivity(v),
+                    CmpOp::Lt | CmpOp::Le => col.range_selectivity(f64::NEG_INFINITY, v),
+                    CmpOp::Gt | CmpOp::Ge => col.range_selectivity(v, f64::INFINITY),
+                }
+            }
+            (PredicateExpr::Between { lo, hi, .. }, Some(col)) => {
+                col.range_selectivity(lo.numeric_rank(), hi.numeric_rank())
+            }
+            (PredicateExpr::InList { values, .. }, Some(col)) => values
+                .iter()
+                .map(|v| col.equality_selectivity(v.numeric_rank()))
+                .sum::<f64>()
+                .min(1.0),
+            _ => self.default_selectivity(),
+        }
+    }
+
+    /// The System-R default selectivity factor for this predicate shape.
+    pub fn default_selectivity(&self) -> f64 {
+        match &self.expr {
+            PredicateExpr::Compare { op, .. } => op.default_selectivity(),
+            PredicateExpr::Between { .. } => 0.25,
+            PredicateExpr::InList { values, .. } => (0.1 * values.len() as f64).min(0.5),
+            PredicateExpr::Udf { .. } => 0.1,
+        }
+    }
+
+    /// Short human-readable form used by EXPLAIN output.
+    pub fn describe(&self) -> String {
+        let base = format!("{:?}", self.expr);
+        if self.parameterized {
+            format!("{base} [param]")
+        } else {
+            base
+        }
+    }
+}
+
+/// Evaluates a conjunction of predicates.
+pub fn evaluate_all(predicates: &[Predicate], schema: &Schema, tuple: &Tuple) -> Result<bool> {
+    for p in predicates {
+        if !p.evaluate(schema, tuple)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Static selectivity of a conjunction assuming independence (what traditional
+/// optimizers do; the paper highlights this as a source of error for correlated
+/// predicates).
+pub fn combined_selectivity(predicates: &[Predicate], stats: Option<&DatasetStats>) -> f64 {
+    predicates
+        .iter()
+        .map(|p| p.estimate_selectivity(stats))
+        .product()
+}
+
+/// Convenience error constructor used by operators when a predicate references
+/// a column missing from the input schema.
+pub fn unknown_field(field: &FieldRef) -> RdoError {
+    RdoError::UnknownField(field.qualified())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::DataType;
+    use rdo_sketch::DatasetStatsBuilder;
+
+    fn schema() -> Schema {
+        Schema::for_dataset(
+            "part",
+            &[
+                ("p_partkey", DataType::Int64),
+                ("p_size", DataType::Int64),
+                ("p_brand", DataType::Utf8),
+            ],
+        )
+    }
+
+    fn tuple(key: i64, size: i64, brand: &str) -> Tuple {
+        Tuple::new(vec![Value::Int64(key), Value::Int64(size), Value::from(brand)])
+    }
+
+    fn stats(n: i64) -> DatasetStats {
+        let mut b = DatasetStatsBuilder::all_columns(&schema());
+        for i in 0..n {
+            b.observe(&tuple(i, i % 50, &format!("Brand#{}", i % 5)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn compare_evaluation() {
+        let s = schema();
+        let p = Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Lt, 10i64);
+        assert!(p.evaluate(&s, &tuple(1, 5, "x")).unwrap());
+        assert!(!p.evaluate(&s, &tuple(1, 15, "x")).unwrap());
+    }
+
+    #[test]
+    fn between_and_inlist_evaluation() {
+        let s = schema();
+        let b = Predicate::between(FieldRef::new("part", "p_size"), 10i64, 20i64);
+        assert!(b.evaluate(&s, &tuple(1, 10, "x")).unwrap());
+        assert!(b.evaluate(&s, &tuple(1, 20, "x")).unwrap());
+        assert!(!b.evaluate(&s, &tuple(1, 21, "x")).unwrap());
+
+        let l = Predicate::in_list(
+            FieldRef::new("part", "p_brand"),
+            vec![Value::from("A"), Value::from("B")],
+        );
+        assert!(l.evaluate(&s, &tuple(1, 1, "A")).unwrap());
+        assert!(!l.evaluate(&s, &tuple(1, 1, "C")).unwrap());
+    }
+
+    #[test]
+    fn udf_evaluation_and_complexity() {
+        let s = schema();
+        let p = Predicate::udf("mysub", FieldRef::new("part", "p_brand"), |v| {
+            v.as_str().map(|s| s.ends_with("#3")).unwrap_or(false)
+        });
+        assert!(p.is_complex());
+        assert!(p.evaluate(&s, &tuple(1, 1, "Brand#3")).unwrap());
+        assert!(!p.evaluate(&s, &tuple(1, 1, "Brand#4")).unwrap());
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let s = schema();
+        let p = Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Ne, 5i64);
+        let t = Tuple::new(vec![Value::Int64(1), Value::Null, Value::from("x")]);
+        assert!(!p.evaluate(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        let p = Predicate::compare(FieldRef::new("part", "missing"), CmpOp::Eq, 1i64);
+        assert!(p.evaluate(&s, &tuple(1, 1, "x")).is_err());
+    }
+
+    #[test]
+    fn parameterized_predicate_uses_defaults() {
+        let st = stats(1000);
+        let p = Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Eq, 3i64).parameterized();
+        assert!(p.is_complex());
+        assert_eq!(p.estimate_selectivity(Some(&st)), 0.1);
+        // The same predicate un-parameterized uses the histogram (1/50 ≈ 0.02).
+        let q = Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Eq, 3i64);
+        let est = q.estimate_selectivity(Some(&st));
+        assert!(est < 0.05, "histogram estimate {est} should be ~1/50");
+    }
+
+    #[test]
+    fn udf_estimate_is_default_factor() {
+        let st = stats(1000);
+        let p = Predicate::udf("f", FieldRef::new("part", "p_brand"), |_| true);
+        assert_eq!(p.estimate_selectivity(Some(&st)), 0.1);
+    }
+
+    #[test]
+    fn range_estimate_uses_histogram() {
+        let st = stats(10_000);
+        let p = Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Lt, 25i64);
+        let est = p.estimate_selectivity(Some(&st));
+        assert!((est - 0.5).abs() < 0.1, "estimate {est} should be ~0.5");
+    }
+
+    #[test]
+    fn missing_stats_fall_back_to_defaults() {
+        let p = Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Gt, 25i64);
+        assert!((p.estimate_selectivity(None) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjunction_evaluation_and_independence_assumption() {
+        let s = schema();
+        let preds = vec![
+            Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Lt, 10i64),
+            Predicate::in_list(FieldRef::new("part", "p_brand"), vec![Value::from("A")]),
+        ];
+        assert!(evaluate_all(&preds, &s, &tuple(1, 5, "A")).unwrap());
+        assert!(!evaluate_all(&preds, &s, &tuple(1, 5, "B")).unwrap());
+        let st = stats(1000);
+        let combined = combined_selectivity(&preds, Some(&st));
+        let individual: f64 = preds.iter().map(|p| p.estimate_selectivity(Some(&st))).product();
+        assert!((combined - individual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn describe_mentions_parameterization() {
+        let p = Predicate::compare(FieldRef::new("d", "f"), CmpOp::Eq, 1i64).parameterized();
+        assert!(p.describe().contains("[param]"));
+        let u = Predicate::udf("myudf", FieldRef::new("d", "f"), |_| true);
+        assert!(u.describe().contains("myudf"));
+    }
+}

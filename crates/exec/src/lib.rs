@@ -1,0 +1,38 @@
+//! Physical execution layer of the simulated shared-nothing engine.
+//!
+//! This crate plays the role of Hyracks in the paper's architecture (Figure 2):
+//! it takes a physical plan (scans with pushed-down predicates and a tree of
+//! joins, each annotated with a join algorithm), executes it partition-by-
+//! partition against the [`rdo_storage::Catalog`], and charges a deterministic
+//! cost model for the distributed effects — re-partitioning (shuffle),
+//! broadcast replication, materialization of intermediate results at
+//! re-optimization points, secondary-index lookups and online statistics
+//! collection.
+//!
+//! The operators implemented here mirror Section 3 of the paper:
+//!
+//! * **Hash join** — both inputs are re-partitioned on the join key (skipped for
+//!   an input already partitioned on it), then joined with a per-partition
+//!   dynamic hash join.
+//! * **Broadcast join** — the (small) build input is replicated to every
+//!   partition of the probe input.
+//! * **Indexed nested-loop join** — the build input is broadcast and used to
+//!   probe a secondary index of a base dataset.
+//! * **Sink / Reader** — materialize intermediate results into temporary tables
+//!   (collecting online statistics) and read them back in later jobs.
+
+pub mod cost;
+pub mod data;
+pub mod executor;
+pub mod expr;
+pub mod plan;
+pub mod post;
+pub mod sink;
+
+pub use cost::{CostModel, ExecutionMetrics};
+pub use data::PartitionedData;
+pub use executor::Executor;
+pub use expr::{CmpOp, Predicate, PredicateExpr, UdfFn};
+pub use plan::{JoinAlgorithm, PhysicalPlan};
+pub use post::{AggregateExpr, AggregateFunc, PostProcess, SortKey};
+pub use sink::{materialize, MaterializeOutcome};

@@ -1,0 +1,326 @@
+//! Physical plans: scans with pushed-down predicates plus a tree of joins, each
+//! annotated with the join algorithm chosen by the optimizer.
+
+use crate::expr::Predicate;
+use rdo_common::FieldRef;
+use std::fmt;
+
+/// Join algorithms supported by the engine (Section 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgorithm {
+    /// Re-partition both inputs on the join key and run a per-partition dynamic
+    /// hash join. The AsterixDB default.
+    Hash,
+    /// Replicate the (small) build input to every partition of the probe input.
+    Broadcast,
+    /// Broadcast the build input and probe a secondary index of the other
+    /// (base-dataset) input.
+    IndexedNestedLoop,
+}
+
+impl JoinAlgorithm {
+    /// The symbol used in the paper's appendix plan diagrams: plain `⋈` for
+    /// hash, `⋈b` for broadcast, `⋈i` for indexed nested-loop.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            JoinAlgorithm::Hash => "⋈",
+            JoinAlgorithm::Broadcast => "⋈b",
+            JoinAlgorithm::IndexedNestedLoop => "⋈i",
+        }
+    }
+}
+
+impl fmt::Display for JoinAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A physical plan tree.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Scan a table (base dataset or materialized intermediate result), apply
+    /// pushed-down local predicates and an optional projection.
+    Scan {
+        /// Name the dataset is known by in the query (alias, e.g. `d1` for the
+        /// first `date_dim` occurrence).
+        dataset: String,
+        /// Physical table name in the catalog.
+        table: String,
+        /// Local predicates applied during the scan.
+        predicates: Vec<Predicate>,
+        /// Columns to keep (`None` keeps everything).
+        projection: Option<Vec<FieldRef>>,
+    },
+    /// Join two sub-plans on the conjunction of the equi-join key pairs. For
+    /// [`JoinAlgorithm::Broadcast`] and [`JoinAlgorithm::IndexedNestedLoop`] the
+    /// *right* input is the one broadcast; for `IndexedNestedLoop` the left
+    /// input must be a bare base-table scan with a secondary index on the first
+    /// left key.
+    Join {
+        /// Probe-side input.
+        left: Box<PhysicalPlan>,
+        /// Build-side input (broadcast for Broadcast/INL).
+        right: Box<PhysicalPlan>,
+        /// Equi-join key pairs `(left_key, right_key)`; composite joins (e.g.
+        /// TPC-DS store_sales ⋈ store_returns on item/ticket/customer) have more
+        /// than one pair.
+        keys: Vec<(FieldRef, FieldRef)>,
+        /// Join algorithm.
+        algorithm: JoinAlgorithm,
+    },
+}
+
+impl PhysicalPlan {
+    /// Convenience constructor for a scan of a base dataset under its own name.
+    pub fn scan(dataset: impl Into<String>) -> Self {
+        let dataset = dataset.into();
+        PhysicalPlan::Scan {
+            table: dataset.clone(),
+            dataset,
+            predicates: Vec::new(),
+            projection: None,
+        }
+    }
+
+    /// Convenience constructor for a scan of `table` aliased as `dataset`.
+    pub fn scan_aliased(dataset: impl Into<String>, table: impl Into<String>) -> Self {
+        PhysicalPlan::Scan {
+            dataset: dataset.into(),
+            table: table.into(),
+            predicates: Vec::new(),
+            projection: None,
+        }
+    }
+
+    /// Adds local predicates to a scan (no-op for joins).
+    pub fn with_predicates(mut self, preds: Vec<Predicate>) -> Self {
+        if let PhysicalPlan::Scan { predicates, .. } = &mut self {
+            *predicates = preds;
+        }
+        self
+    }
+
+    /// Adds a projection to a scan (no-op for joins).
+    pub fn with_projection(mut self, columns: Vec<FieldRef>) -> Self {
+        if let PhysicalPlan::Scan { projection, .. } = &mut self {
+            *projection = Some(columns);
+        }
+        self
+    }
+
+    /// Builds a join node on a single key pair.
+    pub fn join(
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        left_key: FieldRef,
+        right_key: FieldRef,
+        algorithm: JoinAlgorithm,
+    ) -> Self {
+        Self::join_on(left, right, vec![(left_key, right_key)], algorithm)
+    }
+
+    /// Builds a join node on a composite key (conjunction of key pairs).
+    pub fn join_on(
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        keys: Vec<(FieldRef, FieldRef)>,
+        algorithm: JoinAlgorithm,
+    ) -> Self {
+        PhysicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            keys,
+            algorithm,
+        }
+    }
+
+    /// All dataset aliases scanned by the plan, left-to-right.
+    pub fn datasets(&self) -> Vec<String> {
+        match self {
+            PhysicalPlan::Scan { dataset, .. } => vec![dataset.clone()],
+            PhysicalPlan::Join { left, right, .. } => {
+                let mut d = left.datasets();
+                d.extend(right.datasets());
+                d
+            }
+        }
+    }
+
+    /// Number of join nodes in the plan.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+
+    /// True if the plan is a bare scan of a base table (no predicates, no
+    /// projection) — the shape required of the indexed side of an INL join.
+    pub fn is_bare_scan(&self) -> bool {
+        matches!(
+            self,
+            PhysicalPlan::Scan {
+                predicates,
+                projection,
+                ..
+            } if predicates.is_empty() && projection.is_none()
+        )
+    }
+
+    /// Compact single-line form mirroring the paper's appendix notation, e.g.
+    /// `((A ⋈b B) ⋈ C)`.
+    pub fn signature(&self) -> String {
+        match self {
+            PhysicalPlan::Scan {
+                dataset,
+                predicates,
+                ..
+            } => {
+                if predicates.is_empty() {
+                    dataset.clone()
+                } else {
+                    format!("σ({dataset})")
+                }
+            }
+            PhysicalPlan::Join {
+                left,
+                right,
+                algorithm,
+                ..
+            } => format!("({} {} {})", left.signature(), algorithm.symbol(), right.signature()),
+        }
+    }
+
+    /// Multi-line EXPLAIN output.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            PhysicalPlan::Scan {
+                dataset,
+                table,
+                predicates,
+                projection,
+            } => {
+                out.push_str(&pad);
+                out.push_str("Scan ");
+                out.push_str(dataset);
+                if dataset != table {
+                    out.push_str(&format!(" (table {table})"));
+                }
+                if !predicates.is_empty() {
+                    let preds: Vec<String> = predicates.iter().map(|p| p.describe()).collect();
+                    out.push_str(&format!(" [{}]", preds.join(" AND ")));
+                }
+                if let Some(cols) = projection {
+                    out.push_str(&format!(" project {} cols", cols.len()));
+                }
+                out.push('\n');
+            }
+            PhysicalPlan::Join {
+                left,
+                right,
+                keys,
+                algorithm,
+            } => {
+                let conditions: Vec<String> =
+                    keys.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                out.push_str(&pad);
+                out.push_str(&format!(
+                    "{} Join [{}]\n",
+                    algorithm.symbol(),
+                    conditions.join(" AND ")
+                ));
+                left.explain_into(out, indent + 1);
+                right.explain_into(out, indent + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    fn sample_join() -> PhysicalPlan {
+        let a = PhysicalPlan::scan("lineitem");
+        let b = PhysicalPlan::scan("part").with_predicates(vec![Predicate::compare(
+            FieldRef::new("part", "p_size"),
+            CmpOp::Lt,
+            10i64,
+        )]);
+        let ab = PhysicalPlan::join(
+            a,
+            b,
+            FieldRef::new("lineitem", "l_partkey"),
+            FieldRef::new("part", "p_partkey"),
+            JoinAlgorithm::Broadcast,
+        );
+        PhysicalPlan::join(
+            ab,
+            PhysicalPlan::scan("orders"),
+            FieldRef::new("lineitem", "l_orderkey"),
+            FieldRef::new("orders", "o_orderkey"),
+            JoinAlgorithm::Hash,
+        )
+    }
+
+    #[test]
+    fn datasets_and_join_count() {
+        let p = sample_join();
+        assert_eq!(p.datasets(), vec!["lineitem", "part", "orders"]);
+        assert_eq!(p.join_count(), 2);
+    }
+
+    #[test]
+    fn signature_uses_algorithm_symbols() {
+        let p = sample_join();
+        assert_eq!(p.signature(), "((lineitem ⋈b σ(part)) ⋈ orders)");
+    }
+
+    #[test]
+    fn explain_contains_structure() {
+        let p = sample_join();
+        let text = p.explain();
+        assert!(text.contains("⋈b Join"));
+        assert!(text.contains("Scan lineitem"));
+        assert!(text.contains("p_size < 10"));
+    }
+
+    #[test]
+    fn bare_scan_detection() {
+        assert!(PhysicalPlan::scan("x").is_bare_scan());
+        let filtered = PhysicalPlan::scan("x").with_predicates(vec![Predicate::compare(
+            FieldRef::new("x", "c"),
+            CmpOp::Eq,
+            1i64,
+        )]);
+        assert!(!filtered.is_bare_scan());
+        let projected =
+            PhysicalPlan::scan("x").with_projection(vec![FieldRef::new("x", "c")]);
+        assert!(!projected.is_bare_scan());
+        assert!(!sample_join().is_bare_scan());
+    }
+
+    #[test]
+    fn aliased_scan_explain() {
+        let p = PhysicalPlan::scan_aliased("d1", "date_dim");
+        assert!(p.explain().contains("Scan d1 (table date_dim)"));
+        assert_eq!(p.datasets(), vec!["d1"]);
+    }
+
+    #[test]
+    fn algorithm_symbols() {
+        assert_eq!(JoinAlgorithm::Hash.symbol(), "⋈");
+        assert_eq!(JoinAlgorithm::Broadcast.symbol(), "⋈b");
+        assert_eq!(JoinAlgorithm::IndexedNestedLoop.symbol(), "⋈i");
+        assert_eq!(JoinAlgorithm::Broadcast.to_string(), "⋈b");
+    }
+}

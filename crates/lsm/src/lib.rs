@@ -1,0 +1,27 @@
+//! LSM-style ingestion substrate with component-level statistics collection.
+//!
+//! AsterixDB stores every dataset in LSM trees and, crucially for the paper,
+//! collects the initial statistical sketches *while loading data* — "we exploit
+//! AsterixDB's LSM ingestion process to get initial statistics for base
+//! datasets ... thereby we avoid the extra overhead of pilot runs". This crate
+//! reproduces that ingestion substrate:
+//!
+//! * a per-dataset [`MemTable`] write buffer with upsert semantics;
+//! * immutable, sorted [`Component`]s created by flushes and merges, each
+//!   carrying its own GK/HLL sketches;
+//! * pluggable [`MergePolicy`] implementations (AsterixDB's prefix policy, a
+//!   tiered policy and a no-op policy);
+//! * [`LsmDataset`], which ties the pieces together, tracks ingestion metrics
+//!   (flushes, merges, write amplification), and can register the loaded table
+//!   *plus its component-derived statistics* with the cluster
+//!   [`rdo_storage::Catalog`].
+
+pub mod component;
+pub mod memtable;
+pub mod policy;
+pub mod tree;
+
+pub use component::{Component, ComponentId};
+pub use memtable::MemTable;
+pub use policy::{MergeDecision, MergePolicy, NoMergePolicy, PrefixMergePolicy, TieredMergePolicy};
+pub use tree::{IngestionMetrics, LsmDataset, LsmOptions};

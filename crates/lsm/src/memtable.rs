@@ -1,0 +1,201 @@
+//! The in-memory write buffer of an LSM dataset.
+//!
+//! AsterixDB ingests records into a per-dataset in-memory component that is
+//! flushed to disk as an immutable LSM component when it fills up. The
+//! [`MemTable`] reproduces that buffer: rows are kept sorted by primary key,
+//! inserting an existing key replaces the previous version (upsert semantics),
+//! and `drain_sorted` hands the content to a flush.
+
+use rdo_common::{RdoError, Result, Schema, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// The in-memory component of an LSM dataset.
+#[derive(Debug, Clone)]
+pub struct MemTable {
+    schema: Schema,
+    key_column: String,
+    key_index: usize,
+    rows: BTreeMap<Value, Tuple>,
+    capacity: usize,
+    bytes: usize,
+}
+
+impl MemTable {
+    /// Creates an empty memtable keyed on `key_column` that flushes after
+    /// `capacity` rows.
+    pub fn new(schema: Schema, key_column: &str, capacity: usize) -> Result<Self> {
+        let key_index = schema.index_of_unqualified(key_column)?;
+        Ok(Self {
+            schema,
+            key_column: key_column.to_string(),
+            key_index,
+            rows: BTreeMap::new(),
+            capacity: capacity.max(1),
+            bytes: 0,
+        })
+    }
+
+    /// The schema rows must conform to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The primary-key column name.
+    pub fn key_column(&self) -> &str {
+        &self.key_column
+    }
+
+    /// Index of the primary-key column in the schema.
+    pub fn key_index(&self) -> usize {
+        self.key_index
+    }
+
+    /// Inserts (or upserts) one row. Returns the replaced previous version of
+    /// the row, if any.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<Option<Tuple>> {
+        if tuple.len() != self.schema.len() {
+            return Err(RdoError::Execution(format!(
+                "row arity {} does not match schema arity {}",
+                tuple.len(),
+                self.schema.len()
+            )));
+        }
+        let key = tuple.value(self.key_index).clone();
+        if key.is_null() {
+            return Err(RdoError::Execution(format!(
+                "primary key `{}` must not be NULL",
+                self.key_column
+            )));
+        }
+        self.bytes += tuple.approx_bytes();
+        let previous = self.rows.insert(key, tuple);
+        if let Some(prev) = &previous {
+            self.bytes = self.bytes.saturating_sub(prev.approx_bytes());
+        }
+        Ok(previous)
+    }
+
+    /// Looks up the current version of a key.
+    pub fn get(&self, key: &Value) -> Option<&Tuple> {
+        self.rows.get(key)
+    }
+
+    /// Number of (distinct-key) rows buffered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate buffered bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// True once the memtable reached its flush threshold.
+    pub fn is_full(&self) -> bool {
+        self.rows.len() >= self.capacity
+    }
+
+    /// The flush threshold in rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over the buffered rows in primary-key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.values()
+    }
+
+    /// Empties the memtable, returning its rows sorted by primary key.
+    pub fn drain_sorted(&mut self) -> Vec<Tuple> {
+        self.bytes = 0;
+        std::mem::take(&mut self.rows).into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::for_dataset(
+            "orders",
+            &[("o_orderkey", DataType::Int64), ("o_total", DataType::Int64)],
+        )
+    }
+
+    fn row(key: i64, total: i64) -> Tuple {
+        Tuple::new(vec![Value::Int64(key), Value::Int64(total)])
+    }
+
+    #[test]
+    fn inserts_keep_rows_sorted_by_key() {
+        let mut mt = MemTable::new(schema(), "o_orderkey", 100).unwrap();
+        for key in [5i64, 1, 9, 3] {
+            mt.insert(row(key, key * 10)).unwrap();
+        }
+        let drained = mt.drain_sorted();
+        let keys: Vec<i64> = drained.iter().map(|t| t.value(0).as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        assert!(mt.is_empty());
+        assert_eq!(mt.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn upsert_replaces_previous_version() {
+        let mut mt = MemTable::new(schema(), "o_orderkey", 100).unwrap();
+        assert!(mt.insert(row(1, 10)).unwrap().is_none());
+        let previous = mt.insert(row(1, 20)).unwrap().expect("replaced");
+        assert_eq!(previous.value(1), &Value::Int64(10));
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.get(&Value::Int64(1)).unwrap().value(1), &Value::Int64(20));
+    }
+
+    #[test]
+    fn capacity_controls_is_full() {
+        let mut mt = MemTable::new(schema(), "o_orderkey", 3).unwrap();
+        assert_eq!(mt.capacity(), 3);
+        for key in 0..3 {
+            assert!(!mt.is_full());
+            mt.insert(row(key, 0)).unwrap();
+        }
+        assert!(mt.is_full());
+    }
+
+    #[test]
+    fn rejects_bad_rows_and_keys() {
+        let mut mt = MemTable::new(schema(), "o_orderkey", 10).unwrap();
+        assert!(mt.insert(Tuple::new(vec![Value::Int64(1)])).is_err());
+        assert!(mt
+            .insert(Tuple::new(vec![Value::Null, Value::Int64(1)]))
+            .is_err());
+        assert!(MemTable::new(schema(), "missing_key", 10).is_err());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts() {
+        let mut mt = MemTable::new(schema(), "o_orderkey", 10).unwrap();
+        mt.insert(row(1, 10)).unwrap();
+        let after_one = mt.approx_bytes();
+        assert!(after_one > 0);
+        mt.insert(row(2, 20)).unwrap();
+        assert!(mt.approx_bytes() > after_one);
+        // Upserting the same key keeps the byte count roughly constant.
+        let before_upsert = mt.approx_bytes();
+        mt.insert(row(2, 30)).unwrap();
+        assert_eq!(mt.approx_bytes(), before_upsert);
+    }
+
+    #[test]
+    fn key_metadata_exposed() {
+        let mt = MemTable::new(schema(), "o_orderkey", 10).unwrap();
+        assert_eq!(mt.key_column(), "o_orderkey");
+        assert_eq!(mt.key_index(), 0);
+        assert_eq!(mt.schema().len(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Merge policies deciding when flushed components are compacted.
+//!
+//! AsterixDB ships a *prefix* merge policy (merge a prefix of the newest
+//! components once too many small ones accumulate, never touching components
+//! beyond a size budget) and a simpler *constant/tiered* policy. Both are
+//! reproduced here plus a no-op policy used by tests and by the "one component
+//! per load" configuration of the benchmark loader.
+
+use crate::component::{Component, ComponentId};
+
+/// What the policy wants done after a flush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeDecision {
+    /// Leave the components as they are.
+    None,
+    /// Merge the listed components (ordered oldest → newest) into one.
+    Merge(Vec<ComponentId>),
+}
+
+/// A merge policy inspects the current disk components after every flush.
+pub trait MergePolicy: std::fmt::Debug + Send + Sync {
+    /// Decides whether (and which) components to merge. `components` is ordered
+    /// oldest → newest.
+    fn decide(&self, components: &[&Component]) -> MergeDecision;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Never merges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMergePolicy;
+
+impl MergePolicy for NoMergePolicy {
+    fn decide(&self, _components: &[&Component]) -> MergeDecision {
+        MergeDecision::None
+    }
+
+    fn name(&self) -> &'static str {
+        "no-merge"
+    }
+}
+
+/// Tiered policy: once at least `max_components` components exist, merge them
+/// all into one (AsterixDB's constant merge policy).
+#[derive(Debug, Clone, Copy)]
+pub struct TieredMergePolicy {
+    /// Merge as soon as this many components accumulate.
+    pub max_components: usize,
+}
+
+impl Default for TieredMergePolicy {
+    fn default() -> Self {
+        Self { max_components: 4 }
+    }
+}
+
+impl MergePolicy for TieredMergePolicy {
+    fn decide(&self, components: &[&Component]) -> MergeDecision {
+        if components.len() >= self.max_components.max(2) {
+            MergeDecision::Merge(components.iter().map(|c| c.id()).collect())
+        } else {
+            MergeDecision::None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tiered"
+    }
+}
+
+/// Prefix policy (AsterixDB's default): merge the longest suffix of *small*
+/// components (each below `max_component_bytes`) once more than
+/// `max_tolerance_components` of them accumulate. Large, already-merged
+/// components are never rewritten.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixMergePolicy {
+    /// Components at or above this size are never merge inputs.
+    pub max_component_bytes: usize,
+    /// Number of small components tolerated before a merge is scheduled.
+    pub max_tolerance_components: usize,
+}
+
+impl Default for PrefixMergePolicy {
+    fn default() -> Self {
+        Self {
+            max_component_bytes: 1 << 20,
+            max_tolerance_components: 5,
+        }
+    }
+}
+
+impl MergePolicy for PrefixMergePolicy {
+    fn decide(&self, components: &[&Component]) -> MergeDecision {
+        // Collect the suffix (newest components) that are still "small".
+        let mut mergeable: Vec<ComponentId> = Vec::new();
+        for component in components.iter().rev() {
+            if component.approx_bytes() >= self.max_component_bytes {
+                break;
+            }
+            mergeable.push(component.id());
+        }
+        if mergeable.len() > self.max_tolerance_components.max(1) {
+            mergeable.reverse(); // back to oldest → newest
+            MergeDecision::Merge(mergeable)
+        } else {
+            MergeDecision::None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "prefix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::{DataType, Schema, Tuple, Value};
+
+    fn component(id: u64, rows: i64) -> Component {
+        let schema = Schema::for_dataset("t", &[("id", DataType::Int64)]);
+        let data = (0..rows)
+            .map(|i| Tuple::new(vec![Value::Int64(id as i64 * 10_000 + i)]))
+            .collect();
+        Component::from_sorted_rows(ComponentId(id), 0, &schema, 0, data).unwrap()
+    }
+
+    #[test]
+    fn no_merge_policy_never_merges() {
+        let components: Vec<Component> = (0..10).map(|i| component(i, 10)).collect();
+        let refs: Vec<&Component> = components.iter().collect();
+        assert_eq!(NoMergePolicy.decide(&refs), MergeDecision::None);
+        assert_eq!(NoMergePolicy.name(), "no-merge");
+    }
+
+    #[test]
+    fn tiered_policy_merges_everything_at_threshold() {
+        let policy = TieredMergePolicy { max_components: 3 };
+        let components: Vec<Component> = (0..2).map(|i| component(i, 10)).collect();
+        let refs: Vec<&Component> = components.iter().collect();
+        assert_eq!(policy.decide(&refs), MergeDecision::None);
+
+        let components: Vec<Component> = (0..3).map(|i| component(i, 10)).collect();
+        let refs: Vec<&Component> = components.iter().collect();
+        match policy.decide(&refs) {
+            MergeDecision::Merge(ids) => assert_eq!(ids.len(), 3),
+            other => panic!("expected a merge, got {other:?}"),
+        }
+        assert_eq!(policy.name(), "tiered");
+    }
+
+    #[test]
+    fn prefix_policy_merges_only_the_small_suffix() {
+        // One big (old) component and several small fresh flushes.
+        let big = component(0, 5_000);
+        let policy = PrefixMergePolicy {
+            max_component_bytes: big.approx_bytes(), // the big one is excluded
+            max_tolerance_components: 2,
+        };
+        let smalls: Vec<Component> = (1..=3).map(|i| component(i, 10)).collect();
+        let mut refs: Vec<&Component> = vec![&big];
+        refs.extend(smalls.iter());
+        match policy.decide(&refs) {
+            MergeDecision::Merge(ids) => {
+                assert_eq!(ids, vec![ComponentId(1), ComponentId(2), ComponentId(3)]);
+            }
+            other => panic!("expected a merge, got {other:?}"),
+        }
+        assert_eq!(policy.name(), "prefix");
+    }
+
+    #[test]
+    fn prefix_policy_tolerates_a_few_small_components() {
+        let policy = PrefixMergePolicy {
+            max_component_bytes: usize::MAX,
+            max_tolerance_components: 5,
+        };
+        let components: Vec<Component> = (0..4).map(|i| component(i, 10)).collect();
+        let refs: Vec<&Component> = components.iter().collect();
+        assert_eq!(policy.decide(&refs), MergeDecision::None);
+    }
+
+    #[test]
+    fn default_policies_have_sane_parameters() {
+        assert!(PrefixMergePolicy::default().max_tolerance_components >= 2);
+        assert!(TieredMergePolicy::default().max_components >= 2);
+    }
+}

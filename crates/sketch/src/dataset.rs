@@ -1,0 +1,337 @@
+//! Dataset-level statistics and the statistics catalog.
+//!
+//! The paper collects sketches "for every field of a dataset that may
+//! participate in any query" at ingestion time and, for intermediate results,
+//! "only on attributes that participate on subsequent join stages". The
+//! [`DatasetStatsBuilder`] supports both modes by taking an explicit list of
+//! tracked columns.
+
+use crate::column::{ColumnStats, ColumnStatsBuilder};
+use rdo_common::{FieldRef, RdoError, Relation, Result, Schema, Tuple};
+use std::collections::HashMap;
+
+/// Statistics for one dataset (base or intermediate).
+#[derive(Debug, Clone, Default)]
+pub struct DatasetStats {
+    /// Number of rows in the dataset.
+    pub row_count: u64,
+    /// Per-column statistics keyed by (unqualified) column name.
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+impl DatasetStats {
+    /// Returns the statistics for a column if tracked.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
+    }
+
+    /// Estimated number of distinct values of a column; falls back to the row
+    /// count (every row distinct) when the column is untracked, which is the
+    /// conservative assumption for key columns.
+    pub fn distinct_or_rowcount(&self, name: &str) -> f64 {
+        self.columns
+            .get(name)
+            .map(|c| c.distinct_nonzero())
+            .unwrap_or_else(|| self.row_count.max(1) as f64)
+    }
+}
+
+/// Streaming builder for [`DatasetStats`].
+#[derive(Debug, Clone)]
+pub struct DatasetStatsBuilder {
+    row_count: u64,
+    tracked: Vec<(String, usize)>,
+    builders: Vec<ColumnStatsBuilder>,
+}
+
+impl DatasetStatsBuilder {
+    /// Creates a builder tracking the given columns of `schema`. Column names
+    /// may be qualified or unqualified; unknown columns are ignored (they may
+    /// belong to other datasets of the same query).
+    pub fn new(schema: &Schema, tracked_columns: &[String]) -> Self {
+        let mut tracked = Vec::new();
+        for name in tracked_columns {
+            let field = match FieldRef::parse(name) {
+                Ok(f) => f,
+                Err(_) => FieldRef::new("", name.clone()),
+            };
+            let idx = if field.dataset.is_empty() {
+                schema.index_of_unqualified(&field.field).ok()
+            } else {
+                schema.resolve(&field).ok()
+            };
+            if let Some(idx) = idx {
+                let column_name = schema.field(idx).name.field.clone();
+                if !tracked.iter().any(|(n, _)| n == &column_name) {
+                    tracked.push((column_name, idx));
+                }
+            }
+        }
+        let builders = tracked.iter().map(|_| ColumnStatsBuilder::new()).collect();
+        Self {
+            row_count: 0,
+            tracked,
+            builders,
+        }
+    }
+
+    /// Creates a builder tracking *all* columns of the schema (ingestion mode).
+    pub fn all_columns(schema: &Schema) -> Self {
+        let names: Vec<String> = schema
+            .fields()
+            .iter()
+            .map(|f| f.name.field.clone())
+            .collect();
+        Self::new(schema, &names)
+    }
+
+    /// Observes one tuple.
+    pub fn observe(&mut self, tuple: &Tuple) {
+        self.row_count += 1;
+        for ((_, idx), builder) in self.tracked.iter().zip(self.builders.iter_mut()) {
+            builder.observe(tuple.value(*idx));
+        }
+    }
+
+    /// Observes every row of a relation.
+    pub fn observe_relation(&mut self, relation: &Relation) {
+        for row in relation.rows() {
+            self.observe(row);
+        }
+    }
+
+    /// Number of rows observed.
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    /// Merges another builder collected over a disjoint set of rows of the same
+    /// dataset — another cluster partition, or another LSM component of the
+    /// ingestion pipeline. Columns are matched by name; columns tracked only by
+    /// one side keep that side's state.
+    pub fn merge(&mut self, other: &DatasetStatsBuilder) {
+        self.row_count += other.row_count;
+        for ((name, _), builder) in self.tracked.iter().zip(self.builders.iter_mut()) {
+            if let Some(pos) = other.tracked.iter().position(|(n, _)| n == name) {
+                builder.merge(&other.builders[pos]);
+            }
+        }
+    }
+
+    /// Names of the columns being tracked.
+    pub fn tracked_columns(&self) -> Vec<String> {
+        self.tracked.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Finalizes the statistics.
+    pub fn build(self) -> DatasetStats {
+        let columns = self
+            .tracked
+            .into_iter()
+            .zip(self.builders)
+            .map(|((name, _), builder)| (name, builder.build()))
+            .collect();
+        DatasetStats {
+            row_count: self.row_count,
+            columns,
+        }
+    }
+}
+
+/// The statistics catalog: dataset name → statistics. This is the `Statistics`
+/// object threaded through Algorithm 1 of the paper; it is updated after the
+/// predicate push-down stage and after every materialized join.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCatalog {
+    datasets: HashMap<String, DatasetStats>,
+}
+
+impl StatsCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the statistics of a dataset.
+    pub fn register(&mut self, dataset: impl Into<String>, stats: DatasetStats) {
+        self.datasets.insert(dataset.into(), stats);
+    }
+
+    /// Removes a dataset's statistics (used when the dataset is consumed by a
+    /// materialized join and replaced by the intermediate result).
+    pub fn remove(&mut self, dataset: &str) -> Option<DatasetStats> {
+        self.datasets.remove(dataset)
+    }
+
+    /// Returns the statistics for a dataset.
+    pub fn get(&self, dataset: &str) -> Option<&DatasetStats> {
+        self.datasets.get(dataset)
+    }
+
+    /// Returns the statistics for a dataset or an error.
+    pub fn require(&self, dataset: &str) -> Result<&DatasetStats> {
+        self.get(dataset)
+            .ok_or_else(|| RdoError::MissingStatistics(dataset.to_string()))
+    }
+
+    /// Row count of a dataset, if known.
+    pub fn row_count(&self, dataset: &str) -> Option<u64> {
+        self.get(dataset).map(|s| s.row_count)
+    }
+
+    /// Distinct-count estimate for `dataset.column`, falling back to the row
+    /// count.
+    pub fn distinct(&self, dataset: &str, column: &str) -> Option<f64> {
+        self.get(dataset).map(|s| s.distinct_or_rowcount(column))
+    }
+
+    /// Names of all datasets with statistics.
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.datasets.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// True if the catalog has statistics for the dataset.
+    pub fn contains(&self, dataset: &str) -> bool {
+        self.datasets.contains_key(dataset)
+    }
+
+    /// Number of datasets tracked.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// True if no dataset is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::for_dataset(
+            "orders",
+            &[
+                ("o_orderkey", DataType::Int64),
+                ("o_custkey", DataType::Int64),
+                ("o_status", DataType::Utf8),
+            ],
+        )
+    }
+
+    fn relation(n: i64) -> Relation {
+        let rows = (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int64(i),
+                    Value::Int64(i % 100),
+                    Value::from(if i % 2 == 0 { "F" } else { "O" }),
+                ])
+            })
+            .collect();
+        Relation::new(schema(), rows).unwrap()
+    }
+
+    #[test]
+    fn tracks_requested_columns_only() {
+        let b = DatasetStatsBuilder::new(&schema(), &["o_custkey".into(), "unknown".into()]);
+        assert_eq!(b.tracked_columns(), vec!["o_custkey".to_string()]);
+    }
+
+    #[test]
+    fn qualified_column_names_accepted() {
+        let b = DatasetStatsBuilder::new(&schema(), &["orders.o_orderkey".into()]);
+        assert_eq!(b.tracked_columns(), vec!["o_orderkey".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_tracked_columns_deduplicated() {
+        let b = DatasetStatsBuilder::new(
+            &schema(),
+            &["o_orderkey".into(), "orders.o_orderkey".into()],
+        );
+        assert_eq!(b.tracked_columns().len(), 1);
+    }
+
+    #[test]
+    fn builds_dataset_stats() {
+        let mut b = DatasetStatsBuilder::all_columns(&schema());
+        b.observe_relation(&relation(1000));
+        let stats = b.build();
+        assert_eq!(stats.row_count, 1000);
+        let custkey = stats.column("o_custkey").unwrap();
+        assert!((custkey.distinct as i64 - 100).abs() <= 5);
+        let status = stats.column("o_status").unwrap();
+        assert!(status.distinct <= 3);
+        assert_eq!(stats.distinct_or_rowcount("o_missing"), 1000.0);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_row_sets() {
+        let mut a = DatasetStatsBuilder::all_columns(&schema());
+        let mut b = DatasetStatsBuilder::all_columns(&schema());
+        let full = relation(2_000);
+        for (i, row) in full.rows().iter().enumerate() {
+            if i < 1_000 {
+                a.observe(row);
+            } else {
+                b.observe(row);
+            }
+        }
+        a.merge(&b);
+        let merged = a.build();
+
+        let mut direct = DatasetStatsBuilder::all_columns(&schema());
+        direct.observe_relation(&full);
+        let reference = direct.build();
+
+        assert_eq!(merged.row_count, reference.row_count);
+        let merged_distinct = merged.column("o_orderkey").unwrap().distinct as f64;
+        let reference_distinct = reference.column("o_orderkey").unwrap().distinct as f64;
+        let relative = (merged_distinct - reference_distinct).abs() / reference_distinct;
+        assert!(relative < 0.05, "merged distinct deviates by {relative}");
+    }
+
+    #[test]
+    fn merge_ignores_columns_missing_from_other() {
+        let mut a = DatasetStatsBuilder::new(&schema(), &["o_orderkey".into(), "o_custkey".into()]);
+        let mut b = DatasetStatsBuilder::new(&schema(), &["o_orderkey".into()]);
+        a.observe_relation(&relation(10));
+        b.observe_relation(&relation(10));
+        a.merge(&b);
+        let stats = a.build();
+        assert_eq!(stats.row_count, 20);
+        assert_eq!(stats.column("o_orderkey").unwrap().count, 20);
+        assert_eq!(stats.column("o_custkey").unwrap().count, 10);
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut catalog = StatsCatalog::new();
+        assert!(catalog.is_empty());
+        let mut b = DatasetStatsBuilder::all_columns(&schema());
+        b.observe_relation(&relation(50));
+        catalog.register("orders", b.build());
+        assert!(catalog.contains("orders"));
+        assert_eq!(catalog.row_count("orders"), Some(50));
+        assert_eq!(catalog.len(), 1);
+        assert!(catalog.require("orders").is_ok());
+        assert!(catalog.require("lineitem").is_err());
+        assert!(catalog.distinct("orders", "o_custkey").unwrap() >= 40.0);
+        catalog.remove("orders");
+        assert!(catalog.is_empty());
+    }
+
+    #[test]
+    fn dataset_names_sorted() {
+        let mut catalog = StatsCatalog::new();
+        catalog.register("b", DatasetStats::default());
+        catalog.register("a", DatasetStats::default());
+        assert_eq!(catalog.dataset_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

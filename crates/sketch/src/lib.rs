@@ -1,0 +1,25 @@
+//! Statistical sketches used by the statistics-collection framework (Section 4
+//! of the paper).
+//!
+//! Two sketch types are collected for every join-key field, both at ingestion
+//! time for base datasets and at every Sink (materialization) point for
+//! intermediate results:
+//!
+//! * **Quantile sketches** following the Greenwald–Khanna algorithm, from which
+//!   equi-height histograms are extracted to estimate range/equality
+//!   selectivities of local predicates.
+//! * **HyperLogLog sketches** estimating the number of distinct values of a
+//!   field, which feeds the System-R join-cardinality formula
+//!   `|A ⋈ B| = S(A)·S(B) / max(U(A.k), U(B.k))`.
+
+pub mod column;
+pub mod dataset;
+pub mod gk;
+pub mod histogram;
+pub mod hll;
+
+pub use column::{ColumnStats, ColumnStatsBuilder};
+pub use dataset::{DatasetStats, DatasetStatsBuilder, StatsCatalog};
+pub use gk::GkSketch;
+pub use histogram::EquiHeightHistogram;
+pub use hll::HyperLogLog;

@@ -1,0 +1,568 @@
+//! Recursive-descent parser for the SQL++ subset.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! query      := SELECT select_list FROM table_list [WHERE condition]
+//!               [GROUP BY column_list] [ORDER BY order_list] [LIMIT int] [;]
+//! select_list:= '*' | select_item (',' select_item)*
+//! select_item:= scalar [AS ident | ident]
+//! table_list := table_ref (',' table_ref)*
+//! table_ref  := ident [AS ident | ident]
+//! condition  := predicate (AND predicate)*
+//! predicate  := scalar cmp scalar
+//!             | scalar BETWEEN scalar AND scalar
+//!             | scalar IN '(' scalar (',' scalar)* ')'
+//!             | function_call                    -- boolean UDF
+//! scalar     := column | literal | parameter | function_call | DATE string
+//! column     := ident ['.' ident]
+//! ```
+//!
+//! `OR`, subqueries and outer joins are intentionally unsupported: the paper's
+//! approach (and our reproduction) targets conjunctive multi-join queries.
+
+use crate::ast::{
+    Condition, Literal, OrderItem, ScalarExpr, SelectItem, SelectStatement, TableRef,
+};
+use crate::error::SqlError;
+use crate::token::{tokenize, Token, TokenKind};
+use rdo_exec::CmpOp;
+
+/// Parses one SELECT statement.
+pub fn parse(sql: &str) -> Result<SelectStatement, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.select_statement()?;
+    parser.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let token = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::at(self.peek().offset, message)
+    }
+
+    fn at_keyword(&self, keyword: &str) -> bool {
+        self.peek().kind.is_keyword(keyword)
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.at_keyword(keyword) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{keyword}`, found {}", self.peek().kind)))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), SqlError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), SqlError> {
+        self.eat(&TokenKind::Semicolon);
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing {}", self.peek().kind)))
+        }
+    }
+
+    fn select_statement(&mut self) -> Result<SelectStatement, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let mut stmt = SelectStatement::default();
+
+        if self.eat(&TokenKind::Star) {
+            stmt.select_star = true;
+        } else {
+            loop {
+                stmt.projection.push(self.select_item()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        self.expect_keyword("FROM")?;
+        loop {
+            stmt.from.push(self.table_ref()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+
+        if self.eat_keyword("WHERE") {
+            stmt.where_clause = Some(self.condition()?);
+        }
+
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.scalar()?;
+                if !expr.is_column() {
+                    return Err(self.error("GROUP BY supports only column references"));
+                }
+                stmt.group_by.push(expr);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.scalar()?;
+                let ascending = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                stmt.order_by.push(OrderItem { expr, ascending });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_keyword("LIMIT") {
+            match self.advance().kind {
+                TokenKind::Int(n) if n >= 0 => stmt.limit = Some(n as usize),
+                other => {
+                    return Err(self.error(format!(
+                        "expected a non-negative integer after LIMIT, found {other}"
+                    )))
+                }
+            }
+        }
+
+        Ok(stmt)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.scalar()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_ident("an alias after AS")?)
+        } else if let TokenKind::Ident(name) = self.peek().kind.clone() {
+            // Bare alias, but not a clause keyword.
+            if is_clause_keyword(&name) {
+                None
+            } else {
+                self.advance();
+                Some(name)
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.expect_ident("a table name")?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_ident("an alias after AS")?)
+        } else if let TokenKind::Ident(name) = self.peek().kind.clone() {
+            if is_clause_keyword(&name) {
+                None
+            } else {
+                self.advance();
+                Some(name)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn condition(&mut self) -> Result<Condition, SqlError> {
+        let mut current = self.predicate()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.predicate()?;
+            current = Condition::And(Box::new(current), Box::new(rhs));
+        }
+        if self.at_keyword("OR") {
+            return Err(self.error("OR is not supported: the optimizer handles conjunctive queries"));
+        }
+        Ok(current)
+    }
+
+    fn predicate(&mut self) -> Result<Condition, SqlError> {
+        let left = self.scalar()?;
+
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.scalar()?;
+            self.expect_keyword("AND")?;
+            let hi = self.scalar()?;
+            return Ok(Condition::Between { expr: left, lo, hi });
+        }
+
+        if self.eat_keyword("IN") {
+            self.expect(TokenKind::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.scalar()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            return Ok(Condition::InList { expr: left, list });
+        }
+
+        let op = match self.peek().kind {
+            TokenKind::Eq => Some(CmpOp::Eq),
+            TokenKind::Ne => Some(CmpOp::Ne),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.scalar()?;
+            return Ok(Condition::Compare { left, op, right });
+        }
+
+        // A bare function call is a boolean UDF predicate: `udf(A.x)`.
+        if matches!(left, ScalarExpr::FunctionCall { .. }) {
+            return Ok(Condition::BoolFunction { call: left });
+        }
+        Err(self.error(format!(
+            "expected a comparison, BETWEEN or IN after `{left}`"
+        )))
+    }
+
+    fn scalar(&mut self) -> Result<ScalarExpr, SqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Minus => {
+                self.advance();
+                match self.advance().kind {
+                    TokenKind::Int(v) => Ok(ScalarExpr::Literal(Literal::Int(-v))),
+                    TokenKind::Float(v) => Ok(ScalarExpr::Literal(Literal::Float(-v))),
+                    other => Err(self.error(format!(
+                        "expected a numeric literal after unary `-`, found {other}"
+                    ))),
+                }
+            }
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(ScalarExpr::Literal(Literal::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(ScalarExpr::Literal(Literal::Float(v)))
+            }
+            TokenKind::StringLit(s) => {
+                self.advance();
+                Ok(ScalarExpr::Literal(Literal::String(s)))
+            }
+            TokenKind::Param(p) => {
+                self.advance();
+                Ok(ScalarExpr::Parameter(p))
+            }
+            TokenKind::Star => {
+                self.advance();
+                Ok(ScalarExpr::Star)
+            }
+            TokenKind::Ident(name) => {
+                // Keyword literals.
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.advance();
+                    return Ok(ScalarExpr::Literal(Literal::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.advance();
+                    return Ok(ScalarExpr::Literal(Literal::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.advance();
+                    return Ok(ScalarExpr::Literal(Literal::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("DATE") {
+                    // `DATE 'YYYY-MM-DD'`
+                    let lookahead = &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)];
+                    if let TokenKind::StringLit(text) = lookahead.kind.clone() {
+                        self.advance();
+                        self.advance();
+                        let days = parse_date(&text)
+                            .ok_or_else(|| self.error(format!("invalid date literal '{text}'")))?;
+                        return Ok(ScalarExpr::Literal(Literal::Date(days)));
+                    }
+                }
+                self.advance();
+                // Function call.
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.scalar()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(TokenKind::RParen)?;
+                    }
+                    return Ok(ScalarExpr::FunctionCall { name, args });
+                }
+                // Qualified column.
+                if self.eat(&TokenKind::Dot) {
+                    let column = self.expect_ident("a column name after `.`")?;
+                    return Ok(ScalarExpr::Column {
+                        qualifier: Some(name),
+                        name: column,
+                    });
+                }
+                Ok(ScalarExpr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+fn is_clause_keyword(word: &str) -> bool {
+    const KEYWORDS: [&str; 12] = [
+        "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "AND", "OR", "BETWEEN", "IN", "AS", "ASC",
+        "DESC",
+    ];
+    KEYWORDS.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+/// Converts a `YYYY-MM-DD` date into days since 1970-01-01 (proleptic Gregorian,
+/// civil-days algorithm by Howard Hinnant).
+pub fn parse_date(text: &str) -> Option<i64> {
+    let mut parts = text.split('-');
+    let year: i64 = parts.next()?.parse().ok()?;
+    let month: i64 = parts.next()?.parse().ok()?;
+    let day: i64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let doy = (153 * (month + if month > 2 { -3 } else { 9 }) + 2) / 5 + day - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some(era * 146097 + doe - 719468)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let stmt = parse("SELECT * FROM lineitem").unwrap();
+        assert!(stmt.select_star);
+        assert_eq!(stmt.from.len(), 1);
+        assert_eq!(stmt.from[0].table, "lineitem");
+        assert!(stmt.where_clause.is_none());
+    }
+
+    #[test]
+    fn parses_projection_with_aliases() {
+        let stmt = parse("SELECT a.x, SUM(a.y) AS total, b.z qty FROM a, b WHERE a.k = b.k").unwrap();
+        assert_eq!(stmt.projection.len(), 3);
+        assert_eq!(stmt.projection[1].alias.as_deref(), Some("total"));
+        assert_eq!(stmt.projection[2].alias.as_deref(), Some("qty"));
+        assert!(matches!(
+            stmt.projection[1].expr,
+            ScalarExpr::FunctionCall { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_from_aliases_both_styles() {
+        let stmt = parse("SELECT * FROM date_dim d1, date_dim AS d2, store").unwrap();
+        assert_eq!(stmt.from[0].binding_name(), "d1");
+        assert_eq!(stmt.from[1].binding_name(), "d2");
+        assert_eq!(stmt.from[2].binding_name(), "store");
+    }
+
+    #[test]
+    fn parses_where_conjunction_shapes() {
+        let stmt = parse(
+            "SELECT * FROM a, b WHERE a.k = b.k AND a.v < 10 AND a.w BETWEEN 2 AND 5 \
+             AND b.name IN ('x', 'y') AND myudf(b.z) AND myyear(a.d) = 1998 AND a.m = $moy",
+        )
+        .unwrap();
+        let conjuncts = stmt.where_conjuncts();
+        assert_eq!(conjuncts.len(), 7);
+        assert!(matches!(conjuncts[0], Condition::Compare { .. }));
+        assert!(matches!(conjuncts[2], Condition::Between { .. }));
+        assert!(matches!(conjuncts[3], Condition::InList { list, .. } if list.len() == 2));
+        assert!(matches!(conjuncts[4], Condition::BoolFunction { .. }));
+        assert!(
+            matches!(conjuncts[5], Condition::Compare { left: ScalarExpr::FunctionCall { .. }, .. })
+        );
+        assert!(
+            matches!(conjuncts[6], Condition::Compare { right: ScalarExpr::Parameter(p), .. } if p == "moy")
+        );
+    }
+
+    #[test]
+    fn parses_group_order_limit() {
+        let stmt = parse(
+            "SELECT i.i_item_id, SUM(ss.ss_quantity) AS qty FROM item i, store_sales ss \
+             WHERE i.i_item_sk = ss.ss_item_sk GROUP BY i.i_item_id \
+             ORDER BY i.i_item_id ASC, qty DESC LIMIT 100;",
+        )
+        .unwrap();
+        assert_eq!(stmt.group_by.len(), 1);
+        assert_eq!(stmt.order_by.len(), 2);
+        assert!(stmt.order_by[0].ascending);
+        assert!(!stmt.order_by[1].ascending);
+        assert_eq!(stmt.limit, Some(100));
+    }
+
+    #[test]
+    fn parses_date_literals_and_comparison_operators() {
+        let stmt = parse(
+            "SELECT * FROM orders WHERE o_orderdate >= DATE '1995-01-01' \
+             AND o_orderdate <= DATE '1996-12-31' AND o_total != 0",
+        )
+        .unwrap();
+        let conjuncts = stmt.where_conjuncts();
+        assert_eq!(conjuncts.len(), 3);
+        match conjuncts[0] {
+            Condition::Compare { op, right, .. } => {
+                assert_eq!(*op, CmpOp::Ge);
+                assert_eq!(*right, ScalarExpr::Literal(Literal::Date(9131)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn date_conversion_matches_known_values() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("2000-03-01"), Some(11017));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("1995-13-01"), None);
+        assert_eq!(parse_date("not-a-date"), None);
+    }
+
+    #[test]
+    fn rejects_or_and_malformed_input() {
+        assert!(parse("SELECT * FROM a WHERE a.x = 1 OR a.y = 2").is_err());
+        assert!(parse("SELECT FROM a").is_err());
+        assert!(parse("SELECT * WHERE x = 1").is_err());
+        assert!(parse("SELECT * FROM a WHERE").is_err());
+        assert!(parse("SELECT * FROM a LIMIT abc").is_err());
+        assert!(parse("SELECT * FROM a extra garbage !").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let stmt = parse("SELECT * FROM a WHERE a.x < -5 AND a.y BETWEEN -2.5 AND 3").unwrap();
+        let conjuncts = stmt.where_conjuncts();
+        assert!(matches!(
+            conjuncts[0],
+            Condition::Compare { right: ScalarExpr::Literal(Literal::Int(-5)), .. }
+        ));
+        assert!(matches!(
+            conjuncts[1],
+            Condition::Between { lo: ScalarExpr::Literal(Literal::Float(lo)), .. } if *lo == -2.5
+        ));
+        assert!(parse("SELECT * FROM a WHERE a.x < -").is_err());
+        assert!(parse("SELECT * FROM a WHERE a.x < -name").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_column_predicate() {
+        let err = parse("SELECT * FROM a WHERE a.x").unwrap_err();
+        assert!(err.to_string().contains("expected a comparison"));
+    }
+
+    #[test]
+    fn rejects_non_column_group_by() {
+        assert!(parse("SELECT * FROM a GROUP BY SUM(a.x)").is_err());
+    }
+
+    #[test]
+    fn parses_count_star_and_empty_arg_functions() {
+        let stmt = parse("SELECT COUNT(*) AS n, now() FROM a").unwrap();
+        match &stmt.projection[0].expr {
+            ScalarExpr::FunctionCall { name, args } => {
+                assert_eq!(name, "COUNT");
+                assert_eq!(args, &vec![ScalarExpr::Star]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &stmt.projection[1].expr {
+            ScalarExpr::FunctionCall { name, args } => {
+                assert_eq!(name, "now");
+                assert!(args.is_empty());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let stmt = parse("select a.x from a where a.x between 1 and 2 order by a.x desc limit 5").unwrap();
+        assert_eq!(stmt.projection.len(), 1);
+        assert_eq!(stmt.limit, Some(5));
+        assert!(!stmt.order_by[0].ascending);
+    }
+
+    #[test]
+    fn semicolon_is_optional() {
+        assert!(parse("SELECT * FROM a;").is_ok());
+        assert!(parse("SELECT * FROM a").is_ok());
+    }
+}

@@ -1,0 +1,367 @@
+//! Tokenizer for the SQL++ subset used by the paper's queries.
+//!
+//! The lexer is deliberately small: identifiers, integer/float/string literals,
+//! named parameters (`$moy`), the punctuation and comparison operators used in
+//! SELECT/FROM/WHERE/GROUP BY/ORDER BY/LIMIT clauses, and `--` line comments.
+
+use crate::error::SqlError;
+use std::fmt;
+
+/// A lexical token with its byte offset in the input (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// The kinds of token the lexer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are recognized by the parser, case-insensitively).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal (single or double quoted).
+    StringLit(String),
+    /// A named parameter, e.g. `$moy`.
+    Param(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `-` (unary minus before a numeric literal).
+    Minus,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::StringLit(s) => write!(f, "string '{s}'"),
+            TokenKind::Param(p) => write!(f, "parameter ${p}"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Ne => f.write_str("`!=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::Semicolon => f.write_str("`;`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// True if the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, keyword: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(keyword))
+    }
+}
+
+/// Tokenizes an entire SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            '-' => {
+                i += 1;
+                TokenKind::Minus
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            ';' => {
+                i += 1;
+                TokenKind::Semicolon
+            }
+            '=' => {
+                i += 1;
+                TokenKind::Eq
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ne
+                } else {
+                    return Err(SqlError::at(start, "unexpected character `!`"));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    i += 2;
+                    TokenKind::Le
+                }
+                Some(b'>') => {
+                    i += 2;
+                    TokenKind::Ne
+                }
+                _ => {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let lit_start = i;
+                while i < bytes.len() && bytes[i] as char != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::at(start, "unterminated string literal"));
+                }
+                let text = input[lit_start..i].to_string();
+                i += 1; // closing quote
+                TokenKind::StringLit(text)
+            }
+            '$' => {
+                i += 1;
+                let name_start = i;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(SqlError::at(start, "expected a parameter name after `$`"));
+                }
+                TokenKind::Param(input[name_start..i].to_string())
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .map(|b| (*b as char).is_ascii_digit())
+                        .unwrap_or(false)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        SqlError::at(start, format!("invalid float literal `{text}`"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        SqlError::at(start, format!("invalid integer literal `{text}`"))
+                    })?)
+                }
+            }
+            c if is_ident_start(c) => {
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                TokenKind::Ident(input[start..i].to_string())
+            }
+            other => {
+                return Err(SqlError::at(start, format!("unexpected character `{other}`")));
+            }
+        };
+        tokens.push(Token { kind, offset: start });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let t = kinds("SELECT a.x FROM t WHERE a.x = 3;");
+        assert_eq!(t[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(t[1], TokenKind::Ident("a".into()));
+        assert_eq!(t[2], TokenKind::Dot);
+        assert_eq!(t[3], TokenKind::Ident("x".into()));
+        assert!(t.contains(&TokenKind::Int(3)));
+        assert_eq!(t.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let t = kinds("a <= b >= c != d <> e < f > g = h");
+        assert!(t.contains(&TokenKind::Le));
+        assert!(t.contains(&TokenKind::Ge));
+        assert_eq!(t.iter().filter(|k| **k == TokenKind::Ne).count(), 2);
+        assert!(t.contains(&TokenKind::Lt));
+        assert!(t.contains(&TokenKind::Gt));
+        assert!(t.contains(&TokenKind::Eq));
+    }
+
+    #[test]
+    fn tokenizes_string_literals_both_quotes() {
+        let t = kinds("'ASIA' \"SMALL PLATED COPPER\"");
+        assert_eq!(t[0], TokenKind::StringLit("ASIA".into()));
+        assert_eq!(t[1], TokenKind::StringLit("SMALL PLATED COPPER".into()));
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        let t = kinds("42 3.25 1995");
+        assert_eq!(t[0], TokenKind::Int(42));
+        assert_eq!(t[1], TokenKind::Float(3.25));
+        assert_eq!(t[2], TokenKind::Int(1995));
+    }
+
+    #[test]
+    fn tokenizes_unary_minus_separately_from_comments() {
+        let t = kinds("a < -5 -- trailing comment");
+        assert_eq!(
+            t,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Lt,
+                TokenKind::Minus,
+                TokenKind::Int(5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_parameters() {
+        let t = kinds("d.d_moy = $moy");
+        assert!(t.contains(&TokenKind::Param("moy".into())));
+        assert!(tokenize("$ ").is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let t = kinds("SELECT x -- this is the projection\nFROM t");
+        assert_eq!(t.len(), 5); // SELECT x FROM t EOF
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        let err = tokenize("WHERE name = 'oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn reports_unexpected_character() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].kind.is_keyword("SELECT"));
+        assert!(t[0].kind.is_keyword("select"));
+        assert!(!t[0].kind.is_keyword("FROM"));
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let t = tokenize("ab cd").unwrap();
+        assert_eq!(t[0].offset, 0);
+        assert_eq!(t[1].offset, 3);
+    }
+
+    #[test]
+    fn display_forms_are_readable() {
+        assert_eq!(TokenKind::Comma.to_string(), "`,`");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::Param("p".into()).to_string(), "parameter $p");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

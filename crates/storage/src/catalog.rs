@@ -1,0 +1,295 @@
+//! The cluster catalog: tables, secondary indexes and ingestion-time statistics.
+
+use crate::index::SecondaryIndex;
+use crate::table::Table;
+use rdo_common::{RdoError, Relation, Result};
+use rdo_sketch::{DatasetStatsBuilder, StatsCatalog};
+use std::collections::HashMap;
+
+/// Options controlling dataset ingestion.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Column on which the dataset is hash-partitioned (usually the primary
+    /// key). `None` distributes rows round-robin.
+    pub partition_key: Option<String>,
+    /// Whether to collect ingestion-time statistics (GK + HLL sketches on every
+    /// column). The paper collects these during AsterixDB's LSM load; its cost
+    /// was shown to be negligible relative to load time.
+    pub collect_stats: bool,
+    /// Columns for which to build secondary indexes (enables Indexed
+    /// Nested-Loop joins, Figure 8 of the paper).
+    pub secondary_indexes: Vec<String>,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            partition_key: None,
+            collect_stats: true,
+            secondary_indexes: Vec::new(),
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Options for a dataset partitioned on its primary key.
+    pub fn partitioned_on(key: impl Into<String>) -> Self {
+        Self {
+            partition_key: Some(key.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a secondary index.
+    pub fn with_index(mut self, column: impl Into<String>) -> Self {
+        self.secondary_indexes.push(column.into());
+        self
+    }
+
+    /// Disables ingestion-time statistics collection.
+    pub fn without_stats(mut self) -> Self {
+        self.collect_stats = false;
+        self
+    }
+}
+
+/// The catalog of the simulated cluster: every node sees the same metadata, the
+/// data itself lives in the per-table partitions.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    num_partitions: usize,
+    tables: HashMap<String, Table>,
+    indexes: HashMap<(String, String), SecondaryIndex>,
+    stats: StatsCatalog,
+}
+
+impl Catalog {
+    /// Creates a catalog for a cluster with `num_partitions` partitions (the
+    /// paper uses a 10-node cluster with 4 cores each; partitions model the
+    /// per-core data partitions of Hyracks).
+    pub fn new(num_partitions: usize) -> Self {
+        Self {
+            num_partitions: num_partitions.max(1),
+            tables: HashMap::new(),
+            indexes: HashMap::new(),
+            stats: StatsCatalog::new(),
+        }
+    }
+
+    /// Number of partitions in the cluster.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Ingests a base dataset: partitions it, collects statistics and builds the
+    /// requested secondary indexes.
+    pub fn ingest(
+        &mut self,
+        name: impl Into<String>,
+        relation: Relation,
+        options: IngestOptions,
+    ) -> Result<()> {
+        let name = name.into();
+        if options.collect_stats {
+            let mut builder = DatasetStatsBuilder::all_columns(relation.schema());
+            builder.observe_relation(&relation);
+            self.stats.register(name.clone(), builder.build());
+        }
+        let table = Table::from_relation(
+            name.clone(),
+            relation,
+            self.num_partitions,
+            options.partition_key.as_deref(),
+        )?;
+        for column in &options.secondary_indexes {
+            let index = SecondaryIndex::build(&table, column)?;
+            self.indexes
+                .insert((name.clone(), index.column().to_string()), index);
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Registers a materialized intermediate result as a temporary table
+    /// partitioned on `partition_key`, collecting statistics only on
+    /// `tracked_columns` (the attributes that participate in later join stages,
+    /// per Section 5.3 "Online Statistics").
+    pub fn register_intermediate(
+        &mut self,
+        name: impl Into<String>,
+        relation: Relation,
+        partition_key: Option<&str>,
+        tracked_columns: &[String],
+        collect_stats: bool,
+    ) -> Result<()> {
+        let name = name.into();
+        if collect_stats {
+            let mut builder = DatasetStatsBuilder::new(relation.schema(), tracked_columns);
+            builder.observe_relation(&relation);
+            self.stats.register(name.clone(), builder.build());
+        } else {
+            // Even without sketches the row count is known after materialization.
+            let mut builder = DatasetStatsBuilder::new(relation.schema(), &[]);
+            builder.observe_relation(&relation);
+            self.stats.register(name.clone(), builder.build());
+        }
+        let table =
+            Table::from_relation(name.clone(), relation, self.num_partitions, partition_key)?
+                .into_temporary();
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Drops a temporary table (after the final result has been delivered).
+    pub fn drop_table(&mut self, name: &str) {
+        self.tables.remove(name);
+        self.stats.remove(name);
+        self.indexes.retain(|(t, _), _| t != name);
+    }
+
+    /// Returns a table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RdoError::UnknownDataset(name.to_string()))
+    }
+
+    /// True if the catalog has a table of that name.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Returns a secondary index on `table.column` if one exists.
+    pub fn secondary_index(&self, table: &str, column: &str) -> Option<&SecondaryIndex> {
+        let unqualified = column.rsplit('.').next().unwrap_or(column);
+        self.indexes.get(&(table.to_string(), unqualified.to_string()))
+    }
+
+    /// True if `table.column` has a secondary index.
+    pub fn has_secondary_index(&self, table: &str, column: &str) -> bool {
+        self.secondary_index(table, column).is_some()
+    }
+
+    /// The statistics catalog.
+    pub fn stats(&self) -> &StatsCatalog {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics catalog (the dynamic driver updates it
+    /// after predicate push-down and each materialized join).
+    pub fn stats_mut(&mut self) -> &mut StatsCatalog {
+        &mut self.stats
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::{DataType, Schema, Tuple, Value};
+
+    fn relation(n: i64) -> Relation {
+        let schema = Schema::for_dataset(
+            "orders",
+            &[("o_orderkey", DataType::Int64), ("o_custkey", DataType::Int64)],
+        );
+        let rows = (0..n)
+            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10)]))
+            .collect();
+        Relation::new(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn ingest_registers_table_and_stats() {
+        let mut cat = Catalog::new(4);
+        cat.ingest("orders", relation(100), IngestOptions::partitioned_on("o_orderkey"))
+            .unwrap();
+        assert!(cat.has_table("orders"));
+        assert_eq!(cat.table("orders").unwrap().row_count(), 100);
+        assert_eq!(cat.stats().row_count("orders"), Some(100));
+        assert_eq!(cat.table_names(), vec!["orders".to_string()]);
+    }
+
+    #[test]
+    fn ingest_without_stats() {
+        let mut cat = Catalog::new(2);
+        cat.ingest(
+            "orders",
+            relation(10),
+            IngestOptions::partitioned_on("o_orderkey").without_stats(),
+        )
+        .unwrap();
+        assert!(cat.stats().get("orders").is_none());
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut cat = Catalog::new(2);
+        cat.ingest(
+            "orders",
+            relation(100),
+            IngestOptions::partitioned_on("o_orderkey").with_index("o_custkey"),
+        )
+        .unwrap();
+        assert!(cat.has_secondary_index("orders", "o_custkey"));
+        assert!(cat.has_secondary_index("orders", "orders.o_custkey"));
+        assert!(!cat.has_secondary_index("orders", "o_orderkey"));
+        let idx = cat.secondary_index("orders", "o_custkey").unwrap();
+        assert_eq!(idx.total_entries(), 100);
+    }
+
+    #[test]
+    fn intermediate_registration_tracks_requested_columns() {
+        let mut cat = Catalog::new(2);
+        cat.register_intermediate(
+            "I_1",
+            relation(50),
+            Some("o_custkey"),
+            &["o_custkey".into()],
+            true,
+        )
+        .unwrap();
+        let table = cat.table("I_1").unwrap();
+        assert!(table.is_temporary());
+        assert!(table.is_partitioned_on("o_custkey"));
+        let stats = cat.stats().get("I_1").unwrap();
+        assert_eq!(stats.row_count, 50);
+        assert!(stats.column("o_custkey").is_some());
+        assert!(stats.column("o_orderkey").is_none());
+    }
+
+    #[test]
+    fn intermediate_without_online_stats_still_has_rowcount() {
+        let mut cat = Catalog::new(2);
+        cat.register_intermediate("I_1", relation(25), None, &[], false).unwrap();
+        assert_eq!(cat.stats().row_count("I_1"), Some(25));
+        assert!(cat.stats().get("I_1").unwrap().columns.is_empty());
+    }
+
+    #[test]
+    fn drop_table_removes_everything() {
+        let mut cat = Catalog::new(2);
+        cat.ingest(
+            "orders",
+            relation(10),
+            IngestOptions::partitioned_on("o_orderkey").with_index("o_custkey"),
+        )
+        .unwrap();
+        cat.drop_table("orders");
+        assert!(!cat.has_table("orders"));
+        assert!(cat.stats().get("orders").is_none());
+        assert!(!cat.has_secondary_index("orders", "o_custkey"));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let cat = Catalog::new(2);
+        assert!(matches!(cat.table("missing"), Err(RdoError::UnknownDataset(_))));
+    }
+}

@@ -1,0 +1,16 @@
+//! Partitioned in-memory storage for the simulated shared-nothing cluster.
+//!
+//! AsterixDB hash-partitions every dataset across the nodes of the cluster and
+//! collects statistical sketches while ingesting (its LSM load pipeline). This
+//! crate reproduces that substrate: a [`Table`] is a set of hash partitions, a
+//! [`Catalog`] owns tables, their secondary indexes and the ingestion-time
+//! [`StatsCatalog`], and intermediate results produced at re-optimization points
+//! are registered as temporary tables.
+
+pub mod catalog;
+pub mod index;
+pub mod table;
+
+pub use catalog::{Catalog, IngestOptions};
+pub use index::SecondaryIndex;
+pub use table::Table;

@@ -1,0 +1,239 @@
+//! Hash-partitioned in-memory tables.
+
+use rdo_common::{FieldRef, RdoError, Relation, Result, Schema, Tuple, Value};
+use rdo_sketch::hll::hash_value;
+
+/// A dataset hash-partitioned across the simulated cluster nodes.
+///
+/// Partitioning follows AsterixDB: base datasets are hash-partitioned on their
+/// primary key; intermediate results are partitioned on the join key that
+/// produced them, which lets a later join on the same key skip the re-partition
+/// exchange (and its network cost).
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    partitions: Vec<Vec<Tuple>>,
+    /// Column (unqualified name) on which the table is hash-partitioned, if any.
+    partition_key: Option<String>,
+    /// True for materialized intermediate results (the paper's temporary files).
+    temporary: bool,
+}
+
+impl Table {
+    /// Builds a table by hash-partitioning `relation` on `partition_key` into
+    /// `num_partitions` partitions. With no partition key rows are distributed
+    /// round-robin (AsterixDB's behaviour for external data without a key).
+    pub fn from_relation(
+        name: impl Into<String>,
+        relation: Relation,
+        num_partitions: usize,
+        partition_key: Option<&str>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let num_partitions = num_partitions.max(1);
+        let schema = relation.schema().clone();
+        let key_index = match partition_key {
+            Some(key) => Some(resolve_key(&schema, key)?),
+            None => None,
+        };
+        let mut partitions = vec![Vec::new(); num_partitions];
+        for (i, row) in relation.into_rows().into_iter().enumerate() {
+            let p = match key_index {
+                Some(idx) => partition_of(row.value(idx), num_partitions),
+                None => i % num_partitions,
+            };
+            partitions[p].push(row);
+        }
+        Ok(Self {
+            name,
+            schema,
+            partitions,
+            partition_key: partition_key.map(|k| unqualified(k).to_string()),
+            temporary: false,
+        })
+    }
+
+    /// Marks the table as a temporary (intermediate) result.
+    pub fn into_temporary(mut self) -> Self {
+        self.temporary = true;
+        self
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Rows of one partition.
+    pub fn partition(&self, index: usize) -> &[Tuple] {
+        &self.partitions[index]
+    }
+
+    /// All partitions.
+    pub fn partitions(&self) -> &[Vec<Tuple>] {
+        &self.partitions
+    }
+
+    /// The column on which the table is hash-partitioned, if any.
+    pub fn partition_key(&self) -> Option<&str> {
+        self.partition_key.as_deref()
+    }
+
+    /// True if this is a materialized intermediate result.
+    pub fn is_temporary(&self) -> bool {
+        self.temporary
+    }
+
+    /// Total number of rows across partitions.
+    pub fn row_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Approximate total size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|t| t.approx_bytes())
+            .sum()
+    }
+
+    /// Materializes all partitions back into a single relation (coordinator-side
+    /// gather; used by result delivery and tests).
+    pub fn gather(&self) -> Relation {
+        let mut rel = Relation::empty(self.schema.clone());
+        for p in &self.partitions {
+            for row in p {
+                rel.push(row.clone());
+            }
+        }
+        rel
+    }
+
+    /// True if the table is hash-partitioned on the given (possibly qualified)
+    /// column, meaning a join on that column needs no re-partitioning of this
+    /// side.
+    pub fn is_partitioned_on(&self, column: &str) -> bool {
+        match &self.partition_key {
+            Some(key) => key == unqualified(column),
+            None => false,
+        }
+    }
+}
+
+/// Maps a value to a partition id.
+pub fn partition_of(value: &Value, num_partitions: usize) -> usize {
+    (hash_value(value) % num_partitions as u64) as usize
+}
+
+fn unqualified(column: &str) -> &str {
+    column.rsplit('.').next().unwrap_or(column)
+}
+
+fn resolve_key(schema: &Schema, key: &str) -> Result<usize> {
+    if let Ok(field) = FieldRef::parse(key) {
+        if let Ok(idx) = schema.resolve(&field) {
+            return Ok(idx);
+        }
+    }
+    schema
+        .index_of_unqualified(unqualified(key))
+        .map_err(|_| RdoError::UnknownField(key.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::DataType;
+
+    fn relation(n: i64) -> Relation {
+        let schema = Schema::for_dataset(
+            "t",
+            &[("k", DataType::Int64), ("v", DataType::Utf8)],
+        );
+        let rows = (0..n)
+            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Utf8(format!("row{i}"))]))
+            .collect();
+        Relation::new(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn partitioning_preserves_all_rows() {
+        let t = Table::from_relation("t", relation(1000), 8, Some("k")).unwrap();
+        assert_eq!(t.num_partitions(), 8);
+        assert_eq!(t.row_count(), 1000);
+        assert_eq!(t.gather().len(), 1000);
+    }
+
+    #[test]
+    fn same_key_lands_in_same_partition() {
+        let t = Table::from_relation("t", relation(500), 4, Some("k")).unwrap();
+        // Re-derive each row's partition and check it matches its location.
+        for (p, rows) in t.partitions().iter().enumerate() {
+            for row in rows {
+                assert_eq!(partition_of(row.value(0), 4), p);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_without_key() {
+        let t = Table::from_relation("t", relation(100), 4, None).unwrap();
+        assert!(t.partition_key().is_none());
+        let sizes: Vec<usize> = t.partitions().iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn partition_balance_is_reasonable() {
+        let t = Table::from_relation("t", relation(10_000), 10, Some("k")).unwrap();
+        let sizes: Vec<usize> = t.partitions().iter().map(|p| p.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min > 700 && max < 1300, "unbalanced partitions: {sizes:?}");
+    }
+
+    #[test]
+    fn qualified_partition_key_accepted() {
+        let t = Table::from_relation("t", relation(10), 2, Some("t.k")).unwrap();
+        assert!(t.is_partitioned_on("k"));
+        assert!(t.is_partitioned_on("t.k"));
+        assert!(!t.is_partitioned_on("v"));
+    }
+
+    #[test]
+    fn unknown_partition_key_errors() {
+        assert!(Table::from_relation("t", relation(10), 2, Some("missing")).is_err());
+    }
+
+    #[test]
+    fn single_partition_cluster() {
+        let t = Table::from_relation("t", relation(10), 0, Some("k")).unwrap();
+        assert_eq!(t.num_partitions(), 1);
+        assert_eq!(t.partition(0).len(), 10);
+    }
+
+    #[test]
+    fn temporary_flag() {
+        let t = Table::from_relation("t", relation(1), 1, None).unwrap();
+        assert!(!t.is_temporary());
+        assert!(t.into_temporary().is_temporary());
+    }
+
+    #[test]
+    fn approx_bytes_positive() {
+        let t = Table::from_relation("t", relation(10), 2, Some("k")).unwrap();
+        assert!(t.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The four evaluation queries of the paper (Figure 5 / the appendix SQL++),
+//! expressed as [`QuerySpec`]s over the synthetic generators.
+//!
+//! * **TPC-DS Q17** — eight datasets, three filtered `date_dim` dimensions
+//!   pruning three fact tables joined to each other on composite keys.
+//! * **TPC-DS Q50** — five datasets, one `date_dim` filtered with
+//!   *parameterized* predicates (the paper's `myrand(...)` parameters).
+//! * **TPC-H Q8** — eight datasets, `orders` filtered by two *correlated*
+//!   predicates, `nation` used twice under different aliases.
+//! * **TPC-H Q9** — six datasets, UDF predicates (`myyear`, `mysub`) on
+//!   `orders` and `part`, and a composite foreign-key join to `partsupp`.
+
+use crate::tpch::{brand_suffix, year_of};
+use rdo_common::FieldRef;
+use rdo_exec::{CmpOp, Predicate};
+use rdo_planner::{DatasetRef, QuerySpec};
+
+fn f(dataset: &str, field: &str) -> FieldRef {
+    FieldRef::new(dataset, field)
+}
+
+/// TPC-DS Query 17 (modified as in the paper).
+pub fn q17() -> QuerySpec {
+    QuerySpec::new("Q17")
+        .with_dataset(DatasetRef::named("store_sales"))
+        .with_dataset(DatasetRef::named("store_returns"))
+        .with_dataset(DatasetRef::named("catalog_sales"))
+        .with_dataset(DatasetRef::aliased("d1", "date_dim"))
+        .with_dataset(DatasetRef::aliased("d2", "date_dim"))
+        .with_dataset(DatasetRef::aliased("d3", "date_dim"))
+        .with_dataset(DatasetRef::named("store"))
+        .with_dataset(DatasetRef::named("item"))
+        // d1 prunes store_sales to April 2001.
+        .with_predicate(Predicate::compare(f("d1", "d_moy"), CmpOp::Eq, 4i64))
+        .with_predicate(Predicate::compare(f("d1", "d_year"), CmpOp::Eq, 2001i64))
+        // d2 and d3 prune the returns / catalog sales to April–October 2001.
+        .with_predicate(Predicate::between(f("d2", "d_moy"), 4i64, 10i64))
+        .with_predicate(Predicate::compare(f("d2", "d_year"), CmpOp::Eq, 2001i64))
+        .with_predicate(Predicate::between(f("d3", "d_moy"), 4i64, 10i64))
+        .with_predicate(Predicate::compare(f("d3", "d_year"), CmpOp::Eq, 2001i64))
+        .with_join(f("d1", "d_date_sk"), f("store_sales", "ss_sold_date_sk"))
+        .with_join(f("item", "i_item_sk"), f("store_sales", "ss_item_sk"))
+        .with_join(f("store", "s_store_sk"), f("store_sales", "ss_store_sk"))
+        .with_join(
+            f("store_sales", "ss_ticket_number"),
+            f("store_returns", "sr_ticket_number"),
+        )
+        .with_join(
+            f("store_sales", "ss_customer_sk"),
+            f("store_returns", "sr_customer_sk"),
+        )
+        .with_join(
+            f("store_sales", "ss_item_sk"),
+            f("store_returns", "sr_item_sk"),
+        )
+        .with_join(
+            f("store_returns", "sr_returned_date_sk"),
+            f("d2", "d_date_sk"),
+        )
+        .with_join(
+            f("store_returns", "sr_customer_sk"),
+            f("catalog_sales", "cs_bill_customer_sk"),
+        )
+        .with_join(
+            f("store_returns", "sr_item_sk"),
+            f("catalog_sales", "cs_item_sk"),
+        )
+        .with_join(f("catalog_sales", "cs_sold_date_sk"), f("d3", "d_date_sk"))
+        .with_projection(vec![
+            f("item", "i_item_id"),
+            f("store", "s_store_name"),
+            f("store_sales", "ss_quantity"),
+        ])
+}
+
+/// TPC-DS Query 50 (modified as in the paper): the `d1` filters carry
+/// parameterized values (`myrand(8,10)`, `myrand(1998,2000)`), so static
+/// optimizers fall back to default selectivities. The concrete parameter values
+/// are arguments so experiments can vary them.
+pub fn q50(moy: i64, year: i64) -> QuerySpec {
+    QuerySpec::new("Q50")
+        .with_dataset(DatasetRef::named("store_sales"))
+        .with_dataset(DatasetRef::named("store_returns"))
+        .with_dataset(DatasetRef::aliased("d1", "date_dim"))
+        .with_dataset(DatasetRef::aliased("d2", "date_dim"))
+        .with_dataset(DatasetRef::named("store"))
+        .with_predicate(
+            Predicate::compare(f("d1", "d_moy"), CmpOp::Eq, moy).parameterized(),
+        )
+        .with_predicate(
+            Predicate::compare(f("d1", "d_year"), CmpOp::Eq, year).parameterized(),
+        )
+        .with_join(
+            f("d1", "d_date_sk"),
+            f("store_returns", "sr_returned_date_sk"),
+        )
+        .with_join(
+            f("store_sales", "ss_ticket_number"),
+            f("store_returns", "sr_ticket_number"),
+        )
+        .with_join(
+            f("store_sales", "ss_customer_sk"),
+            f("store_returns", "sr_customer_sk"),
+        )
+        .with_join(
+            f("store_sales", "ss_item_sk"),
+            f("store_returns", "sr_item_sk"),
+        )
+        .with_join(f("store_sales", "ss_sold_date_sk"), f("d2", "d_date_sk"))
+        .with_join(f("store_sales", "ss_store_sk"), f("store", "s_store_sk"))
+        .with_projection(vec![
+            f("store", "s_store_name"),
+            f("store_sales", "ss_ticket_number"),
+        ])
+}
+
+/// TPC-H Query 8 (modified as in the paper): two correlated predicates on
+/// `orders` (the order status is implied by the order date), a filter on
+/// `region` and one on `part`; `nation` participates twice.
+pub fn q8() -> QuerySpec {
+    QuerySpec::new("Q8")
+        .with_dataset(DatasetRef::named("lineitem"))
+        .with_dataset(DatasetRef::named("part"))
+        .with_dataset(DatasetRef::named("supplier"))
+        .with_dataset(DatasetRef::named("orders"))
+        .with_dataset(DatasetRef::named("customer"))
+        .with_dataset(DatasetRef::aliased("n1", "nation"))
+        .with_dataset(DatasetRef::aliased("n2", "nation"))
+        .with_dataset(DatasetRef::named("region"))
+        .with_predicate(Predicate::compare(
+            f("part", "p_type"),
+            CmpOp::Eq,
+            "SMALL PLATED COPPER",
+        ))
+        // Correlated pair: the date range implies status 'F' in the generator,
+        // but a static optimizer multiplies the two selectivities.
+        .with_predicate(Predicate::between(f("orders", "o_orderdate"), 0i64, 729i64))
+        .with_predicate(Predicate::compare(f("orders", "o_orderstatus"), CmpOp::Eq, "F"))
+        .with_predicate(Predicate::compare(f("region", "r_name"), CmpOp::Eq, "ASIA"))
+        .with_join(f("part", "p_partkey"), f("lineitem", "l_partkey"))
+        .with_join(f("supplier", "s_suppkey"), f("lineitem", "l_suppkey"))
+        .with_join(f("lineitem", "l_orderkey"), f("orders", "o_orderkey"))
+        .with_join(f("orders", "o_custkey"), f("customer", "c_custkey"))
+        .with_join(f("customer", "c_nationkey"), f("n1", "n_nationkey"))
+        .with_join(f("n1", "n_regionkey"), f("region", "r_regionkey"))
+        .with_join(f("supplier", "s_nationkey"), f("n2", "n_nationkey"))
+        .with_projection(vec![
+            f("lineitem", "l_extendedprice"),
+            f("orders", "o_orderdate"),
+            f("n2", "n_name"),
+        ])
+}
+
+/// TPC-H Query 9 (modified as in the paper): UDF predicates `myyear(o_orderdate)
+/// = 1998` and `mysub(p_brand) = "#3"`, plus the composite foreign-key join
+/// between `lineitem` and `partsupp`.
+pub fn q9() -> QuerySpec {
+    QuerySpec::new("Q9")
+        .with_dataset(DatasetRef::named("lineitem"))
+        .with_dataset(DatasetRef::named("part"))
+        .with_dataset(DatasetRef::named("supplier"))
+        .with_dataset(DatasetRef::named("partsupp"))
+        .with_dataset(DatasetRef::named("orders"))
+        .with_dataset(DatasetRef::named("nation"))
+        .with_predicate(Predicate::udf("mysub", f("part", "p_brand"), |v| {
+            v.as_str().map(|s| brand_suffix(s) == "#3").unwrap_or(false)
+        }))
+        .with_predicate(Predicate::udf("myyear", f("orders", "o_orderdate"), |v| {
+            v.as_i64().map(|d| year_of(d) == 1998).unwrap_or(false)
+        }))
+        .with_join(f("supplier", "s_suppkey"), f("lineitem", "l_suppkey"))
+        .with_join(f("partsupp", "ps_suppkey"), f("lineitem", "l_suppkey"))
+        .with_join(f("partsupp", "ps_partkey"), f("lineitem", "l_partkey"))
+        .with_join(f("part", "p_partkey"), f("lineitem", "l_partkey"))
+        .with_join(f("orders", "o_orderkey"), f("lineitem", "l_orderkey"))
+        .with_join(f("supplier", "s_nationkey"), f("nation", "n_nationkey"))
+        .with_projection(vec![
+            f("nation", "n_name"),
+            f("orders", "o_orderdate"),
+            f("lineitem", "l_quantity"),
+        ])
+}
+
+/// All four evaluation queries with the default Q50 parameters.
+pub fn all_queries() -> Vec<QuerySpec> {
+    vec![q17(), q50(9, 2000), q8(), q9()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ScaleFactor;
+    use crate::BenchmarkEnv;
+    use rdo_core::{QueryRunner, Strategy};
+    use rdo_exec::CostModel;
+    use rdo_planner::JoinAlgorithmRule;
+
+    #[test]
+    fn queries_validate() {
+        for q in all_queries() {
+            q.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn query_shapes_match_the_paper() {
+        let q17 = q17();
+        assert_eq!(q17.datasets.len(), 8);
+        assert!(q17.join_count() >= 8, "Q17 has many join conditions");
+        // All three date_dim aliases are push-down candidates (multiple filters).
+        let cands = q17.pushdown_candidates();
+        assert!(cands.contains(&"d1".to_string()));
+        assert!(cands.contains(&"d2".to_string()));
+        assert!(cands.contains(&"d3".to_string()));
+
+        let q50 = q50(9, 2000);
+        assert_eq!(q50.datasets.len(), 5);
+        assert_eq!(q50.pushdown_candidates(), vec!["d1".to_string()]);
+        assert!(q50.predicates.iter().all(|p| p.is_complex()), "Q50 filters are parameterized");
+
+        let q8 = q8();
+        assert_eq!(q8.datasets.len(), 8);
+        assert_eq!(q8.pushdown_candidates(), vec!["orders".to_string()]);
+
+        let q9 = q9();
+        assert_eq!(q9.datasets.len(), 6);
+        let mut q9_cands = q9.pushdown_candidates();
+        q9_cands.sort();
+        assert_eq!(q9_cands, vec!["orders".to_string(), "part".to_string()]);
+    }
+
+    #[test]
+    fn queries_execute_and_agree_across_strategies_at_tiny_scale() {
+        let mut env = BenchmarkEnv::load(ScaleFactor::gb(2), 4, false, 17).unwrap();
+        let runner = QueryRunner::new(
+            CostModel::with_partitions(4),
+            JoinAlgorithmRule::with_threshold(2_000.0),
+        );
+        for q in all_queries() {
+            let dynamic = runner.run(Strategy::Dynamic, &q, &mut env.catalog).unwrap();
+            let best = runner.run(Strategy::BestOrder, &q, &mut env.catalog).unwrap();
+            let worst = runner.run(Strategy::WorstOrder, &q, &mut env.catalog).unwrap();
+            assert_eq!(
+                dynamic.result.clone().sorted(),
+                best.result.clone().sorted(),
+                "{}: dynamic vs best-order disagree",
+                q.name
+            );
+            assert_eq!(
+                dynamic.result.clone().sorted(),
+                worst.result.clone().sorted(),
+                "{}: dynamic vs worst-order disagree",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn q9_and_q8_produce_nonempty_results() {
+        let mut env = BenchmarkEnv::load(ScaleFactor::gb(4), 4, false, 23).unwrap();
+        let runner = QueryRunner::new(
+            CostModel::with_partitions(4),
+            JoinAlgorithmRule::with_threshold(2_000.0),
+        );
+        for q in [q8(), q9()] {
+            let report = runner.run(Strategy::Dynamic, &q, &mut env.catalog).unwrap();
+            assert!(report.result_rows() > 0, "{} returned no rows", q.name);
+        }
+    }
+
+    #[test]
+    fn q50_parameter_changes_result_size() {
+        let mut env = BenchmarkEnv::load(ScaleFactor::gb(4), 4, false, 29).unwrap();
+        let runner = QueryRunner::new(
+            CostModel::with_partitions(4),
+            JoinAlgorithmRule::with_threshold(2_000.0),
+        );
+        let narrow = runner
+            .run(Strategy::Dynamic, &q50(9, 2000), &mut env.catalog)
+            .unwrap();
+        // An out-of-calendar year yields nothing.
+        let empty = runner
+            .run(Strategy::Dynamic, &q50(9, 1990), &mut env.catalog)
+            .unwrap();
+        assert!(narrow.result_rows() >= empty.result_rows());
+        assert_eq!(empty.result_rows(), 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Synthetic TPC-H style data generator (the tables used by queries 8 and 9).
+//!
+//! Dates are stored as integer "days since 1995-01-01"; the generated range
+//! spans 1995-01-01 .. 1998-12-31 (1460 days). The `orders` table is generated
+//! with a *correlation* between `o_orderdate` and `o_orderstatus` (orders before
+//! 1997 are finalised, `F`), which is exactly the kind of correlated multi-
+//! predicate filter whose selectivity the independence assumption gets wrong.
+
+use crate::scale::ScaleFactor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdo_common::{DataType, Relation, Result, Schema, Tuple, Value};
+use rdo_storage::{Catalog, IngestOptions};
+
+/// Number of generated order days (4 years).
+pub const ORDER_DATE_DAYS: i64 = 1_460;
+/// Day offset of 1997-01-01 relative to 1995-01-01 (two 365-day years).
+pub const DAY_1997_01_01: i64 = 730;
+
+/// Returns the TPC-H year (1995..=1998) of a generated order-date day number.
+/// This is the `myyear` UDF of the paper's modified Q9.
+pub fn year_of(day: i64) -> i64 {
+    1995 + (day / 365).clamp(0, 3)
+}
+
+/// The `mysub` UDF of the paper's modified Q9: extracts the `#n` suffix of a
+/// brand string such as `Brand#3`.
+pub fn brand_suffix(brand: &str) -> &str {
+    brand.find('#').map(|i| &brand[i..]).unwrap_or("")
+}
+
+/// Part type vocabulary; `SMALL PLATED COPPER` is the one Q8 filters on.
+pub const PART_TYPES: [&str; 6] = [
+    "SMALL PLATED COPPER",
+    "LARGE BRUSHED STEEL",
+    "MEDIUM ANODIZED TIN",
+    "ECONOMY POLISHED BRASS",
+    "STANDARD BURNISHED NICKEL",
+    "PROMO PLATED SILVER",
+];
+
+/// Region names; Q8 filters on `ASIA`.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Generates the `region` relation.
+pub fn region() -> Relation {
+    let schema = Schema::for_dataset(
+        "region",
+        &[("r_regionkey", DataType::Int64), ("r_name", DataType::Utf8)],
+    );
+    let rows = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Tuple::new(vec![Value::Int64(i as i64), Value::from(*name)]))
+        .collect();
+    Relation::new(schema, rows).expect("static schema")
+}
+
+/// Generates the `nation` relation (25 nations, 5 per region).
+pub fn nation() -> Relation {
+    let schema = Schema::for_dataset(
+        "nation",
+        &[
+            ("n_nationkey", DataType::Int64),
+            ("n_name", DataType::Utf8),
+            ("n_regionkey", DataType::Int64),
+        ],
+    );
+    let rows = (0..25)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Utf8(format!("NATION_{i:02}")),
+                Value::Int64(i % 5),
+            ])
+        })
+        .collect();
+    Relation::new(schema, rows).expect("static schema")
+}
+
+/// Generates the `supplier` relation.
+pub fn supplier(rows: u64, rng: &mut StdRng) -> Relation {
+    let schema = Schema::for_dataset(
+        "supplier",
+        &[
+            ("s_suppkey", DataType::Int64),
+            ("s_name", DataType::Utf8),
+            ("s_nationkey", DataType::Int64),
+        ],
+    );
+    let data = (0..rows as i64)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Utf8(format!("Supplier#{i:06}")),
+                Value::Int64(rng.gen_range(0..25)),
+            ])
+        })
+        .collect();
+    Relation::new(schema, data).expect("static schema")
+}
+
+/// Generates the `customer` relation.
+pub fn customer(rows: u64, rng: &mut StdRng) -> Relation {
+    let schema = Schema::for_dataset(
+        "customer",
+        &[
+            ("c_custkey", DataType::Int64),
+            ("c_name", DataType::Utf8),
+            ("c_nationkey", DataType::Int64),
+        ],
+    );
+    let data = (0..rows as i64)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Utf8(format!("Customer#{i:08}")),
+                Value::Int64(rng.gen_range(0..25)),
+            ])
+        })
+        .collect();
+    Relation::new(schema, data).expect("static schema")
+}
+
+/// Generates the `part` relation.
+pub fn part(rows: u64, rng: &mut StdRng) -> Relation {
+    let schema = Schema::for_dataset(
+        "part",
+        &[
+            ("p_partkey", DataType::Int64),
+            ("p_brand", DataType::Utf8),
+            ("p_type", DataType::Utf8),
+            ("p_size", DataType::Int64),
+        ],
+    );
+    let data = (0..rows as i64)
+        .map(|i| {
+            let brand = format!("Brand#{}", rng.gen_range(1..=5));
+            let ptype = PART_TYPES[rng.gen_range(0..PART_TYPES.len())];
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Utf8(brand),
+                Value::from(ptype),
+                Value::Int64(rng.gen_range(1..=50)),
+            ])
+        })
+        .collect();
+    Relation::new(schema, data).expect("static schema")
+}
+
+/// Generates the `partsupp` relation (four suppliers per part).
+pub fn partsupp(parts: u64, suppliers: u64, rows: u64) -> Relation {
+    let schema = Schema::for_dataset(
+        "partsupp",
+        &[
+            ("ps_partkey", DataType::Int64),
+            ("ps_suppkey", DataType::Int64),
+            ("ps_supplycost", DataType::Float64),
+        ],
+    );
+    let per_part = (rows / parts.max(1)).max(1);
+    let mut data = Vec::with_capacity(rows as usize);
+    for p in 0..parts as i64 {
+        for s in 0..per_part as i64 {
+            let suppkey = (p * 7 + s * 13) % suppliers.max(1) as i64;
+            data.push(Tuple::new(vec![
+                Value::Int64(p),
+                Value::Int64(suppkey),
+                Value::Float64(10.0 + (p % 100) as f64),
+            ]));
+        }
+    }
+    Relation::new(schema, data).expect("static schema")
+}
+
+/// Generates the `orders` relation with the date/status correlation.
+pub fn orders(rows: u64, customers: u64, rng: &mut StdRng) -> Relation {
+    let schema = Schema::for_dataset(
+        "orders",
+        &[
+            ("o_orderkey", DataType::Int64),
+            ("o_custkey", DataType::Int64),
+            ("o_orderdate", DataType::Int64),
+            ("o_orderstatus", DataType::Utf8),
+            ("o_totalprice", DataType::Float64),
+        ],
+    );
+    let data = (0..rows as i64)
+        .map(|i| {
+            let date = rng.gen_range(0..ORDER_DATE_DAYS);
+            // Correlated: orders placed before 1997 are finalised.
+            let status = if date < DAY_1997_01_01 { "F" } else { "O" };
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Int64(rng.gen_range(0..customers.max(1) as i64)),
+                Value::Int64(date),
+                Value::from(status),
+                Value::Float64(1_000.0 + (i % 9_000) as f64),
+            ])
+        })
+        .collect();
+    Relation::new(schema, data).expect("static schema")
+}
+
+/// Generates the `lineitem` relation.
+pub fn lineitem(rows: u64, orders: u64, parts: u64, suppliers: u64, rng: &mut StdRng) -> Relation {
+    let schema = Schema::for_dataset(
+        "lineitem",
+        &[
+            ("l_orderkey", DataType::Int64),
+            ("l_partkey", DataType::Int64),
+            ("l_suppkey", DataType::Int64),
+            ("l_quantity", DataType::Int64),
+            ("l_extendedprice", DataType::Float64),
+        ],
+    );
+    let per_order = (rows / orders.max(1)).max(1);
+    let data = (0..rows as i64)
+        .map(|i| {
+            let orderkey = (i / per_order as i64) % orders.max(1) as i64;
+            let partkey = rng.gen_range(0..parts.max(1) as i64);
+            // Line items buy from one of the suppliers that actually supplies
+            // the part (same arithmetic as `partsupp`), so the composite
+            // partsupp join of Q9 finds matches.
+            let suppkey = (partkey * 7 + rng.gen_range(0..4) * 13) % suppliers.max(1) as i64;
+            Tuple::new(vec![
+                Value::Int64(orderkey),
+                Value::Int64(partkey),
+                Value::Int64(suppkey),
+                Value::Int64(rng.gen_range(1..=50)),
+                Value::Float64(rng.gen_range(100.0..10_000.0)),
+            ])
+        })
+        .collect();
+    Relation::new(schema, data).expect("static schema")
+}
+
+/// Generates and ingests all TPC-H style tables into the catalog.
+pub fn load_tpch(
+    catalog: &mut Catalog,
+    scale: ScaleFactor,
+    with_indexes: bool,
+    seed: u64,
+) -> Result<()> {
+    let sizes = scale.tpch();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    catalog.ingest("region", region(), IngestOptions::partitioned_on("r_regionkey"))?;
+    catalog.ingest("nation", nation(), IngestOptions::partitioned_on("n_nationkey"))?;
+    catalog.ingest(
+        "supplier",
+        supplier(sizes.supplier, &mut rng),
+        IngestOptions::partitioned_on("s_suppkey"),
+    )?;
+    catalog.ingest(
+        "customer",
+        customer(sizes.customer, &mut rng),
+        IngestOptions::partitioned_on("c_custkey"),
+    )?;
+    catalog.ingest(
+        "part",
+        part(sizes.part, &mut rng),
+        IngestOptions::partitioned_on("p_partkey"),
+    )?;
+    catalog.ingest(
+        "partsupp",
+        partsupp(sizes.part, sizes.supplier, sizes.partsupp),
+        IngestOptions::partitioned_on("ps_partkey"),
+    )?;
+    catalog.ingest(
+        "orders",
+        orders(sizes.orders, sizes.customer, &mut rng),
+        IngestOptions::partitioned_on("o_orderkey"),
+    )?;
+    let mut lineitem_options = IngestOptions::partitioned_on("l_orderkey");
+    if with_indexes {
+        lineitem_options = lineitem_options.with_index("l_partkey").with_index("l_suppkey");
+    }
+    catalog.ingest(
+        "lineitem",
+        lineitem(sizes.lineitem, sizes.orders, sizes.part, sizes.supplier, &mut rng),
+        lineitem_options,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn udf_helpers() {
+        assert_eq!(year_of(0), 1995);
+        assert_eq!(year_of(364), 1995);
+        assert_eq!(year_of(365), 1996);
+        assert_eq!(year_of(1_459), 1998);
+        assert_eq!(brand_suffix("Brand#3"), "#3");
+        assert_eq!(brand_suffix("no-hash"), "");
+    }
+
+    #[test]
+    fn static_dimensions() {
+        assert_eq!(region().len(), 5);
+        assert_eq!(nation().len(), 25);
+        // Every nation points at a valid region.
+        for row in nation().rows() {
+            let region_key = row.value(2).as_i64().unwrap();
+            assert!((0..5).contains(&region_key));
+        }
+    }
+
+    #[test]
+    fn orders_status_is_correlated_with_date() {
+        let rel = orders(2_000, 100, &mut rng());
+        for row in rel.rows() {
+            let date = row.value(2).as_i64().unwrap();
+            let status = row.value(3).as_str().unwrap();
+            assert_eq!(status == "F", date < DAY_1997_01_01);
+        }
+    }
+
+    #[test]
+    fn lineitem_references_valid_keys() {
+        let parts = 50u64;
+        let suppliers = 10u64;
+        let rel = lineitem(1_000, 500, parts, suppliers, &mut rng());
+        for row in rel.rows() {
+            assert!(row.value(0).as_i64().unwrap() < 500);
+            assert!(row.value(1).as_i64().unwrap() < parts as i64);
+            assert!(row.value(2).as_i64().unwrap() < suppliers as i64);
+        }
+    }
+
+    #[test]
+    fn lineitem_suppliers_match_partsupp() {
+        let parts = 40u64;
+        let suppliers = 13u64;
+        let ps = partsupp(parts, suppliers, parts * 4);
+        let li = lineitem(500, 250, parts, suppliers, &mut rng());
+        // Every (l_partkey, l_suppkey) must appear in partsupp.
+        use std::collections::HashSet;
+        let pairs: HashSet<(i64, i64)> = ps
+            .rows()
+            .iter()
+            .map(|r| (r.value(0).as_i64().unwrap(), r.value(1).as_i64().unwrap()))
+            .collect();
+        for row in li.rows() {
+            let pair = (row.value(1).as_i64().unwrap(), row.value(2).as_i64().unwrap());
+            assert!(pairs.contains(&pair), "lineitem pair {pair:?} missing from partsupp");
+        }
+    }
+
+    #[test]
+    fn load_registers_stats_and_indexes() {
+        let mut cat = Catalog::new(4);
+        load_tpch(&mut cat, ScaleFactor::gb(1), true, 7).unwrap();
+        assert_eq!(cat.table("region").unwrap().row_count(), 5);
+        assert!(cat.stats().row_count("lineitem").unwrap() > 0);
+        assert!(cat.has_secondary_index("lineitem", "l_partkey"));
+        let mut cat2 = Catalog::new(4);
+        load_tpch(&mut cat2, ScaleFactor::gb(1), false, 7).unwrap();
+        assert!(!cat2.has_secondary_index("lineitem", "l_partkey"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = orders(100, 10, &mut StdRng::seed_from_u64(1));
+        let b = orders(100, 10, &mut StdRng::seed_from_u64(1));
+        let c = orders(100, 10, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

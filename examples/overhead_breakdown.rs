@@ -1,0 +1,60 @@
+//! Reproduces the Figure 6 measurement methodology on all four queries at one
+//! scale factor: each query is executed three times — (1) the optimal plan with
+//! statistics known upfront (best-order), (2) re-optimization enabled but
+//! online statistics disabled, and (3) the full dynamic approach — and the
+//! differences isolate the re-optimization and online-statistics overheads.
+//!
+//! Run with: `cargo run --release --example overhead_breakdown`
+
+use runtime_dynamic_optimization::prelude::*;
+
+fn main() -> rdo_common::Result<()> {
+    let scale = ScaleFactor::gb(20);
+    println!("loading synthetic benchmark data at {scale} ...");
+    let mut env = BenchmarkEnv::load(scale, 8, false, 42)?;
+    let runner = QueryRunner::new(
+        CostModel::with_partitions(8),
+        JoinAlgorithmRule::with_threshold(5_000.0),
+    );
+
+    println!(
+        "\n{:<6} {:>16} {:>16} {:>16} {:>10}",
+        "query", "stats upfront", "re-optimization", "online stats", "overhead%"
+    );
+    for query in all_queries() {
+        let upfront = runner.run(Strategy::BestOrder, &query, &mut env.catalog)?;
+        let reopt = runner.run(Strategy::ReoptWithoutOnlineStats, &query, &mut env.catalog)?;
+        let full = runner.run(Strategy::Dynamic, &query, &mut env.catalog)?;
+        let report = OverheadReport::from_costs(
+            upfront.simulated_cost,
+            reopt.simulated_cost,
+            full.simulated_cost,
+        );
+        println!(
+            "{:<6} {:>16.1} {:>16.1} {:>16.1} {:>9.1}%",
+            query.name,
+            report.statistics_upfront,
+            report.reoptimization,
+            report.online_stats,
+            100.0 * report.overhead_fraction()
+        );
+    }
+
+    println!("\npredicate push-down overhead (Figure 6, right):");
+    println!("{:<6} {:>16} {:>16} {:>10}", "query", "baseline", "push-down", "overhead%");
+    for query in all_queries() {
+        let baseline = runner.run(Strategy::DynamicWithoutPushdown, &query, &mut env.catalog)?;
+        let with_pushdown = runner.run(Strategy::Dynamic, &query, &mut env.catalog)?;
+        let pushdown_cost = with_pushdown
+            .breakdown
+            .map(|b| b.predicate_pushdown)
+            .unwrap_or(0.0);
+        let overhead =
+            (with_pushdown.simulated_cost - baseline.simulated_cost).max(0.0) / baseline.simulated_cost;
+        println!(
+            "{:<6} {:>16.1} {:>16.1} {:>9.1}%",
+            query.name, baseline.simulated_cost, pushdown_cost, 100.0 * overhead
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Submit the paper's queries as SQL++ text: parse, bind against the loaded
+//! catalog, run every optimization strategy on the bound plan, and apply the
+//! post-join GROUP BY / ORDER BY / LIMIT stage of TPC-DS Q17.
+//!
+//! Run with: `cargo run --release --example sql_frontend`
+
+use runtime_dynamic_optimization::prelude::*;
+use runtime_dynamic_optimization::workloads::{
+    paper_udfs, q50_params, Q17_SQL, Q50_SQL, Q8_SQL, Q9_SQL,
+};
+
+fn main() -> rdo_common::Result<()> {
+    // Load the synthetic TPC-H + TPC-DS data at a small scale factor.
+    let mut env = BenchmarkEnv::load(ScaleFactor::gb(5), 8, false, 7)?;
+    let runner = QueryRunner::new(
+        CostModel::with_partitions(8),
+        JoinAlgorithmRule::with_threshold(10_000.0),
+    );
+    let udfs = paper_udfs();
+
+    // ------------------------------------------------------------ all four --
+    let queries = [
+        ("Q17", Q17_SQL, ParamBindings::new()),
+        ("Q50", Q50_SQL, q50_params(9, 2000)),
+        ("Q8", Q8_SQL, ParamBindings::new()),
+        ("Q9", Q9_SQL, ParamBindings::new()),
+    ];
+    for (name, sql, params) in queries {
+        let bound = compile(sql, name, &env.catalog, &udfs, &params)?;
+        println!(
+            "{name}: {} datasets, {} joins, {} local predicates, post-processing: {}",
+            bound.spec.datasets.len(),
+            bound.spec.join_count(),
+            bound.spec.predicates.len(),
+            bound.post.describe()
+        );
+        for strategy in [Strategy::Dynamic, Strategy::CostBased, Strategy::WorstOrder] {
+            let report = runner.run(strategy, &bound.spec, &mut env.catalog)?;
+            println!(
+                "  {:<12} rows={:<7} simulated-cost={:>14.1}",
+                report.strategy.label(),
+                report.result_rows(),
+                report.simulated_cost
+            );
+        }
+        println!();
+    }
+
+    // -------------------------------------------- Q17 with its GROUP BY tail --
+    let bound = compile(Q17_SQL, "Q17", &env.catalog, &udfs, &ParamBindings::new())?;
+    let report = runner.run(Strategy::Dynamic, &bound.spec, &mut env.catalog)?;
+    let grouped = bound.post.apply(report.result.clone())?;
+    println!(
+        "Q17 joined {} rows and aggregated them into {} (item, store) groups; first rows:",
+        report.result_rows(),
+        grouped.len()
+    );
+    for row in grouped.rows().iter().take(5) {
+        println!(
+            "  item={:<12} store={:<10} total_quantity={}",
+            format!("{}", row.value(0)),
+            format!("{}", row.value(1)),
+            row.value(2)
+        );
+    }
+
+    // ---------------------------------------------------- ad-hoc SQL query --
+    let adhoc = compile(
+        "SELECT nation.n_name, COUNT(*) AS suppliers FROM supplier, nation \
+         WHERE supplier.s_nationkey = nation.n_nationkey \
+         GROUP BY nation.n_name ORDER BY suppliers DESC LIMIT 5",
+        "top-nations",
+        &env.catalog,
+        &UdfRegistry::new(),
+        &ParamBindings::new(),
+    )?;
+    let report = runner.run(Strategy::Dynamic, &adhoc.spec, &mut env.catalog)?;
+    let top = adhoc.post.apply(report.result.clone())?;
+    println!("\nnations with the most suppliers:");
+    for row in top.rows() {
+        println!("  {:<10} {}", format!("{}", row.value(0)), row.value(1));
+    }
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the dynamic driver itself: for randomly generated
+//! star-schema queries (random sizes, selectivities and join fan-outs), runtime
+//! dynamic optimization must return exactly the same result as the static
+//! cost-based plan and as the best-order plan, and must leave the catalog clean.
+
+use proptest::prelude::*;
+use runtime_dynamic_optimization::core::Strategy as RdoStrategy;
+use runtime_dynamic_optimization::prelude::{
+    Catalog, CmpOp, CostModel, DataType, DatasetRef, FieldRef, IngestOptions, JoinAlgorithmRule,
+    Predicate, QueryRunner, QuerySpec, Relation, Schema, Tuple, Value,
+};
+
+/// A randomly parameterized star query over one fact table and three dimensions.
+#[derive(Debug, Clone)]
+struct StarCase {
+    fact_rows: i64,
+    dim_rows: [i64; 3],
+    fan_out: [i64; 3],
+    filter_mod: i64,
+    use_udf: bool,
+}
+
+fn star_case_strategy() -> impl Strategy<Value = StarCase> {
+    (
+        500i64..3_000,
+        prop::array::uniform3(20i64..200),
+        prop::array::uniform3(1i64..20),
+        2i64..10,
+        any::<bool>(),
+    )
+        .prop_map(|(fact_rows, dim_rows, fan_out, filter_mod, use_udf)| StarCase {
+            fact_rows,
+            dim_rows,
+            fan_out,
+            filter_mod,
+            use_udf,
+        })
+}
+
+fn build_catalog(case: &StarCase) -> Catalog {
+    let mut catalog = Catalog::new(4);
+    let fact_schema = Schema::for_dataset(
+        "fact",
+        &[
+            ("f_id", DataType::Int64),
+            ("f_d0", DataType::Int64),
+            ("f_d1", DataType::Int64),
+            ("f_d2", DataType::Int64),
+        ],
+    );
+    let fact_rows: Vec<Tuple> = (0..case.fact_rows)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Int64((i * case.fan_out[0]) % case.dim_rows[0]),
+                Value::Int64((i * case.fan_out[1]) % case.dim_rows[1]),
+                Value::Int64((i * case.fan_out[2]) % case.dim_rows[2]),
+            ])
+        })
+        .collect();
+    catalog
+        .ingest(
+            "fact",
+            Relation::new(fact_schema, fact_rows).unwrap(),
+            IngestOptions::partitioned_on("f_id"),
+        )
+        .unwrap();
+    for (d, rows) in case.dim_rows.iter().enumerate() {
+        let name = format!("dim{d}");
+        let schema = Schema::for_dataset(
+            &name,
+            &[("id", DataType::Int64), ("attr", DataType::Int64)],
+        );
+        let data: Vec<Tuple> = (0..*rows)
+            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 13)]))
+            .collect();
+        catalog
+            .ingest(
+                name,
+                Relation::new(schema, data).unwrap(),
+                IngestOptions::partitioned_on("id"),
+            )
+            .unwrap();
+    }
+    catalog
+}
+
+fn build_query(case: &StarCase) -> QuerySpec {
+    let filter_mod = case.filter_mod;
+    let filter = if case.use_udf {
+        Predicate::udf("attr_mod", FieldRef::new("dim0", "attr"), move |v| {
+            v.as_i64().map(|x| x % filter_mod == 0).unwrap_or(false)
+        })
+    } else {
+        Predicate::compare(FieldRef::new("dim0", "attr"), CmpOp::Lt, filter_mod)
+    };
+    QuerySpec::new("star-prop")
+        .with_dataset(DatasetRef::named("fact"))
+        .with_dataset(DatasetRef::named("dim0"))
+        .with_dataset(DatasetRef::named("dim1"))
+        .with_dataset(DatasetRef::named("dim2"))
+        .with_predicate(filter)
+        .with_predicate(Predicate::compare(
+            FieldRef::new("dim0", "id"),
+            CmpOp::Ge,
+            0i64,
+        ))
+        .with_join(FieldRef::new("fact", "f_d0"), FieldRef::new("dim0", "id"))
+        .with_join(FieldRef::new("fact", "f_d1"), FieldRef::new("dim1", "id"))
+        .with_join(FieldRef::new("fact", "f_d2"), FieldRef::new("dim2", "id"))
+        .with_projection(vec![
+            FieldRef::new("fact", "f_id"),
+            FieldRef::new("dim0", "attr"),
+        ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dynamic_matches_static_plans_on_random_star_queries(case in star_case_strategy()) {
+        let mut catalog = build_catalog(&case);
+        let query = build_query(&case);
+        let runner = QueryRunner::new(
+            CostModel::with_partitions(4),
+            JoinAlgorithmRule::with_threshold(100.0),
+        );
+        let tables_before = catalog.table_names();
+
+        let dynamic = runner.run(RdoStrategy::Dynamic, &query, &mut catalog).unwrap();
+        let cost_based = runner.run(RdoStrategy::CostBased, &query, &mut catalog).unwrap();
+        let best = runner.run(RdoStrategy::BestOrder, &query, &mut catalog).unwrap();
+        let ingres = runner.run(RdoStrategy::IngresLike, &query, &mut catalog).unwrap();
+
+        let reference = dynamic.result.clone().sorted();
+        prop_assert_eq!(cost_based.result.clone().sorted(), reference.clone());
+        prop_assert_eq!(best.result.clone().sorted(), reference.clone());
+        prop_assert_eq!(ingres.result.clone().sorted(), reference);
+        prop_assert_eq!(catalog.table_names(), tables_before);
+
+        // The breakdown always reconciles.
+        let breakdown = dynamic.breakdown.unwrap();
+        let parts = breakdown.base_execution + breakdown.reoptimization + breakdown.online_stats;
+        prop_assert!((parts - breakdown.total).abs() <= 1e-6 * breakdown.total.max(1.0));
+    }
+
+    #[test]
+    fn estimation_formula_is_monotone_in_its_inputs(
+        s_a in 1.0f64..1e7,
+        s_b in 1.0f64..1e7,
+        u_a in 1.0f64..1e6,
+        u_b in 1.0f64..1e6,
+    ) {
+        use runtime_dynamic_optimization::planner::SizeEstimator;
+        let base = SizeEstimator::join_size(s_a, s_b, u_a, u_b);
+        let bigger_input = SizeEstimator::join_size(s_a * 2.0, s_b, u_a, u_b);
+        let more_distinct = SizeEstimator::join_size(s_a, s_b, u_a * 2.0, u_b * 2.0);
+        prop_assert!(base >= 0.0);
+        prop_assert!(bigger_input >= base);
+        prop_assert!(more_distinct <= base);
+    }
+}

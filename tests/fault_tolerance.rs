@@ -1,0 +1,114 @@
+//! Fault-tolerance integration tests: a paper query interrupted mid-way must be
+//! resumable from its re-optimization checkpoints and produce exactly the
+//! answer an uninterrupted run produces.
+
+use runtime_dynamic_optimization::prelude::*;
+use rdo_workloads::q9;
+
+fn env() -> BenchmarkEnv {
+    BenchmarkEnv::load(ScaleFactor::gb(2), 4, false, 123).unwrap()
+}
+
+#[test]
+fn q9_crash_and_recovery_matches_uninterrupted_execution() {
+    let mut env = env();
+    let config = DynamicConfig::dynamic(JoinAlgorithmRule::with_threshold(2_000.0));
+
+    let expected = DynamicDriver::new(config)
+        .execute(&q9(), &mut env.catalog)
+        .unwrap()
+        .result
+        .sorted();
+
+    let driver = CheckpointedDriver::new(config);
+    let mut log = CheckpointLog::new();
+    let error = driver
+        .execute(&q9(), &mut env.catalog, FailureInjector::after_stages(2), &mut log)
+        .unwrap_err();
+    assert!(error.to_string().contains("injected failure"));
+    assert_eq!(log.len(), 2);
+
+    let recovered = driver
+        .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut log)
+        .unwrap();
+    assert_eq!(recovered.stages_recovered, 2);
+    assert_eq!(recovered.result.sorted(), expected);
+    assert!(log.is_empty());
+    assert!(env
+        .catalog
+        .table_names()
+        .iter()
+        .all(|t| !t.contains("__ckpt")));
+}
+
+#[test]
+fn recovery_skips_already_executed_work() {
+    let mut env = env();
+    let config = DynamicConfig::dynamic(JoinAlgorithmRule::with_threshold(2_000.0));
+    let driver = CheckpointedDriver::new(config);
+
+    // Uninterrupted run, to learn the total amount of work.
+    let mut empty_log = CheckpointLog::new();
+    let full = driver
+        .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut empty_log)
+        .unwrap();
+
+    // Crash after one stage, then resume.
+    let mut log = CheckpointLog::new();
+    driver
+        .execute(&q9(), &mut env.catalog, FailureInjector::after_stages(1), &mut log)
+        .unwrap_err();
+    let resumed = driver
+        .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut log)
+        .unwrap();
+
+    assert_eq!(resumed.stages_recovered, 1);
+    assert_eq!(
+        resumed.stages_executed + resumed.stages_recovered,
+        full.stages_executed,
+        "the recovering run executes exactly the stages the crash skipped"
+    );
+    // The recovering run scans strictly fewer base rows than the full run
+    // because the checkpointed stage is not re-executed.
+    assert!(resumed.metrics.rows_scanned < full.metrics.rows_scanned);
+    assert_eq!(resumed.result.sorted(), full.result.sorted());
+}
+
+#[test]
+fn every_crash_point_recovers_to_the_same_answer() {
+    let mut env = env();
+    let config = DynamicConfig::dynamic(JoinAlgorithmRule::with_threshold(2_000.0));
+    let driver = CheckpointedDriver::new(config);
+    let expected = DynamicDriver::new(config)
+        .execute(&q9(), &mut env.catalog)
+        .unwrap()
+        .result
+        .sorted();
+
+    // Learn how many checkpointable stages Q9 has.
+    let mut probe_log = CheckpointLog::new();
+    let probe = driver
+        .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut probe_log)
+        .unwrap();
+    let stages = probe.stages_executed;
+    assert!(stages >= 2, "Q9 must have several checkpointable stages");
+
+    for crash_after in 1..=stages {
+        let mut log = CheckpointLog::new();
+        let first = driver.execute(
+            &q9(),
+            &mut env.catalog,
+            FailureInjector::after_stages(crash_after),
+            &mut log,
+        );
+        assert!(first.is_err(), "crash point {crash_after} should fail");
+        let recovered = driver
+            .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut log)
+            .unwrap();
+        assert_eq!(
+            recovered.result.sorted(),
+            expected,
+            "crash after stage {crash_after} recovered to a different answer"
+        );
+    }
+}

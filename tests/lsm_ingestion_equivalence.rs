@@ -1,0 +1,166 @@
+//! The LSM ingestion path must be observably equivalent to direct ingestion:
+//! the same query answers, and statistics derived from component sketches that
+//! are close enough to drive the optimizer to the same decisions.
+
+use runtime_dynamic_optimization::prelude::*;
+use rdo_lsm::NoMergePolicy;
+
+/// Builds the same three-table star schema twice: once through direct catalog
+/// ingestion and once through the LSM pipeline (small memtable so many flushes
+/// and merges happen).
+fn build_catalogs(rows: i64) -> (Catalog, Catalog) {
+    let fact_schema = Schema::for_dataset(
+        "fact",
+        &[
+            ("f_id", DataType::Int64),
+            ("f_d1", DataType::Int64),
+            ("f_d2", DataType::Int64),
+        ],
+    );
+    let fact_rows: Vec<Tuple> = (0..rows)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Int64(i % 60),
+                Value::Int64(i % 240),
+            ])
+        })
+        .collect();
+    let fact = Relation::new(fact_schema, fact_rows).unwrap();
+
+    let dim = |name: &str, count: i64| {
+        let schema = Schema::for_dataset(
+            name,
+            &[("id", DataType::Int64), ("attr", DataType::Int64)],
+        );
+        let data = (0..count)
+            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 7)]))
+            .collect();
+        Relation::new(schema, data).unwrap()
+    };
+    let d1 = dim("d1", 60);
+    let d2 = dim("d2", 240);
+
+    // Direct path.
+    let mut direct = Catalog::new(4);
+    direct
+        .ingest("fact", fact.clone(), IngestOptions::partitioned_on("f_id"))
+        .unwrap();
+    direct.ingest("d1", d1.clone(), IngestOptions::partitioned_on("id")).unwrap();
+    direct.ingest("d2", d2.clone(), IngestOptions::partitioned_on("id")).unwrap();
+
+    // LSM path: tiny memtable forces many flushes; the default prefix policy
+    // merges them as ingestion proceeds.
+    let mut lsm_catalog = Catalog::new(4);
+    for (name, relation, key) in [("fact", &fact, "f_id"), ("d1", &d1, "id"), ("d2", &d2, "id")] {
+        let mut dataset = LsmDataset::from_relation(
+            name,
+            relation,
+            key,
+            LsmOptions {
+                memtable_capacity: 97,
+            },
+        )
+        .unwrap();
+        dataset.load_into_catalog(&mut lsm_catalog).unwrap();
+    }
+    (direct, lsm_catalog)
+}
+
+fn star_query() -> QuerySpec {
+    QuerySpec::new("lsm-star")
+        .with_dataset(DatasetRef::named("fact"))
+        .with_dataset(DatasetRef::named("d1"))
+        .with_dataset(DatasetRef::named("d2"))
+        .with_join(FieldRef::new("fact", "f_d1"), FieldRef::new("d1", "id"))
+        .with_join(FieldRef::new("fact", "f_d2"), FieldRef::new("d2", "id"))
+        .with_predicate(Predicate::udf("pick", FieldRef::new("d1", "attr"), |v| {
+            v.as_i64() == Some(3)
+        }))
+        .with_predicate(Predicate::compare(FieldRef::new("d1", "id"), CmpOp::Lt, 50i64))
+        .with_projection(vec![FieldRef::new("fact", "f_id")])
+}
+
+#[test]
+fn query_results_are_identical_across_ingestion_paths() {
+    let (mut direct, mut lsm) = build_catalogs(12_000);
+    let runner = QueryRunner::default();
+    for strategy in [Strategy::Dynamic, Strategy::CostBased, Strategy::WorstOrder] {
+        let a = runner.run(strategy, &star_query(), &mut direct).unwrap();
+        let b = runner.run(strategy, &star_query(), &mut lsm).unwrap();
+        assert_eq!(
+            a.result.clone().sorted(),
+            b.result.clone().sorted(),
+            "{strategy}: direct vs LSM ingestion disagree"
+        );
+    }
+}
+
+#[test]
+fn component_derived_statistics_are_close_to_scan_derived_statistics() {
+    let (direct, lsm) = build_catalogs(12_000);
+    for table in ["fact", "d1", "d2"] {
+        let reference = direct.stats().get(table).expect("direct stats");
+        let from_components = lsm.stats().get(table).expect("LSM stats");
+        assert_eq!(reference.row_count, from_components.row_count, "{table}: row count");
+        for (column, stats) in &reference.columns {
+            let lsm_column = from_components
+                .column(column)
+                .unwrap_or_else(|| panic!("{table}.{column} missing from LSM stats"));
+            let reference_distinct = stats.distinct.max(1) as f64;
+            let relative =
+                (lsm_column.distinct as f64 - reference_distinct).abs() / reference_distinct;
+            assert!(
+                relative < 0.1,
+                "{table}.{column}: distinct estimate off by {relative} (LSM {}, direct {})",
+                lsm_column.distinct,
+                stats.distinct
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_policy_choice_does_not_change_the_visible_data() {
+    let schema = Schema::for_dataset(
+        "t",
+        &[("id", DataType::Int64), ("v", DataType::Int64)],
+    );
+    let rows: Vec<Tuple> = (0..3_000)
+        .map(|i| Tuple::new(vec![Value::Int64(i % 1_000), Value::Int64(i)]))
+        .collect();
+    let relation = Relation::new(schema.clone(), rows).unwrap();
+
+    let options = LsmOptions {
+        memtable_capacity: 64,
+    };
+    let mut no_merge = rdo_lsm::LsmDataset::with_policy(
+        "t",
+        schema.clone(),
+        "id",
+        options,
+        Box::new(NoMergePolicy),
+    )
+    .unwrap();
+    no_merge.insert_relation(&relation).unwrap();
+    no_merge.flush().unwrap();
+
+    let mut tiered = rdo_lsm::LsmDataset::with_policy(
+        "t",
+        schema.clone(),
+        "id",
+        options,
+        Box::new(TieredMergePolicy { max_components: 3 }),
+    )
+    .unwrap();
+    tiered.insert_relation(&relation).unwrap();
+    tiered.flush().unwrap();
+
+    // The upserted key space is 0..1000; both views must agree exactly.
+    assert_eq!(no_merge.row_count(), 1_000);
+    assert_eq!(tiered.row_count(), 1_000);
+    assert_eq!(no_merge.scan(), tiered.scan());
+    // Merging costs extra writes but reduces components.
+    assert!(tiered.metrics().write_amplification() >= no_merge.metrics().write_amplification());
+    assert!(tiered.components().len() <= no_merge.components().len());
+}

@@ -1,0 +1,116 @@
+//! Property tests for the LSM ingestion substrate: for arbitrary insert/upsert
+//! sequences and flush points, the merged view must equal a simple map model,
+//! point lookups must agree with the model, and accounting invariants must hold.
+
+use proptest::prelude::*;
+use rdo_common::{DataType, Schema, Tuple, Value};
+use rdo_lsm::{LsmDataset, LsmOptions, NoMergePolicy, TieredMergePolicy};
+use std::collections::BTreeMap;
+
+fn schema() -> Schema {
+    Schema::for_dataset("t", &[("id", DataType::Int64), ("v", DataType::Int64)])
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Flush,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (0i64..200, -1000i64..1000).prop_map(|(k, v)| Op::Insert(k, v)),
+            1 => Just(Op::Flush),
+        ],
+        0..400,
+    )
+}
+
+fn run_ops(
+    ops: &[Op],
+    capacity: usize,
+    tiered: bool,
+) -> (LsmDataset, BTreeMap<i64, i64>) {
+    let policy: Box<dyn rdo_lsm::MergePolicy> = if tiered {
+        Box::new(TieredMergePolicy { max_components: 3 })
+    } else {
+        Box::new(NoMergePolicy)
+    };
+    let mut dataset = LsmDataset::with_policy(
+        "t",
+        schema(),
+        "id",
+        LsmOptions {
+            memtable_capacity: capacity,
+        },
+        policy,
+    )
+    .unwrap();
+    let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                dataset
+                    .insert(Tuple::new(vec![Value::Int64(*k), Value::Int64(*v)]))
+                    .unwrap();
+                model.insert(*k, *v);
+            }
+            Op::Flush => {
+                dataset.flush().unwrap();
+            }
+        }
+    }
+    (dataset, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The merged (newest-wins) view equals the map model regardless of flush
+    /// points and merge policy.
+    #[test]
+    fn scan_equals_map_model(ops in ops(), capacity in 1usize..64, tiered in any::<bool>()) {
+        let (dataset, model) = run_ops(&ops, capacity, tiered);
+        prop_assert_eq!(dataset.row_count(), model.len());
+        let scanned = dataset.scan();
+        prop_assert_eq!(scanned.len(), model.len());
+        for row in scanned.rows() {
+            let key = row.value(0).as_i64().unwrap();
+            let value = row.value(1).as_i64().unwrap();
+            prop_assert_eq!(model.get(&key), Some(&value), "key {} has a stale version", key);
+        }
+        // Scan output is sorted by key.
+        let keys: Vec<i64> = scanned.rows().iter().map(|r| r.value(0).as_i64().unwrap()).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Point lookups agree with the model for both present and absent keys.
+    #[test]
+    fn point_lookups_agree_with_model(ops in ops(), capacity in 1usize..64) {
+        let (dataset, model) = run_ops(&ops, capacity, true);
+        for key in -5i64..205 {
+            let found = dataset.get(&Value::Int64(key)).map(|t| t.value(1).as_i64().unwrap());
+            prop_assert_eq!(found, model.get(&key).copied(), "lookup of key {}", key);
+        }
+    }
+
+    /// Accounting invariants: ingested rows equal the number of insert ops,
+    /// write amplification is at least 1 once anything was flushed, and the
+    /// merged statistics row count equals the rows stored in components.
+    #[test]
+    fn accounting_invariants(ops in ops(), capacity in 1usize..32) {
+        let (mut dataset, _model) = run_ops(&ops, capacity, true);
+        let inserts = ops.iter().filter(|op| matches!(op, Op::Insert(..))).count() as u64;
+        prop_assert_eq!(dataset.metrics().rows_ingested, inserts);
+        dataset.flush().unwrap();
+        let metrics = dataset.metrics();
+        if inserts > 0 {
+            prop_assert!(metrics.flushes > 0);
+            prop_assert!(metrics.rows_written > 0);
+        }
+        let component_rows: u64 = dataset.components().iter().map(|c| c.len() as u64).sum();
+        prop_assert_eq!(dataset.merged_stats().row_count, component_rows);
+        prop_assert_eq!(metrics.components_created as usize >= dataset.components().len(), true);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the post-join stage: hash aggregation, ordering and limit
+//! must agree with a naive model for arbitrary inputs.
+
+use proptest::prelude::*;
+use runtime_dynamic_optimization::prelude::*;
+use std::collections::BTreeMap;
+
+fn relation(rows: &[(i64, i64, Option<i64>)]) -> Relation {
+    let schema = Schema::for_dataset(
+        "t",
+        &[
+            ("grp", DataType::Int64),
+            ("key", DataType::Int64),
+            ("val", DataType::Int64),
+        ],
+    );
+    let tuples = rows
+        .iter()
+        .map(|(g, k, v)| {
+            Tuple::new(vec![
+                Value::Int64(*g),
+                Value::Int64(*k),
+                v.map(Value::Int64).unwrap_or(Value::Null),
+            ])
+        })
+        .collect();
+    Relation::new(schema, tuples).unwrap()
+}
+
+fn field(name: &str) -> FieldRef {
+    FieldRef::new("t", name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SUM / COUNT / MIN / MAX / AVG over random groups match a BTreeMap model.
+    #[test]
+    fn aggregation_matches_model(rows in prop::collection::vec((0i64..8, -50i64..50, prop::option::of(-100i64..100)), 0..200)) {
+        let input = relation(&rows);
+        let post = PostProcess::default();
+        let post = post
+            .group(field("grp"))
+            .aggregate(AggregateExpr::new(AggregateFunc::Sum, field("val"), "s"))
+            .aggregate(AggregateExpr::new(AggregateFunc::Count, field("val"), "c"))
+            .aggregate(AggregateExpr::count_star("n"))
+            .aggregate(AggregateExpr::new(AggregateFunc::Min, field("val"), "lo"))
+            .aggregate(AggregateExpr::new(AggregateFunc::Max, field("val"), "hi"))
+            .aggregate(AggregateExpr::new(AggregateFunc::Avg, field("val"), "avg"))
+            .order(SortKey::asc(field("grp")));
+        let output = post.apply(input).unwrap();
+
+        // Model.
+        #[derive(Default)]
+        struct Group { sum: i64, count: i64, total: i64, min: Option<i64>, max: Option<i64> }
+        let mut model: BTreeMap<i64, Group> = BTreeMap::new();
+        for (g, _k, v) in &rows {
+            let entry = model.entry(*g).or_default();
+            entry.total += 1;
+            if let Some(v) = v {
+                entry.sum += v;
+                entry.count += 1;
+                entry.min = Some(entry.min.map_or(*v, |m| m.min(*v)));
+                entry.max = Some(entry.max.map_or(*v, |m| m.max(*v)));
+            }
+        }
+
+        prop_assert_eq!(output.len(), model.len());
+        for (row, (group, expected)) in output.rows().iter().zip(model.iter()) {
+            prop_assert_eq!(row.value(0).as_i64().unwrap(), *group);
+            let sum = row.value(1);
+            if expected.count == 0 {
+                prop_assert!(sum.is_null());
+            } else {
+                prop_assert_eq!(sum.as_i64().unwrap(), expected.sum);
+            }
+            prop_assert_eq!(row.value(2).as_i64().unwrap(), expected.count);
+            prop_assert_eq!(row.value(3).as_i64().unwrap(), expected.total);
+            match expected.min {
+                Some(lo) => prop_assert_eq!(row.value(4).as_i64().unwrap(), lo),
+                None => prop_assert!(row.value(4).is_null()),
+            }
+            match expected.max {
+                Some(hi) => prop_assert_eq!(row.value(5).as_i64().unwrap(), hi),
+                None => prop_assert!(row.value(5).is_null()),
+            }
+            if expected.count > 0 {
+                let avg = row.value(6).as_f64().unwrap();
+                let model_avg = expected.sum as f64 / expected.count as f64;
+                prop_assert!((avg - model_avg).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// ORDER BY + LIMIT returns a prefix of the fully sorted input and never
+    /// invents or loses rows.
+    #[test]
+    fn order_and_limit_return_a_sorted_prefix(
+        rows in prop::collection::vec((0i64..8, -50i64..50, prop::option::of(-100i64..100)), 0..200),
+        limit in 0usize..50,
+        ascending in any::<bool>(),
+    ) {
+        let input = relation(&rows);
+        let key = SortKey { field: field("key"), ascending };
+        let post = PostProcess { order_by: vec![key], limit: Some(limit), ..Default::default() };
+        let output = post.apply(input.clone()).unwrap();
+
+        prop_assert_eq!(output.len(), rows.len().min(limit));
+        // Sortedness of the returned prefix.
+        let keys: Vec<i64> = output.rows().iter().map(|r| r.value(1).as_i64().unwrap()).collect();
+        for w in keys.windows(2) {
+            if ascending {
+                prop_assert!(w[0] <= w[1]);
+            } else {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+        // The returned keys are the extreme `limit` keys of the input.
+        let mut all_keys: Vec<i64> = rows.iter().map(|(_, k, _)| *k).collect();
+        if ascending {
+            all_keys.sort();
+        } else {
+            all_keys.sort_by(|a, b| b.cmp(a));
+        }
+        all_keys.truncate(limit);
+        prop_assert_eq!(keys, all_keys);
+    }
+
+    /// Aggregation is insensitive to the input row order.
+    #[test]
+    fn aggregation_is_order_insensitive(rows in prop::collection::vec((0i64..5, 0i64..10, prop::option::of(-20i64..20)), 1..100)) {
+        let post = || PostProcess::default()
+            .group(field("grp"))
+            .aggregate(AggregateExpr::new(AggregateFunc::Sum, field("val"), "s"))
+            .aggregate(AggregateExpr::count_star("n"))
+            .order(SortKey::asc(field("grp")));
+        let forward = post().apply(relation(&rows)).unwrap();
+        let mut reversed_rows = rows.clone();
+        reversed_rows.reverse();
+        let reversed = post().apply(relation(&reversed_rows)).unwrap();
+        prop_assert_eq!(forward, reversed);
+    }
+}
