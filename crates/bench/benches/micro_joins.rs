@@ -63,10 +63,7 @@ fn bench_joins(c: &mut Criterion) {
         ] {
             let plan = join_plan(algorithm);
             group.bench_with_input(
-                BenchmarkId::new(
-                    format!("fact{fact_rows}_dim{dim_rows}"),
-                    algorithm.symbol(),
-                ),
+                BenchmarkId::new(format!("fact{fact_rows}_dim{dim_rows}"), algorithm.symbol()),
                 &plan,
                 |b, plan| {
                     b.iter(|| {

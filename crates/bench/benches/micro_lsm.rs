@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdo_common::{DataType, Schema, Tuple, Value};
-use rdo_lsm::{LsmDataset, LsmOptions, MergePolicy, NoMergePolicy, PrefixMergePolicy, TieredMergePolicy};
+use rdo_lsm::{
+    LsmDataset, LsmOptions, MergePolicy, NoMergePolicy, PrefixMergePolicy, TieredMergePolicy,
+};
 use rdo_sketch::DatasetStatsBuilder;
 
 fn schema() -> Schema {
@@ -26,9 +28,14 @@ fn row(i: i64) -> Tuple {
     ])
 }
 
-fn policies() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn MergePolicy>>)> {
+type PolicyFactory = Box<dyn Fn() -> Box<dyn MergePolicy>>;
+
+fn policies() -> Vec<(&'static str, PolicyFactory)> {
     vec![
-        ("no-merge", Box::new(|| Box::new(NoMergePolicy) as Box<dyn MergePolicy>)),
+        (
+            "no-merge",
+            Box::new(|| Box::new(NoMergePolicy) as Box<dyn MergePolicy>),
+        ),
         (
             "tiered-4",
             Box::new(|| Box::new(TieredMergePolicy { max_components: 4 }) as Box<dyn MergePolicy>),

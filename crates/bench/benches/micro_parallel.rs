@@ -1,0 +1,103 @@
+//! Micro-benchmark of the partition-parallel executor: scan + hash-join
+//! throughput at 1/2/4/8 workers on a multi-partition catalog. Results and
+//! metrics are worker-count invariant, so the only thing that moves between
+//! rows is wall time — the speedup the worker pool buys on the machine's
+//! actual cores (set `RDO_WORKERS` elsewhere in the harness to pin figure
+//! runs; this bench sweeps the worker count explicitly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_common::{DataType, FieldRef, Relation, Schema, Tuple, Value};
+use rdo_core::{ParallelConfig, ParallelExecutor};
+use rdo_exec::{CmpOp, ExecutionMetrics, JoinAlgorithm, PhysicalPlan, Predicate};
+use rdo_storage::{Catalog, IngestOptions};
+
+fn build_catalog(fact_rows: i64, dim_rows: i64, partitions: usize) -> Catalog {
+    let mut catalog = Catalog::new(partitions);
+    let fact_schema = Schema::for_dataset(
+        "fact",
+        &[
+            ("f_id", DataType::Int64),
+            ("f_dim", DataType::Int64),
+            ("f_val", DataType::Int64),
+        ],
+    );
+    let fact: Vec<Tuple> = (0..fact_rows)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Int64(i % dim_rows),
+                Value::Int64(i % 97),
+            ])
+        })
+        .collect();
+    catalog
+        .ingest(
+            "fact",
+            Relation::new(fact_schema, fact).unwrap(),
+            IngestOptions::partitioned_on("f_id"),
+        )
+        .unwrap();
+    let dim_schema = Schema::for_dataset(
+        "dim",
+        &[("d_id", DataType::Int64), ("d_val", DataType::Int64)],
+    );
+    let dim: Vec<Tuple> = (0..dim_rows)
+        .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 17)]))
+        .collect();
+    catalog
+        .ingest(
+            "dim",
+            Relation::new(dim_schema, dim).unwrap(),
+            IngestOptions::partitioned_on("d_id"),
+        )
+        .unwrap();
+    catalog
+}
+
+fn scan_plan() -> PhysicalPlan {
+    PhysicalPlan::scan("fact").with_predicates(vec![Predicate::compare(
+        FieldRef::new("fact", "f_val"),
+        CmpOp::Lt,
+        48i64,
+    )])
+}
+
+fn join_plan() -> PhysicalPlan {
+    // Joining on f_dim forces a HashRepartition exchange of the fact side
+    // (it is partitioned on f_id), so the bench exercises scan, exchange and
+    // per-partition build/probe.
+    PhysicalPlan::join(
+        scan_plan(),
+        PhysicalPlan::scan("dim"),
+        FieldRef::new("fact", "f_dim"),
+        FieldRef::new("dim", "d_id"),
+        JoinAlgorithm::Hash,
+    )
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let partitions = 16;
+    let catalog = build_catalog(400_000, 10_000, partitions);
+    let mut group = c.benchmark_group("parallel_scan_join");
+    group.sample_size(10);
+    for (label, plan) in [("scan", scan_plan()), ("scan_join", join_plan())] {
+        for workers in [1usize, 2, 4, 8] {
+            let config = ParallelConfig::serial().with_workers(workers);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("workers-{workers}")),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        let executor = ParallelExecutor::new(&catalog, config);
+                        let mut metrics = ExecutionMetrics::new();
+                        executor.execute(plan, &mut metrics).unwrap().row_count()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

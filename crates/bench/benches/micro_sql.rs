@@ -10,7 +10,12 @@ use rdo_workloads::{compile_paper_query, Q17_SQL, Q50_SQL, Q8_SQL, Q9_SQL};
 
 fn bench_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("sql_parse");
-    for (name, sql) in [("Q17", Q17_SQL), ("Q50", Q50_SQL), ("Q8", Q8_SQL), ("Q9", Q9_SQL)] {
+    for (name, sql) in [
+        ("Q17", Q17_SQL),
+        ("Q50", Q50_SQL),
+        ("Q8", Q8_SQL),
+        ("Q9", Q9_SQL),
+    ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| parse(sql).expect("paper query parses"));
         });

@@ -54,7 +54,9 @@ fn parse_args() -> Args {
             "--quick" => quick = true,
             "--scales" => {
                 i += 1;
-                let value = argv.get(i).expect("--scales requires a comma-separated list");
+                let value = argv
+                    .get(i)
+                    .expect("--scales requires a comma-separated list");
                 config.scales = value
                     .split(',')
                     .map(|s| s.trim().parse().expect("scale factor"))
@@ -163,8 +165,14 @@ fn main() {
     if args.plans {
         let without = plans(&args.config, false);
         let with = plans(&args.config, true);
-        println!("Appendix plans (Figures 11–18, INL off)\n{}", render_plans(&without));
-        println!("Appendix plans (Figures 19–23, INL on)\n{}", render_plans(&with));
+        println!(
+            "Appendix plans (Figures 11–18, INL off)\n{}",
+            render_plans(&without)
+        );
+        println!(
+            "Appendix plans (Figures 19–23, INL on)\n{}",
+            render_plans(&with)
+        );
         write_json(&args.out_dir, "plans_inl_off.json", &without);
         write_json(&args.out_dir, "plans_inl_on.json", &with);
     }

@@ -34,6 +34,11 @@ pub struct ExperimentConfig {
     pub pilot_sample: usize,
     /// Generator seed.
     pub seed: u64,
+    /// Worker threads of the partition-parallel executor. Defaults to the
+    /// machine's available parallelism; set the `RDO_WORKERS` environment
+    /// variable to pin it so figures reproduce exactly on any core count
+    /// (results and metrics are worker-count invariant, only wall time moves).
+    pub workers: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -44,6 +49,7 @@ impl Default for ExperimentConfig {
             broadcast_threshold: 25_000.0,
             pilot_sample: 2_000,
             seed: 42,
+            workers: rdo_core::ParallelConfig::from_env().workers,
         }
     }
 }
@@ -61,9 +67,15 @@ impl ExperimentConfig {
     pub fn runner(&self, indexed_nested_loop: bool) -> QueryRunner {
         let rule = JoinAlgorithmRule::with_threshold(self.broadcast_threshold)
             .with_indexed_nested_loop(indexed_nested_loop);
-        let mut runner = QueryRunner::new(CostModel::with_partitions(self.partitions), rule);
+        let mut runner = QueryRunner::new(CostModel::with_partitions(self.partitions), rule)
+            .with_parallel(self.parallel());
         runner.pilot_sample_limit = self.pilot_sample;
         runner
+    }
+
+    /// The parallel-execution knobs for this configuration.
+    pub fn parallel(&self) -> rdo_core::ParallelConfig {
+        rdo_core::ParallelConfig::serial().with_workers(self.workers)
     }
 
     /// Loads the benchmark environment for one scale factor.
@@ -287,8 +299,7 @@ pub fn figure6_pushdown(config: &ExperimentConfig) -> Vec<PushdownRow> {
                 .run(Strategy::Dynamic, &query, &mut env.catalog)
                 .expect("dynamic run");
             let overhead = if baseline.simulated_cost > 0.0 {
-                ((with_pushdown.simulated_cost - baseline.simulated_cost)
-                    / baseline.simulated_cost)
+                ((with_pushdown.simulated_cost - baseline.simulated_cost) / baseline.simulated_cost)
                     .max(0.0)
             } else {
                 0.0
@@ -357,7 +368,8 @@ pub fn reopt_budget_ablation(config: &ExperimentConfig) -> Vec<BudgetRow> {
                 let driver_config = match budget {
                     Some(limit) => DynamicConfig::dynamic(rule).with_reopt_budget(limit),
                     None => DynamicConfig::dynamic(rule),
-                };
+                }
+                .with_parallel(config.parallel());
                 let start = std::time::Instant::now();
                 let outcome = DynamicDriver::new(driver_config)
                     .execute(&query, &mut env.catalog)
@@ -435,9 +447,8 @@ pub fn correlations(config: &ExperimentConfig) -> Vec<CorrelationRow> {
 
 /// Formats the correlation analysis as an aligned text table.
 pub fn render_correlations(rows: &[CorrelationRow]) -> String {
-    let mut out = String::from(
-        "Correlated local predicates (true vs independence-assumption selectivity)\n",
-    );
+    let mut out =
+        String::from("Correlated local predicates (true vs independence-assumption selectivity)\n");
     out.push_str(&format!(
         "{:<6} {:>6}  {:<10} {:>6} {:>12} {:>12} {:>10} {:>10}\n",
         "query", "scale", "dataset", "preds", "true-sel", "static-est", "corr", "err-factor"
@@ -550,8 +561,13 @@ pub fn render_overheads(left: &[OverheadRow], right: &[PushdownRow]) -> String {
 /// Formats Table 1 as text.
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    out.push_str("Table 1: average improvement of the dynamic approach (cost ratio baseline/dynamic)\n");
-    out.push_str(&format!("{:<8} {:<14} {:>12}\n", "scale", "baseline", "improvement"));
+    out.push_str(
+        "Table 1: average improvement of the dynamic approach (cost ratio baseline/dynamic)\n",
+    );
+    out.push_str(&format!(
+        "{:<8} {:<14} {:>12}\n",
+        "scale", "baseline", "improvement"
+    ));
     for row in rows {
         out.push_str(&format!(
             "{:<8} {:<14} {:>11.2}x\n",
@@ -603,6 +619,7 @@ mod tests {
             broadcast_threshold: 2_000.0,
             pilot_sample: 500,
             seed: 13,
+            workers: 2,
         }
     }
 

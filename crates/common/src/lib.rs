@@ -11,6 +11,6 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{RdoError, Result};
-pub use schema::{Field, FieldRef, Schema};
+pub use schema::{unqualified, Field, FieldRef, Schema};
 pub use tuple::{Relation, Tuple};
 pub use value::{DataType, Value};

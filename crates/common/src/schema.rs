@@ -48,6 +48,17 @@ impl fmt::Display for FieldRef {
     }
 }
 
+/// Strips the dataset qualifier from a (possibly qualified) column name:
+/// `"lineitem.l_orderkey"` → `"l_orderkey"`, `"l_orderkey"` → itself.
+///
+/// This is *the* name-resolution rule partition-key matching relies on
+/// (`Table::is_partitioned_on`, `PartitionedData::is_partitioned_on`, the
+/// exchange operators); every layer must unqualify the same way, so they all
+/// call this one helper.
+pub fn unqualified(column: &str) -> &str {
+    column.rsplit('.').next().unwrap_or(column)
+}
+
 /// A single column of a schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
@@ -210,7 +221,10 @@ mod tests {
     #[test]
     fn index_of_qualified_and_unqualified() {
         let s = sample();
-        assert_eq!(s.index_of(&FieldRef::new("lineitem", "l_partkey")).unwrap(), 1);
+        assert_eq!(
+            s.index_of(&FieldRef::new("lineitem", "l_partkey")).unwrap(),
+            1
+        );
         assert_eq!(s.index_of_unqualified("l_price").unwrap(), 2);
         assert!(s.index_of(&FieldRef::new("orders", "l_partkey")).is_err());
         assert!(s.index_of_unqualified("nope").is_err());

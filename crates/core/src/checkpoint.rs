@@ -18,7 +18,8 @@
 
 use crate::driver::{project_result, sanitize, DynamicConfig, DynamicDriver};
 use rdo_common::{RdoError, Relation, Result};
-use rdo_exec::{materialize, ExecutionMetrics, Executor};
+use rdo_exec::ExecutionMetrics;
+use rdo_parallel::{materialize, ParallelExecutor};
 use rdo_planner::greedy::join_edges;
 use rdo_planner::{
     reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, GreedyPlanner,
@@ -184,7 +185,7 @@ impl CheckpointedDriver {
                 let plan = DynamicDriver::pushdown_plan(&spec, &alias)?;
                 let description = format!("pushdown {}", plan.signature());
                 let data = {
-                    let executor = Executor::new(catalog);
+                    let executor = ParallelExecutor::new(catalog, self.config.parallel);
                     executor.execute(&plan, &mut stage_metrics)?
                 };
                 let table = format!("{}__ckpt_{}_filtered", sanitize(&spec.name), alias);
@@ -195,6 +196,7 @@ impl CheckpointedDriver {
                     .map(|k| k.field.clone());
                 let tracked = DynamicDriver::tracked_columns(&spec, &alias);
                 materialize(
+                    self.config.parallel,
                     catalog,
                     &table,
                     &data,
@@ -224,7 +226,7 @@ impl CheckpointedDriver {
             && self
                 .config
                 .reopt_budget
-                .map_or(true, |budget| reoptimization_points < budget)
+                .is_none_or(|budget| reoptimization_points < budget)
         {
             reoptimization_points += 1;
             let planned = planner.next_join(&spec, catalog, catalog.stats())?;
@@ -233,7 +235,7 @@ impl CheckpointedDriver {
 
             let mut stage_metrics = ExecutionMetrics::new();
             let data = {
-                let executor = Executor::new(catalog);
+                let executor = ParallelExecutor::new(catalog, self.config.parallel);
                 executor.execute(&plan, &mut stage_metrics)?
             };
             intermediate_counter += 1;
@@ -245,6 +247,7 @@ impl CheckpointedDriver {
             let tracked = DynamicDriver::tracked_columns(&new_spec, &table);
             let partition_key = planned.keys.first().map(|(probe, _)| probe.field.clone());
             materialize(
+                self.config.parallel,
                 catalog,
                 &table,
                 &data,
@@ -277,7 +280,7 @@ impl CheckpointedDriver {
         stage_plans.push(final_plan.signature());
         let mut stage_metrics = ExecutionMetrics::new();
         let relation = {
-            let executor = Executor::new(catalog);
+            let executor = ParallelExecutor::new(catalog, self.config.parallel);
             executor.execute_to_relation(&final_plan, &mut stage_metrics)?
         };
         metrics.add(&stage_metrics);
@@ -347,10 +350,8 @@ mod tests {
         )
         .unwrap();
         for (name, rows) in [("d1", 100i64), ("d2", 200), ("d3", 50), ("d4", 25)] {
-            let schema = Schema::for_dataset(
-                name,
-                &[("id", DataType::Int64), ("attr", DataType::Int64)],
-            );
+            let schema =
+                Schema::for_dataset(name, &[("id", DataType::Int64), ("attr", DataType::Int64)]);
             let data = (0..rows)
                 .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10)]))
                 .collect();
@@ -378,11 +379,19 @@ mod tests {
             .with_predicate(Predicate::udf("pick1", FieldRef::new("d1", "attr"), |v| {
                 v.as_i64() == Some(3)
             }))
-            .with_predicate(Predicate::compare(FieldRef::new("d1", "id"), CmpOp::Lt, 1_000i64))
+            .with_predicate(Predicate::compare(
+                FieldRef::new("d1", "id"),
+                CmpOp::Lt,
+                1_000i64,
+            ))
             .with_predicate(Predicate::udf("pick2", FieldRef::new("d2", "attr"), |v| {
                 v.as_i64().map(|x| x < 5).unwrap_or(false)
             }))
-            .with_predicate(Predicate::compare(FieldRef::new("d2", "id"), CmpOp::Ge, 0i64))
+            .with_predicate(Predicate::compare(
+                FieldRef::new("d2", "id"),
+                CmpOp::Ge,
+                0i64,
+            ))
             .with_projection(vec![FieldRef::new("fact", "f_id")])
     }
 
@@ -405,7 +414,10 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.result.sorted(), expected);
         assert_eq!(outcome.stages_recovered, 0);
-        assert!(outcome.stages_executed >= 3, "pushdowns + at least one join");
+        assert!(
+            outcome.stages_executed >= 3,
+            "pushdowns + at least one join"
+        );
         assert!(log.is_empty(), "log cleared after success");
         assert_eq!(cat.table_names(), tables_before, "temporaries cleaned up");
     }
@@ -419,12 +431,24 @@ mod tests {
 
         // First run: crash after two completed stages.
         let error = driver
-            .execute(&spec(), &mut cat, FailureInjector::after_stages(2), &mut log)
+            .execute(
+                &spec(),
+                &mut cat,
+                FailureInjector::after_stages(2),
+                &mut log,
+            )
             .unwrap_err();
         assert!(error.to_string().contains("injected failure"));
-        assert_eq!(log.len(), 2, "two stages were checkpointed before the crash");
+        assert_eq!(
+            log.len(),
+            2,
+            "two stages were checkpointed before the crash"
+        );
         for table in log.tables() {
-            assert!(cat.has_table(&table), "checkpoint `{table}` must survive the failure");
+            assert!(
+                cat.has_table(&table),
+                "checkpoint `{table}` must survive the failure"
+            );
         }
 
         // Second run: resumes from the log and finishes.
@@ -433,7 +457,11 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.stages_recovered, 2);
         assert!(outcome.stages_executed >= 1);
-        assert_eq!(outcome.result.sorted(), expected, "recovered run must agree");
+        assert_eq!(
+            outcome.result.sorted(),
+            expected,
+            "recovered run must agree"
+        );
         assert!(log.is_empty());
         assert!(
             cat.table_names().iter().all(|t| !t.contains("__ckpt")),
@@ -450,7 +478,12 @@ mod tests {
         let mut attempts = 0;
         let outcome = loop {
             attempts += 1;
-            match driver.execute(&spec(), &mut cat, FailureInjector::after_stages(1), &mut log) {
+            match driver.execute(
+                &spec(),
+                &mut cat,
+                FailureInjector::after_stages(1),
+                &mut log,
+            ) {
                 Ok(outcome) => break outcome,
                 Err(_) => {
                     assert!(attempts < 20, "must converge");
@@ -468,7 +501,12 @@ mod tests {
         let driver = CheckpointedDriver::new(DynamicConfig::default());
         let mut log = CheckpointLog::new();
         driver
-            .execute(&spec(), &mut cat, FailureInjector::after_stages(1), &mut log)
+            .execute(
+                &spec(),
+                &mut cat,
+                FailureInjector::after_stages(1),
+                &mut log,
+            )
             .unwrap_err();
         // Simulate losing the materialized intermediate (e.g. local disk wiped).
         let table = log.tables()[0].clone();
@@ -484,7 +522,12 @@ mod tests {
         let mut cat = catalog();
         let mut log = CheckpointLog::new();
         let outcome = CheckpointedDriver::new(DynamicConfig::default())
-            .execute(&spec(), &mut cat, FailureInjector::after_stages(100), &mut log)
+            .execute(
+                &spec(),
+                &mut cat,
+                FailureInjector::after_stages(100),
+                &mut log,
+            )
             .unwrap();
         assert!(outcome.stages_executed < 100);
         assert!(log.is_empty());

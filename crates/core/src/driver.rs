@@ -1,7 +1,8 @@
 //! The runtime dynamic optimization driver (Algorithm 1 of the paper).
 
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
-use rdo_exec::{materialize, ExecutionMetrics, Executor, PhysicalPlan};
+use rdo_exec::{ExecutionMetrics, PhysicalPlan};
+use rdo_parallel::{materialize, ParallelConfig, ParallelExecutor};
 use rdo_planner::greedy::join_edges;
 use rdo_planner::{
     reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, GreedyPlanner,
@@ -31,6 +32,11 @@ pub struct DynamicConfig {
     /// over whatever statistics have been gathered so far — the overhead/
     /// accuracy trade-off the paper's future-work section raises.
     pub reopt_budget: Option<u32>,
+    /// Partition-parallel execution knobs: every stage (push-down, materialized
+    /// join, final job) runs through the worker pool, and the Sink at each
+    /// re-optimization barrier merges per-partition sketch partials. Results
+    /// and metrics are identical for every worker count.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for DynamicConfig {
@@ -41,6 +47,7 @@ impl Default for DynamicConfig {
             collect_online_stats: true,
             push_down_predicates: true,
             reopt_budget: None,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -62,7 +69,7 @@ impl DynamicConfig {
             rule,
             collect_online_stats: false,
             push_down_predicates: true,
-            reopt_budget: None,
+            ..Default::default()
         }
     }
 
@@ -79,6 +86,12 @@ impl DynamicConfig {
     /// Caps the number of re-optimization points (builder style).
     pub fn with_reopt_budget(mut self, budget: u32) -> Self {
         self.reopt_budget = Some(budget);
+        self
+    }
+
+    /// Sets the partition-parallel execution knobs (builder style).
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
         self
     }
 }
@@ -143,7 +156,7 @@ impl DynamicDriver {
                     let plan = Self::pushdown_plan(&spec, &alias)?;
                     stage_plans.push(format!("pushdown {}", plan.signature()));
                     let data = {
-                        let executor = Executor::new(catalog);
+                        let executor = ParallelExecutor::new(catalog, self.config.parallel);
                         executor.execute(&plan, &mut stage_metrics)?
                     };
                     let table_name = format!("{}__{}_filtered", sanitize(&spec.name), alias);
@@ -154,6 +167,7 @@ impl DynamicDriver {
                         .map(|k| k.field.clone());
                     let tracked = Self::tracked_columns(&spec, &alias);
                     materialize(
+                        self.config.parallel,
                         catalog,
                         &table_name,
                         &data,
@@ -174,7 +188,7 @@ impl DynamicDriver {
                 && self
                     .config
                     .reopt_budget
-                    .map_or(true, |budget| reoptimization_points < budget)
+                    .is_none_or(|budget| reoptimization_points < budget)
             {
                 planner_invocations += 1;
                 reoptimization_points += 1;
@@ -184,7 +198,7 @@ impl DynamicDriver {
 
                 let mut stage_metrics = ExecutionMetrics::new();
                 let data = {
-                    let executor = Executor::new(catalog);
+                    let executor = ParallelExecutor::new(catalog, self.config.parallel);
                     executor.execute(&plan, &mut stage_metrics)?
                 };
 
@@ -204,6 +218,7 @@ impl DynamicDriver {
                 let tracked = Self::tracked_columns(&new_spec, &name);
                 let partition_key = planned.keys.first().map(|(probe, _)| probe.field.clone());
                 materialize(
+                    self.config.parallel,
                     catalog,
                     &name,
                     &data,
@@ -230,7 +245,7 @@ impl DynamicDriver {
             stage_plans.push(final_plan.signature());
             let mut stage_metrics = ExecutionMetrics::new();
             let relation = {
-                let executor = Executor::new(catalog);
+                let executor = ParallelExecutor::new(catalog, self.config.parallel);
                 executor.execute_to_relation(&final_plan, &mut stage_metrics)?
             };
             total.add(&stage_metrics);
@@ -270,9 +285,7 @@ impl DynamicDriver {
     /// The columns of `alias` worth collecting statistics on: its join keys in
     /// the (remaining) query.
     pub(crate) fn tracked_columns(spec: &QuerySpec, alias: &str) -> Vec<String> {
-        spec.join_key_columns()
-            .remove(alias)
-            .unwrap_or_default()
+        spec.join_key_columns().remove(alias).unwrap_or_default()
     }
 }
 
@@ -344,10 +357,8 @@ mod tests {
         .unwrap();
 
         for (name, rows) in [("d1", 100i64), ("d2", 200), ("d3", 50)] {
-            let schema = Schema::for_dataset(
-                name,
-                &[("id", DataType::Int64), ("attr", DataType::Int64)],
-            );
+            let schema =
+                Schema::for_dataset(name, &[("id", DataType::Int64), ("attr", DataType::Int64)]);
             let data = (0..rows)
                 .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10)]))
                 .collect();
@@ -378,7 +389,10 @@ mod tests {
                 CmpOp::Lt,
                 1_000i64,
             ))
-            .with_projection(vec![FieldRef::new("fact", "f_id"), FieldRef::new("fact", "f_val")])
+            .with_projection(vec![
+                FieldRef::new("fact", "f_id"),
+                FieldRef::new("fact", "f_val"),
+            ])
     }
 
     /// The truth: d1 keeps ids with attr==3 and id<1000 → ids {3,13,...,93} (10
@@ -389,12 +403,16 @@ mod tests {
     #[test]
     fn dynamic_execution_produces_correct_result() {
         let mut cat = catalog();
-        let driver = DynamicDriver::new(DynamicConfig::dynamic(
-            JoinAlgorithmRule::with_threshold(500.0),
-        ));
+        let driver = DynamicDriver::new(DynamicConfig::dynamic(JoinAlgorithmRule::with_threshold(
+            500.0,
+        )));
         let outcome = driver.execute(&spec(), &mut cat).unwrap();
         assert_eq!(outcome.result.len(), EXPECTED_ROWS);
-        assert_eq!(outcome.result.schema().len(), 2, "projected to the SELECT list");
+        assert_eq!(
+            outcome.result.schema().len(),
+            2,
+            "projected to the SELECT list"
+        );
         // One re-optimization point: 3 edges → after one materialized join, 2
         // edges remain and the final job runs.
         assert_eq!(outcome.reoptimization_points, 1);
@@ -440,7 +458,9 @@ mod tests {
             push_down_predicates: false,
             ..DynamicConfig::default()
         };
-        let outcome = DynamicDriver::new(config).execute(&spec(), &mut cat).unwrap();
+        let outcome = DynamicDriver::new(config)
+            .execute(&spec(), &mut cat)
+            .unwrap();
         assert_eq!(outcome.result.len(), EXPECTED_ROWS);
         assert_eq!(outcome.pushdown, ExecutionMetrics::new());
     }
@@ -461,7 +481,9 @@ mod tests {
     fn reopt_budget_zero_plans_statically_but_stays_correct() {
         let mut cat = catalog();
         let config = DynamicConfig::dynamic(JoinAlgorithmRule::default()).with_reopt_budget(0);
-        let outcome = DynamicDriver::new(config).execute(&spec(), &mut cat).unwrap();
+        let outcome = DynamicDriver::new(config)
+            .execute(&spec(), &mut cat)
+            .unwrap();
         assert_eq!(outcome.result.len(), EXPECTED_ROWS);
         assert_eq!(outcome.reoptimization_points, 0);
         // One planner invocation for the final (static) job; the push-down stage
@@ -518,6 +540,27 @@ mod tests {
         assert!(result.is_err());
         // Cleanup still happened.
         assert!(cat.table_names().iter().all(|t| !t.contains("__I")));
+    }
+
+    #[test]
+    fn worker_count_never_changes_results_or_metrics() {
+        let reference = {
+            let mut cat = catalog();
+            DynamicDriver::new(DynamicConfig::default().with_parallel(ParallelConfig::serial()))
+                .execute(&spec(), &mut cat)
+                .unwrap()
+        };
+        for workers in [2, 4, 8] {
+            let mut cat = catalog();
+            let config = DynamicConfig::default()
+                .with_parallel(ParallelConfig::serial().with_workers(workers));
+            let outcome = DynamicDriver::new(config)
+                .execute(&spec(), &mut cat)
+                .unwrap();
+            assert_eq!(outcome.result, reference.result, "workers={workers}");
+            assert_eq!(outcome.total, reference.total, "workers={workers}");
+            assert_eq!(outcome.stage_plans, reference.stage_plans);
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use crate::driver::{project_result, DynamicConfig, DynamicDriver};
 use crate::report::CostBreakdown;
 use rdo_common::{Relation, Result};
-use rdo_exec::{CostModel, ExecutionMetrics, Executor};
+use rdo_exec::{CostModel, ExecutionMetrics};
+use rdo_parallel::{ParallelConfig, ParallelExecutor};
 use rdo_planner::{
     BestOrderOptimizer, CostBasedOptimizer, JoinAlgorithmRule, Optimizer, PilotRunOptimizer,
     QuerySpec, WorstOrderOptimizer,
@@ -106,6 +107,10 @@ pub struct QueryRunner {
     pub rule: JoinAlgorithmRule,
     /// Sample limit for the pilot-run baseline.
     pub pilot_sample_limit: usize,
+    /// Partition-parallel execution knobs shared by every strategy — static
+    /// baselines execute their plan through the worker pool too, so all six
+    /// Figure 7 strategies benefit equally from parallel hardware.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for QueryRunner {
@@ -114,6 +119,7 @@ impl Default for QueryRunner {
             cost_model: CostModel::default(),
             rule: JoinAlgorithmRule::default(),
             pilot_sample_limit: 2_000,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -124,7 +130,7 @@ impl QueryRunner {
         Self {
             cost_model,
             rule,
-            pilot_sample_limit: 2_000,
+            ..Default::default()
         }
     }
 
@@ -132,6 +138,12 @@ impl QueryRunner {
     /// (Figure 7 vs Figure 8).
     pub fn with_indexed_nested_loop(mut self, enabled: bool) -> Self {
         self.rule = self.rule.with_indexed_nested_loop(enabled);
+        self
+    }
+
+    /// Sets the partition-parallel execution knobs (builder style).
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
         self
     }
 
@@ -143,10 +155,15 @@ impl QueryRunner {
         catalog: &mut Catalog,
     ) -> Result<RunReport> {
         match strategy {
-            Strategy::Dynamic => self.run_dynamic(strategy, spec, catalog, DynamicConfig::dynamic(self.rule)),
-            Strategy::IngresLike => {
-                self.run_dynamic(strategy, spec, catalog, DynamicConfig::ingres_like(self.rule))
+            Strategy::Dynamic => {
+                self.run_dynamic(strategy, spec, catalog, DynamicConfig::dynamic(self.rule))
             }
+            Strategy::IngresLike => self.run_dynamic(
+                strategy,
+                spec,
+                catalog,
+                DynamicConfig::ingres_like(self.rule),
+            ),
             Strategy::ReoptWithoutOnlineStats => self.run_dynamic(
                 strategy,
                 spec,
@@ -197,6 +214,10 @@ impl QueryRunner {
         catalog: &mut Catalog,
         config: DynamicConfig,
     ) -> Result<RunReport> {
+        let config = DynamicConfig {
+            parallel: self.parallel,
+            ..config
+        };
         let start = Instant::now();
         let outcome = DynamicDriver::new(config).execute(spec, catalog)?;
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -223,7 +244,7 @@ impl QueryRunner {
         let start = Instant::now();
         let (plan, mut metrics) = optimizer.plan_with_overhead(spec, catalog, catalog.stats())?;
         let relation = {
-            let executor = Executor::new(catalog);
+            let executor = ParallelExecutor::new(catalog, self.parallel);
             executor.execute_to_relation(&plan, &mut metrics)?
         };
         let result = project_result(relation, &spec.projection)?;
@@ -277,10 +298,8 @@ mod tests {
         )
         .unwrap();
         for (name, rows) in [("da", 80i64), ("db", 400), ("dc", 40)] {
-            let schema = Schema::for_dataset(
-                name,
-                &[("id", DataType::Int64), ("attr", DataType::Int64)],
-            );
+            let schema =
+                Schema::for_dataset(name, &[("id", DataType::Int64), ("attr", DataType::Int64)]);
             let data = (0..rows)
                 .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 6)]))
                 .collect();
@@ -303,9 +322,11 @@ mod tests {
             .with_join(FieldRef::new("fact", "f_a"), FieldRef::new("da", "id"))
             .with_join(FieldRef::new("fact", "f_b"), FieldRef::new("db", "id"))
             .with_join(FieldRef::new("fact", "f_c"), FieldRef::new("dc", "id"))
-            .with_predicate(Predicate::udf("da_pick", FieldRef::new("da", "attr"), |v| {
-                v.as_i64() == Some(2)
-            }))
+            .with_predicate(Predicate::udf(
+                "da_pick",
+                FieldRef::new("da", "attr"),
+                |v| v.as_i64() == Some(2),
+            ))
             .with_predicate(Predicate::compare(
                 FieldRef::new("da", "id"),
                 CmpOp::Lt,

@@ -82,6 +82,17 @@ impl ExecutionMetrics {
         out
     }
 
+    /// Merges two per-partition metric partials into one. Every counter is a
+    /// plain sum, so the operation is associative and commutative — the
+    /// partition-parallel executor folds worker partials in partition order
+    /// and gets the same totals the serial executor accumulates, regardless of
+    /// which worker ran which partition.
+    #[must_use]
+    pub fn merge(mut self, other: ExecutionMetrics) -> ExecutionMetrics {
+        self.add(&other);
+        self
+    }
+
     /// Simulated execution time in cost units under the given model.
     pub fn simulated_cost(&self, model: &CostModel) -> f64 {
         model.cost_of(self)
@@ -290,6 +301,9 @@ mod tests {
 
     #[test]
     fn zero_metrics_zero_cost() {
-        assert_eq!(ExecutionMetrics::new().simulated_cost(&CostModel::default()), 0.0);
+        assert_eq!(
+            ExecutionMetrics::new().simulated_cost(&CostModel::default()),
+            0.0
+        );
     }
 }

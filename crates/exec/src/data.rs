@@ -22,11 +22,7 @@ pub struct PartitionedData {
 
 impl PartitionedData {
     /// Creates partitioned data.
-    pub fn new(
-        schema: Schema,
-        partitions: Vec<Vec<Tuple>>,
-        partition_key: Option<String>,
-    ) -> Self {
+    pub fn new(schema: Schema, partitions: Vec<Vec<Tuple>>, partition_key: Option<String>) -> Self {
         Self {
             schema,
             partitions,
@@ -92,7 +88,7 @@ impl PartitionedData {
 
     /// True if the data is hash-partitioned on `column` (unqualified comparison).
     pub fn is_partitioned_on(&self, column: &str) -> bool {
-        let unqualified = column.rsplit('.').next().unwrap_or(column);
+        let unqualified = rdo_common::unqualified(column);
         self.partition_key.as_deref() == Some(unqualified)
     }
 
@@ -105,16 +101,15 @@ impl PartitionedData {
         let mut moved_rows = 0u64;
         let mut moved_bytes = 0u64;
         for (from, partition) in self.partitions.iter().enumerate() {
-            for row in partition {
-                let to = (hash_value(row.value(key_index)) % n as u64) as usize;
-                if to != from {
-                    moved_rows += 1;
-                    moved_bytes += row.approx_bytes() as u64;
-                }
-                new_partitions[to].push(row.clone());
+            let (buckets, rows, bytes) =
+                crate::partition::repartition_partition(partition, key_index, from, n);
+            moved_rows += rows;
+            moved_bytes += bytes;
+            for (to, mut bucket) in buckets.into_iter().enumerate() {
+                new_partitions[to].append(&mut bucket);
             }
         }
-        let key_name = key_name.rsplit('.').next().unwrap_or(key_name).to_string();
+        let key_name = rdo_common::unqualified(key_name).to_string();
         (
             PartitionedData::new(self.schema.clone(), new_partitions, Some(key_name)),
             moved_rows,
@@ -135,7 +130,10 @@ impl PartitionedData {
 
     /// Flattens into a single vector of rows (broadcast build sides).
     pub fn all_rows(&self) -> Vec<Tuple> {
-        self.partitions.iter().flat_map(|p| p.iter().cloned()).collect()
+        self.partitions
+            .iter()
+            .flat_map(|p| p.iter().cloned())
+            .collect()
     }
 }
 

@@ -3,11 +3,15 @@
 
 use crate::cost::ExecutionMetrics;
 use crate::data::PartitionedData;
-use crate::expr::{evaluate_all, Predicate};
+use crate::expr::Predicate;
+use crate::partition::{
+    hash_join_partition, indexed_join_partition, scan_partition, IndexJoinTally, JoinTally,
+    ScanTally,
+};
 use crate::plan::{JoinAlgorithm, PhysicalPlan};
-use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple, Value};
+use crate::setup::{prepare_indexed_join, prepare_scan, resolve_keys};
+use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
 use rdo_storage::Catalog;
-use std::collections::HashMap;
 
 /// Executes physical plans against a catalog.
 pub struct Executor<'a> {
@@ -63,65 +67,31 @@ impl<'a> Executor<'a> {
         metrics: &mut ExecutionMetrics,
     ) -> Result<PartitionedData> {
         let table = self.catalog.table(table_name)?;
-        let mut schema = table.schema().clone();
-        if dataset != table_name {
-            schema = schema.with_dataset(dataset);
-        }
-
-        let projection_indexes = match projection {
-            Some(cols) => Some(
-                cols.iter()
-                    .map(|c| schema.resolve(c))
-                    .collect::<Result<Vec<usize>>>()?,
-            ),
-            None => None,
-        };
-        let out_schema = match &projection_indexes {
-            Some(idx) => schema.project(idx),
-            None => schema.clone(),
-        };
+        let setup = prepare_scan(table, dataset, projection)?;
 
         let mut partitions: Vec<Vec<Tuple>> = Vec::with_capacity(table.num_partitions());
-        let mut scanned_rows = 0u64;
-        let mut scanned_bytes = 0u64;
-        let mut kept = 0u64;
+        let mut tally = ScanTally::default();
         for partition in table.partitions() {
-            let mut out = Vec::new();
-            for row in partition {
-                scanned_rows += 1;
-                scanned_bytes += row.approx_bytes() as u64;
-                if evaluate_all(predicates, &schema, row)? {
-                    let projected = match &projection_indexes {
-                        Some(idx) => row.project(idx),
-                        None => row.clone(),
-                    };
-                    out.push(projected);
-                    kept += 1;
-                }
-            }
+            let (out, partial) = scan_partition(
+                &setup.schema,
+                predicates,
+                setup.projection_indexes.as_deref(),
+                partition,
+            )?;
+            tally.add(&partial);
             partitions.push(out);
         }
 
         if table.is_temporary() {
-            metrics.rows_intermediate_read += scanned_rows;
-            metrics.bytes_intermediate_read += scanned_bytes;
+            metrics.rows_intermediate_read += tally.scanned_rows;
+            metrics.bytes_intermediate_read += tally.scanned_bytes;
         } else {
-            metrics.rows_scanned += scanned_rows;
-            metrics.bytes_scanned += scanned_bytes;
+            metrics.rows_scanned += tally.scanned_rows;
+            metrics.bytes_scanned += tally.scanned_bytes;
         }
-        metrics.output_rows += kept;
+        metrics.output_rows += tally.kept;
 
-        // Partitioning survives the scan if the partition-key column is still in
-        // the output schema.
-        let partition_key = table.partition_key().and_then(|key| {
-            if out_schema.fields().iter().any(|f| f.name.field == key) {
-                Some(key.to_string())
-            } else {
-                None
-            }
-        });
-
-        let mut data = PartitionedData::new(out_schema, partitions, partition_key);
+        let mut data = PartitionedData::new(setup.out_schema, partitions, setup.partition_key);
         if predicates.is_empty() && projection.is_none() && !table.is_temporary() {
             data = data.with_base_table(table_name);
         }
@@ -181,7 +151,7 @@ impl<'a> Executor<'a> {
                     .to_string(),
             ));
         };
-        let (first_left_key, first_right_key) = &keys[0];
+        let (first_left_key, _) = &keys[0];
         let table = self.catalog.table(table_name)?;
         let index = self
             .catalog
@@ -193,35 +163,8 @@ impl<'a> Executor<'a> {
                 ))
             })?;
 
-        let mut left_schema = table.schema().clone();
-        if dataset != table_name {
-            left_schema = left_schema.with_dataset(dataset);
-        }
-        let projection_indexes = match projection {
-            Some(cols) => Some(
-                cols.iter()
-                    .map(|c| left_schema.resolve(c))
-                    .collect::<Result<Vec<usize>>>()?,
-            ),
-            None => None,
-        };
-        let left_out_schema = match &projection_indexes {
-            Some(idx) => left_schema.project(idx),
-            None => left_schema.clone(),
-        };
-        let out_schema = left_out_schema.join(right.schema());
-
-        // Residual key pairs beyond the indexed one are checked after the index
-        // probe (composite-key joins).
-        let left_key_indexes: Vec<usize> = keys
-            .iter()
-            .map(|(l, _)| left_schema.resolve(l))
-            .collect::<Result<Vec<usize>>>()?;
-        let right_key_indexes: Vec<usize> = keys
-            .iter()
-            .map(|(_, r)| right.schema().resolve(r))
-            .collect::<Result<Vec<usize>>>()?;
-        let first_right_key_index = right.schema().resolve(first_right_key)?;
+        let setup =
+            prepare_indexed_join(table, dataset, projection.as_deref(), right.schema(), keys)?;
 
         let broadcast_rows = right.all_rows();
         let partitions_count = table.num_partitions();
@@ -233,75 +176,33 @@ impl<'a> Executor<'a> {
             * partitions_count as u64;
 
         let mut out_partitions: Vec<Vec<Tuple>> = Vec::with_capacity(partitions_count);
-        let mut output = 0u64;
+        let mut tally = IndexJoinTally::default();
         for p in 0..partitions_count {
-            let mut out = Vec::new();
-            for probe_row in &broadcast_rows {
-                metrics.index_lookups += 1;
-                let key = probe_row.value(first_right_key_index);
-                for &offset in index.probe(p, key) {
-                    metrics.index_fetched_rows += 1;
-                    let base_row = &table.partition(p)[offset];
-                    let all_keys_match = left_key_indexes
-                        .iter()
-                        .zip(&right_key_indexes)
-                        .skip(1)
-                        .all(|(&li, &ri)| base_row.value(li) == probe_row.value(ri));
-                    if !all_keys_match {
-                        continue;
-                    }
-                    if !evaluate_all(predicates, &left_schema, base_row)? {
-                        continue;
-                    }
-                    let left_row = match &projection_indexes {
-                        Some(idx) => base_row.project(idx),
-                        None => base_row.clone(),
-                    };
-                    out.push(left_row.concat(probe_row));
-                    output += 1;
-                }
-            }
+            let (out, partial) = indexed_join_partition(
+                &broadcast_rows,
+                index,
+                p,
+                table.partition(p),
+                &setup.left_schema,
+                predicates,
+                setup.projection_indexes.as_deref(),
+                &setup.left_key_indexes,
+                &setup.right_key_indexes,
+                setup.first_right_key_index,
+            )?;
+            tally.add(&partial);
             out_partitions.push(out);
         }
-        metrics.output_rows += output;
+        metrics.index_lookups += tally.index_lookups;
+        metrics.index_fetched_rows += tally.index_fetched_rows;
+        metrics.output_rows += tally.output_rows;
 
-        let partition_key = table.partition_key().and_then(|key| {
-            if left_out_schema.fields().iter().any(|f| f.name.field == key) {
-                Some(key.to_string())
-            } else {
-                None
-            }
-        });
-        Ok(PartitionedData::new(out_schema, out_partitions, partition_key))
+        Ok(PartitionedData::new(
+            setup.out_schema,
+            out_partitions,
+            setup.partition_key,
+        ))
     }
-}
-
-fn resolve_keys(
-    left: &PartitionedData,
-    right: &PartitionedData,
-    keys: &[(FieldRef, FieldRef)],
-) -> Result<(Vec<usize>, Vec<usize>)> {
-    let left_indexes = keys
-        .iter()
-        .map(|(l, _)| left.schema().resolve(l))
-        .collect::<Result<Vec<usize>>>()?;
-    let right_indexes = keys
-        .iter()
-        .map(|(_, r)| right.schema().resolve(r))
-        .collect::<Result<Vec<usize>>>()?;
-    Ok((left_indexes, right_indexes))
-}
-
-fn composite_key(row: &Tuple, indexes: &[usize]) -> Option<Vec<Value>> {
-    let mut key = Vec::with_capacity(indexes.len());
-    for &i in indexes {
-        let v = row.value(i);
-        if v.is_null() {
-            return None;
-        }
-        key.push(v.clone());
-    }
-    Some(key)
 }
 
 /// Partitioned (re-shuffling) hash join on a conjunction of key pairs.
@@ -339,42 +240,30 @@ pub fn hash_join(
     let out_schema = left.schema().join(right.schema());
     let num_partitions = left.num_partitions().max(right.num_partitions());
     let mut out_partitions: Vec<Vec<Tuple>> = Vec::with_capacity(num_partitions);
-    let mut output = 0u64;
+    let mut tally = JoinTally::default();
+    let empty: Vec<Tuple> = Vec::new();
     for p in 0..num_partitions {
-        let empty: Vec<Tuple> = Vec::new();
         let build_rows = right.partitions().get(p).unwrap_or(&empty);
         let probe_rows = left.partitions().get(p).unwrap_or(&empty);
-        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(build_rows.len());
-        for row in build_rows {
-            metrics.build_rows += 1;
-            if let Some(key) = composite_key(row, &right_key_indexes) {
-                table.entry(key).or_default().push(row);
-            }
-        }
-        let mut out = Vec::new();
-        for row in probe_rows {
-            metrics.probe_rows += 1;
-            let Some(key) = composite_key(row, &left_key_indexes) else {
-                continue;
-            };
-            if let Some(matches) = table.get(&key) {
-                for m in matches {
-                    out.push(row.concat(m));
-                    output += 1;
-                }
-            }
-        }
+        let (out, partial) = hash_join_partition(
+            probe_rows,
+            build_rows,
+            &left_key_indexes,
+            &right_key_indexes,
+        );
+        tally.add(&partial);
         out_partitions.push(out);
     }
-    metrics.output_rows += output;
+    metrics.build_rows += tally.build_rows;
+    metrics.probe_rows += tally.probe_rows;
+    metrics.output_rows += tally.output_rows;
 
-    let key_name = first_left_key
-        .field
-        .rsplit('.')
-        .next()
-        .unwrap_or(&first_left_key.field)
-        .to_string();
-    Ok(PartitionedData::new(out_schema, out_partitions, Some(key_name)))
+    let key_name = rdo_common::unqualified(&first_left_key.field).to_string();
+    Ok(PartitionedData::new(
+        out_schema,
+        out_partitions,
+        Some(key_name),
+    ))
 }
 
 /// Broadcast join: the right input is replicated to every partition of the left
@@ -398,44 +287,36 @@ pub fn broadcast_join(
 
     let out_schema = left.schema().join(right.schema());
     let mut out_partitions: Vec<Vec<Tuple>> = Vec::with_capacity(partitions_count);
-    let mut output = 0u64;
+    let mut tally = JoinTally::default();
     for probe_rows in left.partitions() {
         // Each partition builds its own copy of the broadcast hash table.
-        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> =
-            HashMap::with_capacity(broadcast_rows.len());
-        for row in &broadcast_rows {
-            metrics.build_rows += 1;
-            if let Some(key) = composite_key(row, &right_key_indexes) {
-                table.entry(key).or_default().push(row);
-            }
-        }
-        let mut out = Vec::new();
-        for row in probe_rows {
-            metrics.probe_rows += 1;
-            let Some(key) = composite_key(row, &left_key_indexes) else {
-                continue;
-            };
-            if let Some(matches) = table.get(&key) {
-                for m in matches {
-                    out.push(row.concat(m));
-                    output += 1;
-                }
-            }
-        }
+        let (out, partial) = hash_join_partition(
+            probe_rows,
+            &broadcast_rows,
+            &left_key_indexes,
+            &right_key_indexes,
+        );
+        tally.add(&partial);
         out_partitions.push(out);
     }
-    metrics.output_rows += output;
+    metrics.build_rows += tally.build_rows;
+    metrics.probe_rows += tally.probe_rows;
+    metrics.output_rows += tally.output_rows;
 
     // The probe side never moved, so its partitioning is preserved.
     let partition_key = left.partition_key().map(|s| s.to_string());
-    Ok(PartitionedData::new(out_schema, out_partitions, partition_key))
+    Ok(PartitionedData::new(
+        out_schema,
+        out_partitions,
+        partition_key,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::CmpOp;
-    use rdo_common::{DataType, Schema};
+    use rdo_common::{DataType, Schema, Value};
     use rdo_storage::IngestOptions;
 
     /// Builds a small catalog with `orders(o_orderkey, o_custkey)` and
@@ -445,7 +326,10 @@ mod tests {
         let mut cat = Catalog::new(4);
         let orders_schema = Schema::for_dataset(
             "orders",
-            &[("o_orderkey", DataType::Int64), ("o_custkey", DataType::Int64)],
+            &[
+                ("o_orderkey", DataType::Int64),
+                ("o_custkey", DataType::Int64),
+            ],
         );
         let orders_rows = (0..200)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 20)]))
@@ -533,9 +417,13 @@ mod tests {
         // orders is partitioned on o_orderkey; joining on o_custkey must shuffle
         // the orders side. customer is partitioned on c_custkey already.
         let mut m = ExecutionMetrics::new();
-        exec.execute(&join_plan(JoinAlgorithm::Hash), &mut m).unwrap();
+        exec.execute(&join_plan(JoinAlgorithm::Hash), &mut m)
+            .unwrap();
         assert!(m.rows_shuffled > 0);
-        assert!(m.rows_shuffled <= 200, "only the orders side should shuffle");
+        assert!(
+            m.rows_shuffled <= 200,
+            "only the orders side should shuffle"
+        );
 
         // Joining orders to customer on the orders primary key needs no shuffle
         // for the orders side.
@@ -548,7 +436,10 @@ mod tests {
         );
         let mut m2 = ExecutionMetrics::new();
         exec.execute(&plan, &mut m2).unwrap();
-        assert!(m2.rows_shuffled <= 20, "only the small customer side may move");
+        assert!(
+            m2.rows_shuffled <= 20,
+            "only the small customer side may move"
+        );
     }
 
     #[test]
@@ -556,8 +447,13 @@ mod tests {
         let cat = catalog();
         let exec = Executor::new(&cat);
         let mut m = ExecutionMetrics::new();
-        exec.execute(&join_plan(JoinAlgorithm::Broadcast), &mut m).unwrap();
-        assert_eq!(m.rows_broadcast, 20 * 4, "20 customers replicated to 4 partitions");
+        exec.execute(&join_plan(JoinAlgorithm::Broadcast), &mut m)
+            .unwrap();
+        assert_eq!(
+            m.rows_broadcast,
+            20 * 4,
+            "20 customers replicated to 4 partitions"
+        );
         assert_eq!(m.rows_shuffled, 0);
     }
 
@@ -571,7 +467,10 @@ mod tests {
             .unwrap();
         assert_eq!(rel.len(), 200);
         // The orders table itself is never scanned.
-        assert_eq!(m.rows_scanned, 20, "only the customer build side is scanned");
+        assert_eq!(
+            m.rows_scanned, 20,
+            "only the customer build side is scanned"
+        );
         assert_eq!(m.index_lookups, 20 * 4);
         assert_eq!(m.index_fetched_rows, 200);
     }
@@ -614,9 +513,12 @@ mod tests {
     fn join_with_local_predicate_on_build_side() {
         let cat = catalog();
         let exec = Executor::new(&cat);
-        let filtered_customer = PhysicalPlan::scan("customer").with_predicates(vec![
-            Predicate::compare(FieldRef::new("customer", "c_custkey"), CmpOp::Lt, 5i64),
-        ]);
+        let filtered_customer =
+            PhysicalPlan::scan("customer").with_predicates(vec![Predicate::compare(
+                FieldRef::new("customer", "c_custkey"),
+                CmpOp::Lt,
+                5i64,
+            )]);
         let plan = PhysicalPlan::join(
             PhysicalPlan::scan("orders"),
             filtered_customer,
@@ -643,11 +545,7 @@ mod tests {
         let mut m = ExecutionMetrics::new();
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();
         assert_eq!(rel.len(), 200);
-        assert!(rel
-            .schema()
-            .fields()
-            .iter()
-            .any(|f| f.name.dataset == "c2"));
+        assert!(rel.schema().fields().iter().any(|f| f.name.dataset == "c2"));
     }
 
     #[test]
@@ -655,6 +553,8 @@ mod tests {
         let cat = catalog();
         let exec = Executor::new(&cat);
         let mut m = ExecutionMetrics::new();
-        assert!(exec.execute(&PhysicalPlan::scan("missing"), &mut m).is_err());
+        assert!(exec
+            .execute(&PhysicalPlan::scan("missing"), &mut m)
+            .is_err());
     }
 }

@@ -330,7 +330,11 @@ mod tests {
     }
 
     fn tuple(key: i64, size: i64, brand: &str) -> Tuple {
-        Tuple::new(vec![Value::Int64(key), Value::Int64(size), Value::from(brand)])
+        Tuple::new(vec![
+            Value::Int64(key),
+            Value::Int64(size),
+            Value::from(brand),
+        ])
     }
 
     fn stats(n: i64) -> DatasetStats {
@@ -394,7 +398,8 @@ mod tests {
     #[test]
     fn parameterized_predicate_uses_defaults() {
         let st = stats(1000);
-        let p = Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Eq, 3i64).parameterized();
+        let p =
+            Predicate::compare(FieldRef::new("part", "p_size"), CmpOp::Eq, 3i64).parameterized();
         assert!(p.is_complex());
         assert_eq!(p.estimate_selectivity(Some(&st)), 0.1);
         // The same predicate un-parameterized uses the histogram (1/50 ≈ 0.02).
@@ -435,7 +440,10 @@ mod tests {
         assert!(!evaluate_all(&preds, &s, &tuple(1, 5, "B")).unwrap());
         let st = stats(1000);
         let combined = combined_selectivity(&preds, Some(&st));
-        let individual: f64 = preds.iter().map(|p| p.estimate_selectivity(Some(&st))).product();
+        let individual: f64 = preds
+            .iter()
+            .map(|p| p.estimate_selectivity(Some(&st)))
+            .product();
         assert!((combined - individual).abs() < 1e-12);
     }
 

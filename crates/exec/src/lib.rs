@@ -25,8 +25,10 @@ pub mod cost;
 pub mod data;
 pub mod executor;
 pub mod expr;
+pub mod partition;
 pub mod plan;
 pub mod post;
+pub mod setup;
 pub mod sink;
 
 pub use cost::{CostModel, ExecutionMetrics};

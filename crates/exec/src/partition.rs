@@ -1,0 +1,310 @@
+//! Per-partition operator kernels.
+//!
+//! Every physical operator of the engine decomposes into work that runs
+//! independently on one partition: filter/project a partition's rows, bucket a
+//! partition's rows for a re-partition exchange, build-and-probe one
+//! partition's hash table, probe one partition of a secondary index. The
+//! serial [`crate::Executor`] loops these kernels partition-by-partition; the
+//! partition-parallel executor (`rdo-parallel`) maps the *same* kernels across
+//! a worker pool. Sharing the kernels is what makes the two executors
+//! bit-identical: parallelism only changes *who* runs a partition, never what
+//! the partition computes.
+//!
+//! Each kernel returns its output rows plus a tally of the counters it would
+//! contribute to [`crate::ExecutionMetrics`]; tallies are summed in partition
+//! order, which makes the merged metrics independent of worker interleaving.
+
+use crate::data::partition_for;
+use crate::expr::{evaluate_all, Predicate};
+use rdo_common::{Result, Schema, Tuple, Value};
+use rdo_storage::SecondaryIndex;
+use std::collections::HashMap;
+
+/// Counters produced by scanning one partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanTally {
+    /// Rows read from the partition.
+    pub scanned_rows: u64,
+    /// Bytes read from the partition.
+    pub scanned_bytes: u64,
+    /// Rows surviving the predicates.
+    pub kept: u64,
+}
+
+impl ScanTally {
+    /// Adds another tally into this one (partition-order fold).
+    pub fn add(&mut self, other: &ScanTally) {
+        self.scanned_rows += other.scanned_rows;
+        self.scanned_bytes += other.scanned_bytes;
+        self.kept += other.kept;
+    }
+}
+
+/// Filters and projects the rows of one partition.
+pub fn scan_partition(
+    schema: &Schema,
+    predicates: &[Predicate],
+    projection: Option<&[usize]>,
+    rows: &[Tuple],
+) -> Result<(Vec<Tuple>, ScanTally)> {
+    let mut out = Vec::new();
+    let mut tally = ScanTally::default();
+    for row in rows {
+        tally.scanned_rows += 1;
+        tally.scanned_bytes += row.approx_bytes() as u64;
+        if evaluate_all(predicates, schema, row)? {
+            let projected = match projection {
+                Some(indexes) => row.project(indexes),
+                None => row.clone(),
+            };
+            out.push(projected);
+            tally.kept += 1;
+        }
+    }
+    Ok((out, tally))
+}
+
+/// Extracts a composite join key, treating any NULL component as "no key"
+/// (SQL equi-join semantics: NULL never matches).
+pub fn composite_key(row: &Tuple, indexes: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(indexes.len());
+    for &i in indexes {
+        let v = row.value(i);
+        if v.is_null() {
+            return None;
+        }
+        key.push(v.clone());
+    }
+    Some(key)
+}
+
+/// Counters produced by one partition of a hash/broadcast join.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinTally {
+    /// Rows inserted into the build table.
+    pub build_rows: u64,
+    /// Rows probed against the build table.
+    pub probe_rows: u64,
+    /// Join output rows.
+    pub output_rows: u64,
+}
+
+impl JoinTally {
+    /// Adds another tally into this one (partition-order fold).
+    pub fn add(&mut self, other: &JoinTally) {
+        self.build_rows += other.build_rows;
+        self.probe_rows += other.probe_rows;
+        self.output_rows += other.output_rows;
+    }
+}
+
+/// Builds a hash table over `build_rows` and probes it with `probe_rows`,
+/// emitting `probe ++ build` rows. Used per partition by the hash join (with
+/// co-partitioned inputs) and by the broadcast join (with the replicated build
+/// side).
+pub fn hash_join_partition(
+    probe_rows: &[Tuple],
+    build_rows: &[Tuple],
+    probe_key_indexes: &[usize],
+    build_key_indexes: &[usize],
+) -> (Vec<Tuple>, JoinTally) {
+    let mut tally = JoinTally::default();
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(build_rows.len());
+    for row in build_rows {
+        tally.build_rows += 1;
+        if let Some(key) = composite_key(row, build_key_indexes) {
+            table.entry(key).or_default().push(row);
+        }
+    }
+    let mut out = Vec::new();
+    for row in probe_rows {
+        tally.probe_rows += 1;
+        let Some(key) = composite_key(row, probe_key_indexes) else {
+            continue;
+        };
+        if let Some(matches) = table.get(&key) {
+            for m in matches {
+                out.push(row.concat(m));
+                tally.output_rows += 1;
+            }
+        }
+    }
+    (out, tally)
+}
+
+/// Counters produced by one partition of an indexed nested-loop join.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexJoinTally {
+    /// Secondary-index lookups performed.
+    pub index_lookups: u64,
+    /// Rows fetched through the index.
+    pub index_fetched_rows: u64,
+    /// Join output rows.
+    pub output_rows: u64,
+}
+
+impl IndexJoinTally {
+    /// Adds another tally into this one (partition-order fold).
+    pub fn add(&mut self, other: &IndexJoinTally) {
+        self.index_lookups += other.index_lookups;
+        self.index_fetched_rows += other.index_fetched_rows;
+        self.output_rows += other.output_rows;
+    }
+}
+
+/// Probes one partition of a secondary index with the broadcast build rows,
+/// emitting `indexed ++ probe` rows. `base_rows` is the indexed table's
+/// partition; residual key pairs beyond the indexed one and the scan's local
+/// predicates are checked after each index fetch.
+#[allow(clippy::too_many_arguments)]
+pub fn indexed_join_partition(
+    broadcast_rows: &[Tuple],
+    index: &SecondaryIndex,
+    partition: usize,
+    base_rows: &[Tuple],
+    left_schema: &Schema,
+    predicates: &[Predicate],
+    projection: Option<&[usize]>,
+    left_key_indexes: &[usize],
+    right_key_indexes: &[usize],
+    first_right_key_index: usize,
+) -> Result<(Vec<Tuple>, IndexJoinTally)> {
+    let mut tally = IndexJoinTally::default();
+    let mut out = Vec::new();
+    for probe_row in broadcast_rows {
+        tally.index_lookups += 1;
+        let key = probe_row.value(first_right_key_index);
+        for &offset in index.probe(partition, key) {
+            tally.index_fetched_rows += 1;
+            let base_row = &base_rows[offset];
+            let all_keys_match = left_key_indexes
+                .iter()
+                .zip(right_key_indexes)
+                .skip(1)
+                .all(|(&li, &ri)| base_row.value(li) == probe_row.value(ri));
+            if !all_keys_match {
+                continue;
+            }
+            if !evaluate_all(predicates, left_schema, base_row)? {
+                continue;
+            }
+            let left_row = match projection {
+                Some(indexes) => base_row.project(indexes),
+                None => base_row.clone(),
+            };
+            out.push(left_row.concat(probe_row));
+            tally.output_rows += 1;
+        }
+    }
+    Ok((out, tally))
+}
+
+/// Buckets one source partition's rows by the hash of the key column — the
+/// per-partition half of a `HashRepartition` exchange. Returns the buckets
+/// (indexed by destination partition) and the rows/bytes that left partition
+/// `from` (the shuffle volume the cost model charges for). The exchange
+/// concatenates buckets in source-partition order, so the result is
+/// deterministic no matter which worker ran which source partition.
+pub fn repartition_partition(
+    rows: &[Tuple],
+    key_index: usize,
+    from: usize,
+    num_partitions: usize,
+) -> (Vec<Vec<Tuple>>, u64, u64) {
+    let mut buckets: Vec<Vec<Tuple>> = vec![Vec::new(); num_partitions];
+    let mut moved_rows = 0u64;
+    let mut moved_bytes = 0u64;
+    for row in rows {
+        let to = partition_for(row.value(key_index), num_partitions);
+        if to != from {
+            moved_rows += 1;
+            moved_bytes += row.approx_bytes() as u64;
+        }
+        buckets[to].push(row.clone());
+    }
+    (buckets, moved_rows, moved_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::{DataType, Schema};
+
+    fn rows(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 5)]))
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::for_dataset("t", &[("k", DataType::Int64), ("g", DataType::Int64)])
+    }
+
+    #[test]
+    fn scan_kernel_counts_and_filters() {
+        let rows = rows(10);
+        let predicates = vec![Predicate::compare(
+            rdo_common::FieldRef::new("t", "g"),
+            crate::expr::CmpOp::Eq,
+            2i64,
+        )];
+        let (out, tally) = scan_partition(&schema(), &predicates, None, &rows).unwrap();
+        assert_eq!(tally.scanned_rows, 10);
+        assert_eq!(tally.kept, 2);
+        assert_eq!(out.len(), 2);
+        assert!(tally.scanned_bytes > 0);
+    }
+
+    #[test]
+    fn hash_join_kernel_concats_probe_then_build() {
+        let probe = rows(10);
+        let build = rows(5);
+        let (out, tally) = hash_join_partition(&probe, &build, &[0], &[0]);
+        assert_eq!(tally.build_rows, 5);
+        assert_eq!(tally.probe_rows, 10);
+        assert_eq!(tally.output_rows, 5, "keys 0..5 match");
+        assert_eq!(out[0].values().len(), 4);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let probe = vec![Tuple::new(vec![Value::Null, Value::Int64(0)])];
+        let build = vec![Tuple::new(vec![Value::Null, Value::Int64(0)])];
+        let (out, tally) = hash_join_partition(&probe, &build, &[0], &[0]);
+        assert!(out.is_empty());
+        assert_eq!(tally.output_rows, 0);
+    }
+
+    #[test]
+    fn repartition_kernel_buckets_by_hash() {
+        let rows = rows(100);
+        let (buckets, moved, bytes) = repartition_partition(&rows, 1, 0, 4);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 100);
+        assert!(moved > 0 && moved <= 100);
+        assert!(bytes > 0);
+        for (p, bucket) in buckets.iter().enumerate() {
+            for row in bucket {
+                assert_eq!(partition_for(row.value(1), 4), p);
+            }
+        }
+    }
+
+    #[test]
+    fn tallies_fold_associatively() {
+        let a = ScanTally {
+            scanned_rows: 1,
+            scanned_bytes: 2,
+            kept: 3,
+        };
+        let b = ScanTally {
+            scanned_rows: 10,
+            scanned_bytes: 20,
+            kept: 30,
+        };
+        let mut left = a;
+        left.add(&b);
+        let mut right = b;
+        right.add(&a);
+        assert_eq!(left, right);
+    }
+}

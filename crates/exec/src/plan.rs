@@ -188,7 +188,12 @@ impl PhysicalPlan {
                 right,
                 algorithm,
                 ..
-            } => format!("({} {} {})", left.signature(), algorithm.symbol(), right.signature()),
+            } => format!(
+                "({} {} {})",
+                left.signature(),
+                algorithm.symbol(),
+                right.signature()
+            ),
         }
     }
 
@@ -303,8 +308,7 @@ mod tests {
             1i64,
         )]);
         assert!(!filtered.is_bare_scan());
-        let projected =
-            PhysicalPlan::scan("x").with_projection(vec![FieldRef::new("x", "c")]);
+        let projected = PhysicalPlan::scan("x").with_projection(vec![FieldRef::new("x", "c")]);
         assert!(!projected.is_bare_scan());
         assert!(!sample_join().is_bare_scan());
     }

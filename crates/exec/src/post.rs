@@ -254,10 +254,18 @@ impl PostProcess {
 #[derive(Debug, Clone)]
 enum Accumulator {
     Count(i64),
-    Sum { int: i64, float: f64, saw_float: bool, any: bool },
+    Sum {
+        int: i64,
+        float: f64,
+        saw_float: bool,
+        any: bool,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
 }
 
 impl Accumulator {
@@ -407,7 +415,10 @@ fn aggregate(
         let key: Vec<Value> = key_indexes.iter().map(|&i| row.value(i).clone()).collect();
         let accs = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            aggregates.iter().map(|a| Accumulator::new(a.func)).collect()
+            aggregates
+                .iter()
+                .map(|a| Accumulator::new(a.func))
+                .collect()
         });
         for (acc, idx) in accs.iter_mut().zip(&agg_indexes) {
             acc.observe(idx.map(|i| row.value(i)));
@@ -498,10 +509,22 @@ mod tests {
     fn group_by_with_sum_count_avg() {
         let post = PostProcess::none()
             .group(field("store"))
-            .aggregate(AggregateExpr::new(AggregateFunc::Sum, field("qty"), "total_qty"))
-            .aggregate(AggregateExpr::new(AggregateFunc::Count, field("qty"), "n_qty"))
+            .aggregate(AggregateExpr::new(
+                AggregateFunc::Sum,
+                field("qty"),
+                "total_qty",
+            ))
+            .aggregate(AggregateExpr::new(
+                AggregateFunc::Count,
+                field("qty"),
+                "n_qty",
+            ))
             .aggregate(AggregateExpr::count_star("n_rows"))
-            .aggregate(AggregateExpr::new(AggregateFunc::Avg, field("price"), "avg_price"))
+            .aggregate(AggregateExpr::new(
+                AggregateFunc::Avg,
+                field("price"),
+                "avg_price",
+            ))
             .order(SortKey::asc(FieldRef::new("sales", "store")));
         let out = post.apply(sample()).unwrap();
         assert_eq!(out.len(), 2);
@@ -522,9 +545,21 @@ mod tests {
     fn min_max_and_float_sum() {
         let post = PostProcess::none()
             .group(field("store"))
-            .aggregate(AggregateExpr::new(AggregateFunc::Min, field("price"), "min_p"))
-            .aggregate(AggregateExpr::new(AggregateFunc::Max, field("price"), "max_p"))
-            .aggregate(AggregateExpr::new(AggregateFunc::Sum, field("price"), "sum_p"))
+            .aggregate(AggregateExpr::new(
+                AggregateFunc::Min,
+                field("price"),
+                "min_p",
+            ))
+            .aggregate(AggregateExpr::new(
+                AggregateFunc::Max,
+                field("price"),
+                "max_p",
+            ))
+            .aggregate(AggregateExpr::new(
+                AggregateFunc::Sum,
+                field("price"),
+                "sum_p",
+            ))
             .order(SortKey::asc(field("store")));
         let out = post.apply(sample()).unwrap();
         let a = out.rows()[0].values();
@@ -609,7 +644,11 @@ mod tests {
     fn ordering_by_aggregate_alias_works() {
         let post = PostProcess::none()
             .group(field("store"))
-            .aggregate(AggregateExpr::new(AggregateFunc::Sum, field("qty"), "total"))
+            .aggregate(AggregateExpr::new(
+                AggregateFunc::Sum,
+                field("qty"),
+                "total",
+            ))
             .order(SortKey::desc(FieldRef::new("agg", "total")));
         let out = post.apply(sample()).unwrap();
         assert_eq!(out.rows()[0].value(1), &Value::Int64(6)); // store b first
@@ -634,17 +673,33 @@ mod tests {
             AggregateFunc::Sum.output_type(DataType::Float64),
             DataType::Float64
         );
-        assert_eq!(AggregateFunc::Sum.output_type(DataType::Int64), DataType::Int64);
-        assert_eq!(AggregateFunc::Avg.output_type(DataType::Int64), DataType::Float64);
-        assert_eq!(AggregateFunc::Min.output_type(DataType::Utf8), DataType::Utf8);
-        assert_eq!(AggregateFunc::Count.output_type(DataType::Utf8), DataType::Int64);
+        assert_eq!(
+            AggregateFunc::Sum.output_type(DataType::Int64),
+            DataType::Int64
+        );
+        assert_eq!(
+            AggregateFunc::Avg.output_type(DataType::Int64),
+            DataType::Float64
+        );
+        assert_eq!(
+            AggregateFunc::Min.output_type(DataType::Utf8),
+            DataType::Utf8
+        );
+        assert_eq!(
+            AggregateFunc::Count.output_type(DataType::Utf8),
+            DataType::Int64
+        );
     }
 
     #[test]
     fn describe_mentions_every_stage() {
         let post = PostProcess::none()
             .group(field("store"))
-            .aggregate(AggregateExpr::new(AggregateFunc::Sum, field("qty"), "total"))
+            .aggregate(AggregateExpr::new(
+                AggregateFunc::Sum,
+                field("qty"),
+                "total",
+            ))
             .order(SortKey::desc(FieldRef::new("agg", "total")))
             .with_limit(10);
         let d = post.describe();

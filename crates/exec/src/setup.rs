@@ -1,0 +1,208 @@
+//! Coordinator-side operator setup shared by the serial executor and the
+//! partition-parallel executor (`rdo-parallel`).
+//!
+//! Schema aliasing, projection resolution, join-key resolution and
+//! partition-key survival are computed once per operator, before any
+//! per-partition work starts. Both executors call these helpers (as they share
+//! the kernels in [`crate::partition`]), so a change to name resolution or
+//! partition-key propagation can never make the two executors diverge.
+
+use crate::data::PartitionedData;
+use rdo_common::{FieldRef, Result, Schema};
+use rdo_storage::Table;
+
+/// Everything a scan derives from the plan node before touching rows.
+#[derive(Debug, Clone)]
+pub struct ScanSetup {
+    /// The table's schema re-aliased to the plan's dataset name; predicates
+    /// are evaluated against it.
+    pub schema: Schema,
+    /// Resolved projection column indexes (`None` keeps every column).
+    pub projection_indexes: Option<Vec<usize>>,
+    /// Schema of the scan output (after projection).
+    pub out_schema: Schema,
+    /// The table's partition key, if it survives the projection — a later
+    /// hash join on it skips the re-partition exchange.
+    pub partition_key: Option<String>,
+}
+
+/// Prepares a scan of `table` under the plan's `dataset` alias.
+pub fn prepare_scan(
+    table: &Table,
+    dataset: &str,
+    projection: Option<&[FieldRef]>,
+) -> Result<ScanSetup> {
+    let mut schema = table.schema().clone();
+    if dataset != table.name() {
+        schema = schema.with_dataset(dataset);
+    }
+
+    let projection_indexes = match projection {
+        Some(cols) => Some(
+            cols.iter()
+                .map(|c| schema.resolve(c))
+                .collect::<Result<Vec<usize>>>()?,
+        ),
+        None => None,
+    };
+    let out_schema = match &projection_indexes {
+        Some(idx) => schema.project(idx),
+        None => schema.clone(),
+    };
+
+    let partition_key = partition_key_surviving(table, &out_schema);
+    Ok(ScanSetup {
+        schema,
+        projection_indexes,
+        out_schema,
+        partition_key,
+    })
+}
+
+/// Everything an indexed nested-loop join derives from the plan before
+/// probing: the indexed (left) side's scan setup plus the resolved key
+/// indexes against the broadcast (right) side.
+#[derive(Debug, Clone)]
+pub struct IndexedJoinSetup {
+    /// Aliased schema of the indexed base table; the scan's local predicates
+    /// are evaluated against it.
+    pub left_schema: Schema,
+    /// Resolved projection indexes of the indexed side.
+    pub projection_indexes: Option<Vec<usize>>,
+    /// Schema of the join output (projected left ++ right).
+    pub out_schema: Schema,
+    /// Key column indexes in the indexed table.
+    pub left_key_indexes: Vec<usize>,
+    /// Key column indexes in the broadcast input.
+    pub right_key_indexes: Vec<usize>,
+    /// Index of the first (indexed) key in the broadcast input.
+    pub first_right_key_index: usize,
+    /// The indexed table's partition key, if it survives the projection.
+    pub partition_key: Option<String>,
+}
+
+/// Prepares an indexed nested-loop join of base `table` (aliased `dataset`,
+/// optionally projected) against a broadcast input with `right_schema`.
+pub fn prepare_indexed_join(
+    table: &Table,
+    dataset: &str,
+    projection: Option<&[FieldRef]>,
+    right_schema: &Schema,
+    keys: &[(FieldRef, FieldRef)],
+) -> Result<IndexedJoinSetup> {
+    let mut left_schema = table.schema().clone();
+    if dataset != table.name() {
+        left_schema = left_schema.with_dataset(dataset);
+    }
+    let projection_indexes = match projection {
+        Some(cols) => Some(
+            cols.iter()
+                .map(|c| left_schema.resolve(c))
+                .collect::<Result<Vec<usize>>>()?,
+        ),
+        None => None,
+    };
+    let left_out_schema = match &projection_indexes {
+        Some(idx) => left_schema.project(idx),
+        None => left_schema.clone(),
+    };
+    let out_schema = left_out_schema.join(right_schema);
+
+    // Residual key pairs beyond the indexed one are checked after the index
+    // probe (composite-key joins).
+    let left_key_indexes: Vec<usize> = keys
+        .iter()
+        .map(|(l, _)| left_schema.resolve(l))
+        .collect::<Result<Vec<usize>>>()?;
+    let right_key_indexes: Vec<usize> = keys
+        .iter()
+        .map(|(_, r)| right_schema.resolve(r))
+        .collect::<Result<Vec<usize>>>()?;
+    let first_right_key_index = right_schema.resolve(&keys[0].1)?;
+
+    let partition_key = partition_key_surviving(table, &left_out_schema);
+    Ok(IndexedJoinSetup {
+        left_schema,
+        projection_indexes,
+        out_schema,
+        left_key_indexes,
+        right_key_indexes,
+        first_right_key_index,
+        partition_key,
+    })
+}
+
+/// Resolves every join-key pair against the two join inputs.
+pub fn resolve_keys(
+    left: &PartitionedData,
+    right: &PartitionedData,
+    keys: &[(FieldRef, FieldRef)],
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    let left_indexes = keys
+        .iter()
+        .map(|(l, _)| left.schema().resolve(l))
+        .collect::<Result<Vec<usize>>>()?;
+    let right_indexes = keys
+        .iter()
+        .map(|(_, r)| right.schema().resolve(r))
+        .collect::<Result<Vec<usize>>>()?;
+    Ok((left_indexes, right_indexes))
+}
+
+/// The table's partition key if the output schema still contains that column.
+fn partition_key_surviving(table: &Table, out_schema: &Schema) -> Option<String> {
+    table.partition_key().and_then(|key| {
+        if out_schema.fields().iter().any(|f| f.name.field == key) {
+            Some(key.to_string())
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::{DataType, Relation, Tuple, Value};
+
+    fn table() -> Table {
+        let schema = Schema::for_dataset(
+            "orders",
+            &[("o_k", DataType::Int64), ("o_c", DataType::Int64)],
+        );
+        let rows = (0..10)
+            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 3)]))
+            .collect();
+        Table::from_relation(
+            "orders",
+            Relation::new(schema, rows).unwrap(),
+            2,
+            Some("o_k"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_setup_aliases_and_projects() {
+        let t = table();
+        let setup = prepare_scan(&t, "o2", Some(&[FieldRef::new("o2", "o_c")])).unwrap();
+        assert_eq!(setup.schema.fields()[0].name.dataset, "o2");
+        assert_eq!(setup.projection_indexes, Some(vec![1]));
+        assert_eq!(setup.out_schema.len(), 1);
+        assert_eq!(setup.partition_key, None, "o_k projected away");
+    }
+
+    #[test]
+    fn scan_setup_keeps_surviving_partition_key() {
+        let t = table();
+        let setup = prepare_scan(&t, "orders", None).unwrap();
+        assert_eq!(setup.partition_key.as_deref(), Some("o_k"));
+        assert!(setup.projection_indexes.is_none());
+    }
+
+    #[test]
+    fn unknown_projection_column_errors() {
+        let t = table();
+        assert!(prepare_scan(&t, "orders", Some(&[FieldRef::new("orders", "nope")])).is_err());
+    }
+}

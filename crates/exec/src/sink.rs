@@ -34,6 +34,31 @@ pub struct MaterializeOutcome {
 /// The paper disables online statistics for the final iteration ("the online
 /// statistics framework is enabled in all the iterations except for the last
 /// one"), which callers express through `collect_stats`.
+///
+/// This serial Sink observes the *gathered* relation row by row on the
+/// coordinator. The dynamic driver does **not** call it — every driver path
+/// goes through `rdo_parallel::sink::materialize`, which builds one sketch
+/// per partition and merges the partials (slightly different, equally valid
+/// GK summaries). Prefer the parallel Sink in new code so registered
+/// statistics stay identical across all execution paths; this one remains the
+/// single-threaded reference implementation.
+/// Counts how many of `tracked_columns` actually exist in `schema` (matched
+/// unqualified or fully qualified) — the per-row statistics work the Sink
+/// charges to the cost model. Shared by the serial and parallel Sinks so their
+/// `stats_values_observed` accounting can never diverge.
+pub fn tracked_columns_present(schema: &rdo_common::Schema, tracked_columns: &[String]) -> u64 {
+    tracked_columns
+        .iter()
+        .filter(|c| {
+            let unqualified = rdo_common::unqualified(c);
+            schema
+                .fields()
+                .iter()
+                .any(|f| f.name.field == unqualified || f.name.qualified() == **c)
+        })
+        .count() as u64
+}
+
 pub fn materialize(
     catalog: &mut Catalog,
     name: &str,
@@ -46,26 +71,19 @@ pub fn materialize(
     let relation = data.gather();
     let rows = relation.len() as u64;
     let bytes = relation.approx_bytes() as u64;
-
-    // Count the statistics work: one observation per tracked column per row.
-    let tracked_present = if collect_stats {
-        tracked_columns
-            .iter()
-            .filter(|c| {
-                let unqualified = c.rsplit('.').next().unwrap_or(c);
-                relation
-                    .schema()
-                    .fields()
-                    .iter()
-                    .any(|f| f.name.field == unqualified || f.name.qualified() == **c)
-            })
-            .count() as u64
+    let stats_values = if collect_stats {
+        tracked_columns_present(relation.schema(), tracked_columns) * rows
     } else {
         0
     };
-    let stats_values = tracked_present * rows;
 
-    catalog.register_intermediate(name, relation, partition_key, tracked_columns, collect_stats)?;
+    catalog.register_intermediate(
+        name,
+        relation,
+        partition_key,
+        tracked_columns,
+        collect_stats,
+    )?;
 
     metrics.rows_materialized += rows;
     metrics.bytes_materialized += bytes;
@@ -91,7 +109,10 @@ mod tests {
         let mut cat = Catalog::new(4);
         let schema = Schema::for_dataset(
             "orders",
-            &[("o_orderkey", DataType::Int64), ("o_custkey", DataType::Int64)],
+            &[
+                ("o_orderkey", DataType::Int64),
+                ("o_custkey", DataType::Int64),
+            ],
         );
         let rows = (0..100)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10)]))
@@ -188,6 +209,9 @@ mod tests {
             &mut m,
         )
         .unwrap();
-        assert_eq!(outcome.stats_values, 100, "only the real column is observed");
+        assert_eq!(
+            outcome.stats_values, 100,
+            "only the real column is observed"
+        );
     }
 }

@@ -54,7 +54,8 @@ impl Component {
             ));
         }
         debug_assert!(
-            rows.windows(2).all(|w| w[0].value(key_index) < w[1].value(key_index)),
+            rows.windows(2)
+                .all(|w| w[0].value(key_index) < w[1].value(key_index)),
             "component rows must be sorted by unique key"
         );
         let mut builder = DatasetStatsBuilder::all_columns(schema);
@@ -93,7 +94,8 @@ impl Component {
         }
         // Newest versions win: walk the inputs from newest to oldest and keep
         // the first occurrence of each key.
-        let mut merged: std::collections::BTreeMap<Value, Tuple> = std::collections::BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<Value, Tuple> =
+            std::collections::BTreeMap::new();
         for component in inputs.iter().rev() {
             for row in &component.rows {
                 let key = row.value(key_index).clone();
@@ -101,7 +103,13 @@ impl Component {
             }
         }
         let generation = inputs.iter().map(|c| c.generation).max().unwrap_or(0) + 1;
-        Self::from_sorted_rows(id, generation, schema, key_index, merged.into_values().collect())
+        Self::from_sorted_rows(
+            id,
+            generation,
+            schema,
+            key_index,
+            merged.into_values().collect(),
+        )
     }
 
     /// Component identifier.
@@ -173,10 +181,7 @@ mod tests {
     use rdo_common::DataType;
 
     fn schema() -> Schema {
-        Schema::for_dataset(
-            "t",
-            &[("id", DataType::Int64), ("v", DataType::Int64)],
-        )
+        Schema::for_dataset("t", &[("id", DataType::Int64), ("v", DataType::Int64)])
     }
 
     fn rows(range: std::ops::Range<i64>, v_offset: i64) -> Vec<Tuple> {
@@ -187,7 +192,8 @@ mod tests {
 
     #[test]
     fn component_collects_stats_and_key_range() {
-        let c = Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(0..100, 0)).unwrap();
+        let c =
+            Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(0..100, 0)).unwrap();
         assert_eq!(c.len(), 100);
         assert_eq!(c.key_range(), (&Value::Int64(0), &Value::Int64(99)));
         assert_eq!(c.stats().row_count, 100);
@@ -205,17 +211,24 @@ mod tests {
 
     #[test]
     fn point_lookup_hits_and_misses() {
-        let c = Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(10..20, 5)).unwrap();
-        assert_eq!(c.get(&Value::Int64(12)).unwrap().value(1), &Value::Int64(17));
+        let c =
+            Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(10..20, 5)).unwrap();
+        assert_eq!(
+            c.get(&Value::Int64(12)).unwrap().value(1),
+            &Value::Int64(17)
+        );
         assert!(c.get(&Value::Int64(9)).is_none());
         assert!(c.get(&Value::Int64(25)).is_none());
     }
 
     #[test]
     fn overlap_detection() {
-        let a = Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(0..10, 0)).unwrap();
-        let b = Component::from_sorted_rows(ComponentId(2), 0, &schema(), 0, rows(5..15, 0)).unwrap();
-        let c = Component::from_sorted_rows(ComponentId(3), 0, &schema(), 0, rows(20..30, 0)).unwrap();
+        let a =
+            Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(0..10, 0)).unwrap();
+        let b =
+            Component::from_sorted_rows(ComponentId(2), 0, &schema(), 0, rows(5..15, 0)).unwrap();
+        let c =
+            Component::from_sorted_rows(ComponentId(3), 0, &schema(), 0, rows(20..30, 0)).unwrap();
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));
@@ -223,15 +236,23 @@ mod tests {
 
     #[test]
     fn merge_keeps_newest_version_of_duplicate_keys() {
-        let old = Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(0..10, 0)).unwrap();
-        let new = Component::from_sorted_rows(ComponentId(2), 0, &schema(), 0, rows(5..15, 100)).unwrap();
+        let old =
+            Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(0..10, 0)).unwrap();
+        let new =
+            Component::from_sorted_rows(ComponentId(2), 0, &schema(), 0, rows(5..15, 100)).unwrap();
         let merged = Component::merge_of(ComponentId(3), &schema(), 0, &[&old, &new]).unwrap();
         assert_eq!(merged.len(), 15);
         assert_eq!(merged.generation(), 1);
         // Key 7 exists in both; the newer component's value (7 + 100) wins.
-        assert_eq!(merged.get(&Value::Int64(7)).unwrap().value(1), &Value::Int64(107));
+        assert_eq!(
+            merged.get(&Value::Int64(7)).unwrap().value(1),
+            &Value::Int64(107)
+        );
         // Key 2 only exists in the old component.
-        assert_eq!(merged.get(&Value::Int64(2)).unwrap().value(1), &Value::Int64(2));
+        assert_eq!(
+            merged.get(&Value::Int64(2)).unwrap().value(1),
+            &Value::Int64(2)
+        );
     }
 
     #[test]
@@ -241,11 +262,16 @@ mod tests {
 
     #[test]
     fn merged_component_stats_cover_all_rows() {
-        let a = Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(0..500, 0)).unwrap();
-        let b = Component::from_sorted_rows(ComponentId(2), 0, &schema(), 0, rows(500..1000, 0)).unwrap();
+        let a =
+            Component::from_sorted_rows(ComponentId(1), 0, &schema(), 0, rows(0..500, 0)).unwrap();
+        let b = Component::from_sorted_rows(ComponentId(2), 0, &schema(), 0, rows(500..1000, 0))
+            .unwrap();
         let merged = Component::merge_of(ComponentId(3), &schema(), 0, &[&a, &b]).unwrap();
         assert_eq!(merged.stats().row_count, 1000);
         let distinct = merged.stats().column("id").unwrap().distinct as f64;
-        assert!((distinct - 1000.0).abs() / 1000.0 < 0.05, "distinct {distinct}");
+        assert!(
+            (distinct - 1000.0).abs() / 1000.0 < 0.05,
+            "distinct {distinct}"
+        );
     }
 }

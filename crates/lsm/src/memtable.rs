@@ -125,7 +125,10 @@ mod tests {
     fn schema() -> Schema {
         Schema::for_dataset(
             "orders",
-            &[("o_orderkey", DataType::Int64), ("o_total", DataType::Int64)],
+            &[
+                ("o_orderkey", DataType::Int64),
+                ("o_total", DataType::Int64),
+            ],
         )
     }
 
@@ -140,7 +143,10 @@ mod tests {
             mt.insert(row(key, key * 10)).unwrap();
         }
         let drained = mt.drain_sorted();
-        let keys: Vec<i64> = drained.iter().map(|t| t.value(0).as_i64().unwrap()).collect();
+        let keys: Vec<i64> = drained
+            .iter()
+            .map(|t| t.value(0).as_i64().unwrap())
+            .collect();
         assert_eq!(keys, vec![1, 3, 5, 9]);
         assert!(mt.is_empty());
         assert_eq!(mt.approx_bytes(), 0);
@@ -153,7 +159,10 @@ mod tests {
         let previous = mt.insert(row(1, 20)).unwrap().expect("replaced");
         assert_eq!(previous.value(1), &Value::Int64(10));
         assert_eq!(mt.len(), 1);
-        assert_eq!(mt.get(&Value::Int64(1)).unwrap().value(1), &Value::Int64(20));
+        assert_eq!(
+            mt.get(&Value::Int64(1)).unwrap().value(1),
+            &Value::Int64(20)
+        );
     }
 
     #[test]

@@ -85,7 +85,13 @@ impl LsmDataset {
         key_column: &str,
         options: LsmOptions,
     ) -> Result<Self> {
-        Self::with_policy(name, schema, key_column, options, Box::new(PrefixMergePolicy::default()))
+        Self::with_policy(
+            name,
+            schema,
+            key_column,
+            options,
+            Box::new(PrefixMergePolicy::default()),
+        )
     }
 
     /// Creates an empty dataset with an explicit merge policy.
@@ -218,7 +224,8 @@ impl LsmDataset {
                         .position(|c| ids.contains(&c.id()))
                         .expect("inputs exist");
                     self.components.retain(|c| !ids.contains(&c.id()));
-                    self.components.insert(first_pos.min(self.components.len()), merged);
+                    self.components
+                        .insert(first_pos.min(self.components.len()), merged);
                 }
             }
         }
@@ -370,7 +377,10 @@ mod tests {
             ds.insert(row(key)).unwrap();
         }
         ds.flush().unwrap();
-        assert!(ds.components().len() < 20, "merges keep the component count low");
+        assert!(
+            ds.components().len() < 20,
+            "merges keep the component count low"
+        );
         assert!(ds.metrics().merges > 0);
         assert!(ds.metrics().write_amplification() > 1.0);
         assert_eq!(ds.row_count(), 2_000);
@@ -385,7 +395,10 @@ mod tests {
         // Overwrite key 7 with a different payload after it has been flushed.
         ds.insert(Tuple::new(vec![Value::Int64(7), Value::Int64(999)]))
             .unwrap();
-        assert_eq!(ds.get(&Value::Int64(7)).unwrap().value(1), &Value::Int64(999));
+        assert_eq!(
+            ds.get(&Value::Int64(7)).unwrap().value(1),
+            &Value::Int64(999)
+        );
         assert_eq!(ds.row_count(), 50);
         let scanned = ds.scan();
         assert_eq!(scanned.len(), 50);
@@ -457,7 +470,10 @@ mod tests {
         let stats = catalog.stats().get("orders").expect("stats registered");
         assert_eq!(stats.row_count, 1_000);
         assert!(stats.column("o_custkey").is_some());
-        assert!(catalog.table("orders").unwrap().is_partitioned_on("o_orderkey"));
+        assert!(catalog
+            .table("orders")
+            .unwrap()
+            .is_partitioned_on("o_orderkey"));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Configuration of the partition-parallel executor.
+
+/// Knobs of the partition-parallel executor, threaded through
+/// `DynamicConfig` and the strategy runner so every strategy (dynamic,
+/// cost-based, best/worst-order, pilot-run, INGRES-like) executes through the
+/// same worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker threads. `1` runs every partition on the calling
+    /// thread and is bit-identical to the serial executor; values above the
+    /// partition count are harmless (excess workers find the task counter
+    /// exhausted and exit).
+    pub workers: usize,
+    /// Number of partitions one task claims at a time (scheduling granularity,
+    /// a coarse morsel). `1` gives the best balance; larger morsels reduce
+    /// scheduling overhead when partitions are tiny.
+    pub morsel_size: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            morsel_size: 1,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Single-worker configuration (bit-identical to the serial executor).
+    pub fn serial() -> Self {
+        Self {
+            workers: 1,
+            morsel_size: 1,
+        }
+    }
+
+    /// Builder-style worker-count override.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style morsel-size override.
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = morsel_size.max(1);
+        self
+    }
+
+    /// The default configuration with the `RDO_WORKERS` environment variable
+    /// applied — the bench harness uses this so figures are reproducible on
+    /// any machine by pinning the worker count.
+    pub fn from_env() -> Self {
+        let config = Self::default();
+        match std::env::var("RDO_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(workers) if workers >= 1 => config.with_workers(workers),
+            _ => config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_at_least_one_worker() {
+        let config = ParallelConfig::default();
+        assert!(config.workers >= 1);
+        assert_eq!(config.morsel_size, 1);
+    }
+
+    #[test]
+    fn serial_is_one_worker() {
+        assert_eq!(ParallelConfig::serial().workers, 1);
+    }
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let config = ParallelConfig::serial().with_workers(0).with_morsel_size(0);
+        assert_eq!(config.workers, 1);
+        assert_eq!(config.morsel_size, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Exchange operators: the explicit data movements between partitions.
+//!
+//! In the paper's Hyracks runtime these are the connectors between operator
+//! instances; the serial executor performs them implicitly inside its join
+//! loops. Here each movement is an explicit operator that runs its
+//! per-partition half on the worker pool and reports the rows/bytes it moved,
+//! so the cost model's network charges correspond to real, metered exchanges.
+
+use crate::pool::WorkerPool;
+use rdo_common::{Relation, Tuple};
+use rdo_exec::partition::repartition_partition;
+use rdo_exec::PartitionedData;
+use std::sync::Arc;
+
+/// Re-shuffles tuples so every row lives in the partition its key hashes to
+/// (the exchange in front of each hash-join input that is not already
+/// partitioned on its join key).
+#[derive(Debug, Clone)]
+pub struct HashRepartition {
+    /// Index of the key column in the input schema.
+    pub key_index: usize,
+    /// (Possibly qualified) name of the key column; the output is tagged as
+    /// partitioned on its unqualified form.
+    pub key_name: String,
+}
+
+impl HashRepartition {
+    /// Creates the exchange.
+    pub fn new(key_index: usize, key_name: impl Into<String>) -> Self {
+        Self {
+            key_index,
+            key_name: key_name.into(),
+        }
+    }
+
+    /// Runs the exchange: each source partition is bucketed on the pool, then
+    /// the buckets are concatenated in source-partition order (making the
+    /// output independent of worker interleaving). Returns the re-partitioned
+    /// data and the rows/bytes that crossed partitions.
+    pub fn apply(&self, data: &PartitionedData, pool: &WorkerPool) -> (PartitionedData, u64, u64) {
+        let n = data.num_partitions();
+        let bucketed = pool.map_indexed(n, |from| {
+            repartition_partition(&data.partitions()[from], self.key_index, from, n)
+        });
+
+        let mut new_partitions: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+        let mut moved_rows = 0u64;
+        let mut moved_bytes = 0u64;
+        for (buckets, rows, bytes) in bucketed {
+            moved_rows += rows;
+            moved_bytes += bytes;
+            for (to, mut bucket) in buckets.into_iter().enumerate() {
+                new_partitions[to].append(&mut bucket);
+            }
+        }
+
+        let key_name = rdo_common::unqualified(&self.key_name).to_string();
+        (
+            PartitionedData::new(data.schema().clone(), new_partitions, Some(key_name)),
+            moved_rows,
+            moved_bytes,
+        )
+    }
+}
+
+/// Replicates an input to every one of `target_partitions` partitions (the
+/// exchange in front of broadcast and indexed nested-loop joins). The rows are
+/// shared behind an [`Arc`] — workers probe the same replica instead of each
+/// cloning it, while the metrics still charge the full `rows × partitions`
+/// replication the real cluster would pay.
+#[derive(Debug, Clone, Copy)]
+pub struct Broadcast {
+    /// Number of partitions the input is replicated to.
+    pub target_partitions: usize,
+}
+
+impl Broadcast {
+    /// Creates the exchange.
+    pub fn new(target_partitions: usize) -> Self {
+        Self { target_partitions }
+    }
+
+    /// Runs the exchange: flattens the input into one shared row vector and
+    /// returns it with the replication volume (rows, bytes) charged for
+    /// shipping a copy to every target partition.
+    pub fn apply(&self, data: &PartitionedData) -> (Arc<Vec<Tuple>>, u64, u64) {
+        let rows = data.all_rows();
+        let copies = self.target_partitions as u64;
+        let replicated_rows = rows.len() as u64 * copies;
+        let replicated_bytes = rows.iter().map(|r| r.approx_bytes() as u64).sum::<u64>() * copies;
+        (Arc::new(rows), replicated_rows, replicated_bytes)
+    }
+}
+
+/// Collects every partition on the coordinator, in partition order — result
+/// delivery to the user (and the input to the Sink's table build).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gather;
+
+impl Gather {
+    /// Runs the exchange.
+    pub fn apply(&self, data: &PartitionedData) -> Relation {
+        data.gather()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_common::{DataType, Schema, Value};
+    use rdo_exec::data::partition_for;
+
+    fn data(n: i64, partitions: usize) -> PartitionedData {
+        let schema = Schema::for_dataset("t", &[("k", DataType::Int64), ("g", DataType::Int64)]);
+        let mut parts = vec![Vec::new(); partitions];
+        for i in 0..n {
+            parts[(i % partitions as i64) as usize]
+                .push(Tuple::new(vec![Value::Int64(i), Value::Int64(i % 7)]));
+        }
+        PartitionedData::new(schema, parts, None)
+    }
+
+    #[test]
+    fn hash_repartition_matches_serial_repartition_for_any_worker_count() {
+        let input = data(500, 8);
+        let (expected, expected_rows, expected_bytes) = input.repartition(1, "t.g");
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let (out, rows, bytes) = HashRepartition::new(1, "t.g").apply(&input, &pool);
+            assert_eq!(out.partitions(), expected.partitions(), "workers={workers}");
+            assert_eq!(rows, expected_rows);
+            assert_eq!(bytes, expected_bytes);
+            assert!(out.is_partitioned_on("g"));
+            for (p, rows) in out.partitions().iter().enumerate() {
+                for row in rows {
+                    assert_eq!(partition_for(row.value(1), 8), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_charges_replication_volume() {
+        let input = data(30, 3);
+        let (rows, replicated_rows, replicated_bytes) = Broadcast::new(4).apply(&input);
+        assert_eq!(rows.len(), 30);
+        assert_eq!(replicated_rows, 30 * 4);
+        assert!(replicated_bytes > 0);
+        // Shared, not copied: clones of the Arc point at the same rows.
+        let other = Arc::clone(&rows);
+        assert!(Arc::ptr_eq(&rows, &other));
+    }
+
+    #[test]
+    fn gather_flattens_in_partition_order() {
+        let input = data(10, 2);
+        let relation = Gather.apply(&input);
+        assert_eq!(relation.len(), 10);
+        assert_eq!(relation, input.gather());
+    }
+}

@@ -1,0 +1,70 @@
+//! Partition-parallel execution for the simulated shared-nothing cluster.
+//!
+//! The storage layer models the cluster's data partitions faithfully
+//! ([`rdo_storage::Catalog`] holds every table hash-partitioned across
+//! `num_partitions` partitions), but the serial [`rdo_exec::Executor`] walks
+//! those partitions one after another on a single thread. This crate executes
+//! the *same* physical plans with one task per partition on a pool of scoped
+//! worker threads, exchanging tuples between partitions through explicit
+//! exchange operators — the role Hyracks' connectors play in the paper's
+//! architecture.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             PhysicalPlan
+//!                  │
+//!          ParallelExecutor            (coordinator: recursion, planning of
+//!                  │                    exchanges, metric folding)
+//!      ┌───────────┼───────────┐
+//!      ▼           ▼           ▼
+//!  HashRepartition Broadcast  Gather   (exchange operators, rdo_parallel::exchange)
+//!      │           │           │
+//!      ▼           ▼           ▼
+//!  ┌────────────────────────────────┐
+//!  │           WorkerPool           │  (scoped threads, work-stealing by
+//!  │  task = per-partition kernel   │   atomic partition counter)
+//!  │  from rdo_exec::partition      │
+//!  └────────────────────────────────┘
+//! ```
+//!
+//! * **Worker pool** — [`WorkerPool`] spawns `workers` scoped threads that
+//!   pull partition indexes from a shared atomic counter and run the
+//!   per-partition kernels of [`rdo_exec::partition`]. With `workers = 1` the
+//!   tasks run in a plain loop on the calling thread, which makes the
+//!   single-worker configuration *bit-identical* to the serial executor by
+//!   construction: both run the same kernels over the same partitions in the
+//!   same order.
+//! * **Exchange operators** — [`exchange::HashRepartition`] re-shuffles tuples
+//!   to the partition their key hashes to, [`exchange::Broadcast`] replicates
+//!   a (small) build side to every partition, [`exchange::Gather`] collects
+//!   partitions on the coordinator for result delivery. The serial executor
+//!   performs these data movements implicitly inside its join loops; here they
+//!   are explicit, metered operators.
+//! * **Deterministic merging** — every task returns per-partition
+//!   [`rdo_exec::ExecutionMetrics`] partials folded in partition order with
+//!   [`rdo_exec::ExecutionMetrics::merge`] (associative and commutative), and
+//!   exchange outputs concatenate buckets in source-partition order, so
+//!   results and metrics are identical for every worker count and every
+//!   interleaving.
+//! * **Barriers at re-optimization points** — the dynamic driver (Algorithm 1)
+//!   materializes each chosen join before re-planning. [`sink::materialize`]
+//!   is that barrier: workers build one `DatasetStatsBuilder` (GK + HLL) per
+//!   partition and the coordinator merges the partials before registering the
+//!   intermediate, mirroring the paper's per-partition Sink statistics.
+//!
+//! [`ParallelConfig::workers`] defaults to the machine's available
+//! parallelism; `RDO_WORKERS` overrides it (see [`ParallelConfig::from_env`]),
+//! which keeps benchmark figures reproducible on any core count.
+
+pub mod config;
+pub mod exchange;
+pub mod executor;
+pub mod pool;
+pub mod sink;
+
+pub use config::ParallelConfig;
+pub use exchange::{Broadcast, Gather, HashRepartition};
+pub use executor::ParallelExecutor;
+pub use pool::WorkerPool;
+pub use sink::materialize;

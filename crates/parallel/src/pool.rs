@@ -1,0 +1,104 @@
+//! The scoped-thread worker pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A pool of scoped worker threads executing indexed tasks.
+///
+/// Tasks are claimed through a shared atomic counter (cheap dynamic load
+/// balancing: a worker that finishes a small partition immediately claims the
+/// next one). Results land in per-task slots, so the returned vector is in
+/// task order regardless of which worker ran what — the caller's fold over the
+/// results is therefore deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(0), f(1), …, f(tasks - 1)` across the pool and returns the
+    /// results in task order. With one worker (or at most one task) the tasks
+    /// run in a plain loop on the calling thread — no threads are spawned, so
+    /// the single-worker pool is exactly the serial code path.
+    ///
+    /// A panicking task propagates its panic to the caller after the scope
+    /// joins the remaining workers.
+    pub fn map_indexed<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers <= 1 || tasks <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(tasks) {
+                scope.spawn(|| loop {
+                    let task = next.fetch_add(1, Ordering::Relaxed);
+                    if task >= tasks {
+                        break;
+                    }
+                    let value = f(task);
+                    *slots[task].lock().expect("worker slot lock") = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker slot lock")
+                    .expect("every task index below `tasks` was claimed and completed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_task_order() {
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let out = pool.map_indexed(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = WorkerPool::new(4);
+        pool.map_indexed(100, |_| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<usize> = pool.map_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+}

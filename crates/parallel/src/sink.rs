@@ -1,0 +1,213 @@
+//! The parallel Sink: the barrier at each re-optimization point.
+//!
+//! Algorithm 1 materializes the chosen join's result before re-planning; that
+//! materialization is a natural barrier for the worker pool. Each worker
+//! builds a [`DatasetStatsBuilder`] (GK + HLL sketches) over its partitions,
+//! and the coordinator merges the per-partition partials **in partition
+//! order** before registering the intermediate table — mirroring the paper's
+//! per-partition Sink operators whose local statistics are combined when the
+//! job finishes. The fixed merge order makes the registered statistics
+//! identical for every worker count.
+//!
+//! Note the statistics semantics differ slightly from the serial
+//! [`rdo_exec::materialize`], which observes the *gathered* relation row by
+//! row on the coordinator: HyperLogLog merging is exact, but a GK sketch
+//! merged from per-partition partials is a different (equally valid,
+//! error-bounded) summary than one built sequentially. Both satisfy the same
+//! accuracy guarantees; the dynamic driver uses this parallel Sink in all
+//! configurations so its planning decisions never depend on the worker count.
+
+use crate::config::ParallelConfig;
+use crate::exchange::Gather;
+use crate::pool::WorkerPool;
+use rdo_common::Result;
+use rdo_exec::{ExecutionMetrics, MaterializeOutcome, PartitionedData};
+use rdo_sketch::DatasetStatsBuilder;
+use rdo_storage::Catalog;
+
+/// Materializes `data` into the catalog as temporary table `name`,
+/// hash-partitioned on `partition_key`, collecting online statistics on
+/// `tracked_columns` (when `collect_stats` is true) from per-partition
+/// partials merged at the barrier.
+#[allow(clippy::too_many_arguments)]
+pub fn materialize(
+    config: ParallelConfig,
+    catalog: &mut Catalog,
+    name: &str,
+    data: &PartitionedData,
+    partition_key: Option<&str>,
+    tracked_columns: &[String],
+    collect_stats: bool,
+    metrics: &mut ExecutionMetrics,
+) -> Result<MaterializeOutcome> {
+    let relation = Gather.apply(data);
+    let rows = relation.len() as u64;
+    let bytes = relation.approx_bytes() as u64;
+
+    // Statistics cost accounting, shared with the serial Sink: one
+    // observation per tracked column actually present in the schema, per row.
+    let stats_values = if collect_stats {
+        rdo_exec::sink::tracked_columns_present(relation.schema(), tracked_columns) * rows
+    } else {
+        0
+    };
+
+    // Per-partition sketch building on the pool, merged in partition order.
+    let tracked: &[String] = if collect_stats { tracked_columns } else { &[] };
+    let pool = WorkerPool::new(config.workers);
+    let partials = pool.map_indexed(data.num_partitions(), |p| {
+        let mut builder = DatasetStatsBuilder::new(data.schema(), tracked);
+        for row in &data.partitions()[p] {
+            builder.observe(row);
+        }
+        builder
+    });
+    let mut merged = DatasetStatsBuilder::new(data.schema(), tracked);
+    for partial in &partials {
+        merged.merge(partial);
+    }
+
+    catalog.register_intermediate_prebuilt(name, relation, partition_key, merged.build())?;
+
+    metrics.rows_materialized += rows;
+    metrics.bytes_materialized += bytes;
+    metrics.stats_values_observed += stats_values;
+
+    Ok(MaterializeOutcome {
+        table: name.to_string(),
+        rows,
+        bytes,
+        stats_values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ParallelExecutor;
+    use rdo_common::{DataType, Relation, Schema, Tuple, Value};
+    use rdo_exec::PhysicalPlan;
+    use rdo_storage::IngestOptions;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new(4);
+        let schema = Schema::for_dataset(
+            "orders",
+            &[
+                ("o_orderkey", DataType::Int64),
+                ("o_custkey", DataType::Int64),
+            ],
+        );
+        let rows = (0..100)
+            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10)]))
+            .collect();
+        cat.ingest(
+            "orders",
+            Relation::new(schema, rows).unwrap(),
+            IngestOptions::partitioned_on("o_orderkey"),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog, workers: usize) -> (PartitionedData, ExecutionMetrics) {
+        let mut metrics = ExecutionMetrics::new();
+        let exec = ParallelExecutor::new(cat, ParallelConfig::serial().with_workers(workers));
+        let data = exec
+            .execute(&PhysicalPlan::scan("orders"), &mut metrics)
+            .unwrap();
+        (data, metrics)
+    }
+
+    #[test]
+    fn materialize_registers_table_and_merged_stats() {
+        let mut cat = catalog();
+        let (data, mut metrics) = scan(&cat, 4);
+        let outcome = materialize(
+            ParallelConfig::serial().with_workers(4),
+            &mut cat,
+            "I_1",
+            &data,
+            Some("o_custkey"),
+            &["o_custkey".to_string()],
+            true,
+            &mut metrics,
+        )
+        .unwrap();
+        assert_eq!(outcome.rows, 100);
+        assert_eq!(outcome.stats_values, 100);
+        assert_eq!(metrics.rows_materialized, 100);
+        assert_eq!(metrics.stats_values_observed, 100);
+        let stats = cat.stats().get("I_1").unwrap();
+        assert_eq!(stats.row_count, 100);
+        let column = stats.column("o_custkey").unwrap();
+        assert!((column.distinct_nonzero() - 10.0).abs() < 2.0);
+        assert!(cat.table("I_1").unwrap().is_partitioned_on("o_custkey"));
+    }
+
+    #[test]
+    fn stats_are_identical_for_every_worker_count() {
+        let reference = {
+            let mut cat = catalog();
+            let (data, mut m) = scan(&cat, 1);
+            materialize(
+                ParallelConfig::serial(),
+                &mut cat,
+                "I_1",
+                &data,
+                None,
+                &["o_custkey".to_string()],
+                true,
+                &mut m,
+            )
+            .unwrap();
+            cat.stats().get("I_1").unwrap().clone()
+        };
+        for workers in [2, 4, 8] {
+            let mut cat = catalog();
+            let (data, mut m) = scan(&cat, workers);
+            materialize(
+                ParallelConfig::serial().with_workers(workers),
+                &mut cat,
+                "I_1",
+                &data,
+                None,
+                &["o_custkey".to_string()],
+                true,
+                &mut m,
+            )
+            .unwrap();
+            let stats = cat.stats().get("I_1").unwrap();
+            assert_eq!(stats.row_count, reference.row_count);
+            let (a, b) = (
+                stats.column("o_custkey").unwrap(),
+                reference.column("o_custkey").unwrap(),
+            );
+            assert_eq!(
+                a.distinct_nonzero(),
+                b.distinct_nonzero(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialize_without_stats_counts_no_observations() {
+        let mut cat = catalog();
+        let (data, mut metrics) = scan(&cat, 2);
+        let outcome = materialize(
+            ParallelConfig::serial().with_workers(2),
+            &mut cat,
+            "I_last",
+            &data,
+            None,
+            &["o_custkey".to_string()],
+            false,
+            &mut metrics,
+        )
+        .unwrap();
+        assert_eq!(outcome.stats_values, 0);
+        assert_eq!(cat.stats().row_count("I_last"), Some(100));
+        assert!(cat.stats().get("I_last").unwrap().columns.is_empty());
+    }
+}

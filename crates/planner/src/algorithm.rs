@@ -158,7 +158,10 @@ mod tests {
         let b = JoinSideInfo::new("orders", 500_000.0);
         let choice = rule().choose(&a, &b);
         assert_eq!(choice.algorithm, JoinAlgorithm::Hash);
-        assert!(choice.build_is_second, "smaller side becomes the build side");
+        assert!(
+            choice.build_is_second,
+            "smaller side becomes the build side"
+        );
     }
 
     #[test]
@@ -182,7 +185,10 @@ mod tests {
         let dim = JoinSideInfo::new("date_dim", 300.0).filtered(true);
 
         // Disabled by default.
-        assert_eq!(rule().choose(&fact, &dim).algorithm, JoinAlgorithm::Broadcast);
+        assert_eq!(
+            rule().choose(&fact, &dim).algorithm,
+            JoinAlgorithm::Broadcast
+        );
 
         let inl_rule = rule().with_indexed_nested_loop(true);
         assert_eq!(

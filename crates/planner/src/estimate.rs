@@ -174,7 +174,11 @@ impl<'a> SizeEstimator<'a> {
 
     /// Estimated cardinality of a join condition using each side's estimated
     /// post-predicate dataset size.
-    pub fn condition_cardinality(&self, spec: &QuerySpec, condition: &JoinCondition) -> Result<f64> {
+    pub fn condition_cardinality(
+        &self,
+        spec: &QuerySpec,
+        condition: &JoinCondition,
+    ) -> Result<f64> {
         let (l, r) = condition.datasets();
         let left_size = self.dataset_size(spec, l)?;
         let right_size = self.dataset_size(spec, r)?;
@@ -228,7 +232,10 @@ mod tests {
 
         let cust_schema = Schema::for_dataset(
             "customer",
-            &[("c_custkey", DataType::Int64), ("c_nation", DataType::Int64)],
+            &[
+                ("c_custkey", DataType::Int64),
+                ("c_nation", DataType::Int64),
+            ],
         );
         let cust_rows = (0..1_000)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 25)]))
@@ -270,7 +277,10 @@ mod tests {
         ));
         let est = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static);
         let size = est.dataset_size(&q, "orders").unwrap();
-        assert!((size - 1_000.0).abs() < 400.0, "≈10% of 10k rows, got {size}");
+        assert!(
+            (size - 1_000.0).abs() < 400.0,
+            "≈10% of 10k rows, got {size}"
+        );
     }
 
     #[test]
@@ -346,7 +356,10 @@ mod tests {
         let q = spec();
         let est = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static);
         let d = est.column_distinct(&q, "orders", "o_custkey", 50.0);
-        assert_eq!(d, 50.0, "a 50-row filtered dataset has at most 50 distinct keys");
+        assert_eq!(
+            d, 50.0,
+            "a 50-row filtered dataset has at most 50 distinct keys"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl JoinEdge {
         if self.left_alias == alias {
             self.keys.clone()
         } else {
-            self.keys.iter().map(|(l, r)| (r.clone(), l.clone())).collect()
+            self.keys
+                .iter()
+                .map(|(l, r)| (r.clone(), l.clone()))
+                .collect()
         }
     }
 
@@ -76,9 +79,19 @@ pub fn join_edges(spec: &QuerySpec) -> Vec<JoinEdge> {
     for join in &spec.joins {
         let (l, r) = join.datasets();
         let (a, b, lk, rk) = if l <= r {
-            (l.to_string(), r.to_string(), join.left.clone(), join.right.clone())
+            (
+                l.to_string(),
+                r.to_string(),
+                join.left.clone(),
+                join.right.clone(),
+            )
         } else {
-            (r.to_string(), l.to_string(), join.right.clone(), join.left.clone())
+            (
+                r.to_string(),
+                l.to_string(),
+                join.right.clone(),
+                join.left.clone(),
+            )
         };
         grouped.entry((a, b)).or_default().push((lk, rk));
     }
@@ -203,9 +216,15 @@ impl GreedyPlanner {
             NextJoinPolicy::CardinalityOnly => left_size + right_size,
         };
 
-        let left_info = self.side_info(spec, catalog, &edge.left_alias, &edge.keys[0].0, left_size)?;
-        let right_info =
-            self.side_info(spec, catalog, &edge.right_alias, &edge.keys[0].1, right_size)?;
+        let left_info =
+            self.side_info(spec, catalog, &edge.left_alias, &edge.keys[0].0, left_size)?;
+        let right_info = self.side_info(
+            spec,
+            catalog,
+            &edge.right_alias,
+            &edge.keys[0].1,
+            right_size,
+        )?;
         let choice = self.rule.choose(&left_info, &right_info);
         let (probe_alias, build_alias, keys, probe_rows, build_rows) = if choice.build_is_second {
             (
@@ -336,7 +355,10 @@ impl GreedyPlanner {
 
                 // The second edge connects the inner result with the remaining
                 // dataset: the endpoint not consumed by the first join.
-                let consumed = [first.edge.left_alias.as_str(), first.edge.right_alias.as_str()];
+                let consumed = [
+                    first.edge.left_alias.as_str(),
+                    first.edge.right_alias.as_str(),
+                ];
                 let outer_alias = if consumed.contains(&other_edge.left_alias.as_str()) {
                     other_edge.right_alias.clone()
                 } else {
@@ -344,15 +366,10 @@ impl GreedyPlanner {
                 };
                 let outer_keys = other_edge.keys_from(&outer_alias);
                 let outer_size = estimator.dataset_size(spec, &outer_alias)?;
-                let outer_info = self.side_info(
-                    spec,
-                    catalog,
-                    &outer_alias,
-                    &outer_keys[0].0,
-                    outer_size,
-                )?;
-                let inner_info = JoinSideInfo::new("intermediate", first.estimated_cardinality)
-                    .filtered(true);
+                let outer_info =
+                    self.side_info(spec, catalog, &outer_alias, &outer_keys[0].0, outer_size)?;
+                let inner_info =
+                    JoinSideInfo::new("intermediate", first.estimated_cardinality).filtered(true);
                 let choice = self.rule.choose(&inner_info, &outer_info);
                 if choice.build_is_second {
                     // Probe = inner join result, build = remaining dataset.
@@ -361,7 +378,12 @@ impl GreedyPlanner {
                         .iter()
                         .map(|(outer, inner)| (inner.clone(), outer.clone()))
                         .collect();
-                    Ok(PhysicalPlan::join_on(inner_plan, build, keys, choice.algorithm))
+                    Ok(PhysicalPlan::join_on(
+                        inner_plan,
+                        build,
+                        keys,
+                        choice.algorithm,
+                    ))
                 } else {
                     // Probe = remaining dataset (possibly via its index), build =
                     // inner join result.
@@ -412,7 +434,13 @@ mod tests {
             ],
         );
         let fact_rows = (0..10_000)
-            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 100), Value::Int64(i % 5_000)]))
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int64(i),
+                    Value::Int64(i % 100),
+                    Value::Int64(i % 5_000),
+                ])
+            })
             .collect();
         cat.ingest(
             "fact",
@@ -421,8 +449,10 @@ mod tests {
         )
         .unwrap();
 
-        let dim_schema =
-            Schema::for_dataset("dim", &[("d_id", DataType::Int64), ("d_cat", DataType::Int64)]);
+        let dim_schema = Schema::for_dataset(
+            "dim",
+            &[("d_id", DataType::Int64), ("d_cat", DataType::Int64)],
+        );
         let dim_rows = (0..100)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 5)]))
             .collect();
@@ -433,8 +463,10 @@ mod tests {
         )
         .unwrap();
 
-        let big_schema =
-            Schema::for_dataset("big", &[("b_id", DataType::Int64), ("b_val", DataType::Int64)]);
+        let big_schema = Schema::for_dataset(
+            "big",
+            &[("b_id", DataType::Int64), ("b_val", DataType::Int64)],
+        );
         let big_rows = (0..5_000)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i * 3)]))
             .collect();
@@ -531,7 +563,10 @@ mod tests {
         assert_eq!(planned.algorithm, JoinAlgorithm::Broadcast);
         assert_eq!(planned.build_alias, "dim");
         assert_eq!(planned.probe_alias, "fact");
-        assert!(planned.keys.iter().all(|(p, b)| p.dataset == "fact" && b.dataset == "dim"));
+        assert!(planned
+            .keys
+            .iter()
+            .all(|(p, b)| p.dataset == "fact" && b.dataset == "dim"));
     }
 
     #[test]
@@ -546,7 +581,10 @@ mod tests {
         let planner = GreedyPlanner::new(NextJoinPolicy::Statistics, rule);
         let planned = planner.next_join(&q, &cat, cat.stats()).unwrap();
         assert_eq!(planned.algorithm, JoinAlgorithm::IndexedNestedLoop);
-        assert_eq!(planned.probe_alias, "fact", "the indexed base table is the probe side");
+        assert_eq!(
+            planned.probe_alias, "fact",
+            "the indexed base table is the probe side"
+        );
         assert_eq!(planned.build_alias, "dim");
     }
 
@@ -568,7 +606,11 @@ mod tests {
         let exec = rdo_exec::Executor::new(&cat);
         let mut m = rdo_exec::ExecutionMetrics::new();
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();
-        assert_eq!(rel.len(), 10_000, "every fact row matches exactly one dim row");
+        assert_eq!(
+            rel.len(),
+            10_000,
+            "every fact row matches exactly one dim row"
+        );
     }
 
     #[test]
@@ -601,7 +643,7 @@ mod tests {
     fn plan_remaining_rejects_too_many_edges() {
         let cat = catalog();
         let q = spec().with_dataset(DatasetRef::named("dim2")); // never reached
-        // Build a 3-edge query by adding a third edge between dim and big.
+                                                                // Build a 3-edge query by adding a third edge between dim and big.
         let q = QuerySpec {
             datasets: vec![
                 DatasetRef::named("fact"),

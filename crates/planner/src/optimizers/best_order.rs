@@ -60,10 +60,8 @@ mod tests {
     fn catalog() -> Catalog {
         let mut cat = Catalog::new(4);
         for (name, rows) in [("fact", 5_000i64), ("dim", 100)] {
-            let schema = Schema::for_dataset(
-                name,
-                &[("k", DataType::Int64), ("v", DataType::Int64)],
-            );
+            let schema =
+                Schema::for_dataset(name, &[("k", DataType::Int64), ("v", DataType::Int64)]);
             let data = (0..rows)
                 .map(|i| Tuple::new(vec![Value::Int64(i % 100), Value::Int64(i)]))
                 .collect();
@@ -102,7 +100,11 @@ mod tests {
         let exec = Executor::new(&cat);
         let mut m = ExecutionMetrics::new();
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();
-        assert_eq!(rel.len(), 30, "each filtered fact row matches exactly one dim row");
+        assert_eq!(
+            rel.len(),
+            30,
+            "each filtered fact row matches exactly one dim row"
+        );
     }
 
     #[test]
@@ -112,8 +114,14 @@ mod tests {
             .with_dataset(DatasetRef::named("fact"))
             .with_dataset(DatasetRef::named("dim"))
             .with_join(FieldRef::new("fact", "k"), FieldRef::new("dim", "k"))
-            .with_predicate(Predicate::compare(FieldRef::new("dim", "v"), CmpOp::Lt, 10i64));
-        let plan = BestOrderOptimizer::default().plan(&q, &cat, cat.stats()).unwrap();
+            .with_predicate(Predicate::compare(
+                FieldRef::new("dim", "v"),
+                CmpOp::Lt,
+                10i64,
+            ));
+        let plan = BestOrderOptimizer::default()
+            .plan(&q, &cat, cat.stats())
+            .unwrap();
         let exec = Executor::new(&cat);
         let mut m = ExecutionMetrics::new();
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();

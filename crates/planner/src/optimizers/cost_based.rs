@@ -60,10 +60,8 @@ mod tests {
     fn catalog() -> Catalog {
         let mut cat = Catalog::new(4);
         for (name, rows) in [("a", 2_000i64), ("b", 200), ("c", 20)] {
-            let schema = Schema::for_dataset(
-                name,
-                &[("k", DataType::Int64), ("v", DataType::Int64)],
-            );
+            let schema =
+                Schema::for_dataset(name, &[("k", DataType::Int64), ("v", DataType::Int64)]);
             let data = (0..rows)
                 .map(|i| Tuple::new(vec![Value::Int64(i % 20), Value::Int64(i)]))
                 .collect();
@@ -96,7 +94,7 @@ mod tests {
         let exec = Executor::new(&cat);
         let mut m = ExecutionMetrics::new();
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();
-        assert!(rel.len() > 0);
+        assert!(!rel.is_empty());
     }
 
     #[test]
@@ -105,11 +103,9 @@ mod tests {
         // 10%, so it will typically not consider `a` broadcastable even though
         // the true filtered size (20 rows) is tiny.
         let cat = catalog();
-        let q = spec().with_predicate(Predicate::udf(
-            "rare",
-            FieldRef::new("a", "v"),
-            |v| v.as_i64().map(|x| x < 20).unwrap_or(false),
-        ));
+        let q = spec().with_predicate(Predicate::udf("rare", FieldRef::new("a", "v"), |v| {
+            v.as_i64().map(|x| x < 20).unwrap_or(false)
+        }));
         let opt = CostBasedOptimizer::new(JoinAlgorithmRule::with_threshold(50.0));
         let plan = opt.plan(&q, &cat, cat.stats()).unwrap();
         // `a` estimated at 200 rows (10% of 2000) > 50-row threshold → never the
@@ -119,7 +115,7 @@ mod tests {
         let exec = Executor::new(&cat);
         let mut m = ExecutionMetrics::new();
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();
-        assert!(rel.len() > 0);
+        assert!(!rel.is_empty());
     }
 
     #[test]

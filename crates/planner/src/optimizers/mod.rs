@@ -91,11 +91,7 @@ pub struct SubPlan {
 }
 
 /// Builds the leaf sub-plan for one dataset of the query.
-pub fn make_leaf(
-    spec: &QuerySpec,
-    stats: &dyn LeafStats,
-    alias: &str,
-) -> Result<SubPlan> {
+pub fn make_leaf(spec: &QuerySpec, stats: &dyn LeafStats, alias: &str) -> Result<SubPlan> {
     let table = spec.table_of(alias)?;
     let predicates = spec.predicates_for(alias).into_iter().cloned().collect();
     let mut plan = PhysicalPlan::scan_aliased(alias, table).with_predicates(predicates);
@@ -191,10 +187,17 @@ pub fn join_subplans(
     let b_info = side_info_for(spec, catalog, b, &keys[0].1);
     let choice = rule.choose(&a_info, &b_info);
     let plan = if choice.build_is_second {
-        PhysicalPlan::join_on(a.plan.clone(), b.plan.clone(), keys.clone(), choice.algorithm)
+        PhysicalPlan::join_on(
+            a.plan.clone(),
+            b.plan.clone(),
+            keys.clone(),
+            choice.algorithm,
+        )
     } else {
-        let swapped: Vec<(FieldRef, FieldRef)> =
-            keys.iter().map(|(ka, kb)| (kb.clone(), ka.clone())).collect();
+        let swapped: Vec<(FieldRef, FieldRef)> = keys
+            .iter()
+            .map(|(ka, kb)| (kb.clone(), ka.clone()))
+            .collect();
         PhysicalPlan::join_on(b.plan.clone(), a.plan.clone(), swapped, choice.algorithm)
     };
 
@@ -334,13 +337,27 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new(4);
-        for (name, rows, key_mod) in [("fact", 5_000i64, 50i64), ("dim", 50, 50), ("other", 500, 50)] {
+        for (name, rows, key_mod) in [
+            ("fact", 5_000i64, 50i64),
+            ("dim", 50, 50),
+            ("other", 500, 50),
+        ] {
             let schema = Schema::for_dataset(
                 name,
-                &[("id", DataType::Int64), ("k", DataType::Int64), ("v", DataType::Int64)],
+                &[
+                    ("id", DataType::Int64),
+                    ("k", DataType::Int64),
+                    ("v", DataType::Int64),
+                ],
             );
             let data = (0..rows)
-                .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % key_mod), Value::Int64(i % 7)]))
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int64(i),
+                        Value::Int64(i % key_mod),
+                        Value::Int64(i % 7),
+                    ])
+                })
                 .collect();
             cat.ingest(
                 name,
@@ -378,8 +395,12 @@ mod tests {
         let mut m2 = ExecutionMetrics::new();
         let r1 = exec.execute_to_relation(&greedy, &mut m1).unwrap();
         let r2 = exec.execute_to_relation(&dp, &mut m2).unwrap();
-        assert_eq!(r1.len(), r2.len(), "plan shape must not change the result size");
-        assert!(r1.len() > 0);
+        assert_eq!(
+            r1.len(),
+            r2.len(),
+            "plan shape must not change the result size"
+        );
+        assert!(!r1.is_empty());
     }
 
     #[test]
@@ -414,7 +435,11 @@ mod tests {
         let estimator = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static);
         let broadcast_rule = JoinAlgorithmRule::with_threshold(100.0);
         let plan = greedy_full_plan(&q, &cat, &estimator, &broadcast_rule, false).unwrap();
-        assert!(plan.signature().contains("⋈b"), "dim (50 rows) should broadcast: {}", plan.signature());
+        assert!(
+            plan.signature().contains("⋈b"),
+            "dim (50 rows) should broadcast: {}",
+            plan.signature()
+        );
         let hash_rule = JoinAlgorithmRule::with_threshold(0.0);
         let plan = greedy_full_plan(&q, &cat, &estimator, &hash_rule, false).unwrap();
         assert!(!plan.signature().contains("⋈b"));
@@ -430,7 +455,11 @@ mod tests {
         ));
         let estimator = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static);
         let leaf = make_leaf(&q, &estimator, "other").unwrap();
-        assert!(leaf.est_rows < 200.0, "filtered leaf estimate {}", leaf.est_rows);
+        assert!(
+            leaf.est_rows < 200.0,
+            "filtered leaf estimate {}",
+            leaf.est_rows
+        );
         assert_eq!(leaf.leaf_alias.as_deref(), Some("other"));
     }
 
@@ -451,10 +480,8 @@ mod tests {
     fn inl_probe_side_remains_unprojected_scan() {
         let mut cat = catalog();
         // Rebuild fact with a secondary index on k so INL becomes possible.
-        let schema = Schema::for_dataset(
-            "fact2",
-            &[("id", DataType::Int64), ("k", DataType::Int64)],
-        );
+        let schema =
+            Schema::for_dataset("fact2", &[("id", DataType::Int64), ("k", DataType::Int64)]);
         let data = (0..5_000)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 50)]))
             .collect();
@@ -468,7 +495,11 @@ mod tests {
             .with_dataset(DatasetRef::named("fact2"))
             .with_dataset(DatasetRef::named("dim"))
             .with_join(FieldRef::new("fact2", "k"), FieldRef::new("dim", "k"))
-            .with_predicate(Predicate::compare(FieldRef::new("dim", "v"), CmpOp::Eq, 1i64));
+            .with_predicate(Predicate::compare(
+                FieldRef::new("dim", "v"),
+                CmpOp::Eq,
+                1i64,
+            ));
         let estimator = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static);
         let rule = JoinAlgorithmRule::with_threshold(100.0).with_indexed_nested_loop(true);
         let plan = greedy_full_plan(&q, &cat, &estimator, &rule, false).unwrap();
@@ -481,7 +512,7 @@ mod tests {
         let exec = Executor::new(&cat);
         let mut m = ExecutionMetrics::new();
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();
-        assert!(rel.len() > 0);
+        assert!(!rel.is_empty());
         assert!(m.index_lookups > 0);
     }
 }

@@ -91,10 +91,7 @@ impl PilotRunOptimizer {
                 .into_iter()
                 .cloned()
                 .collect();
-            let tracked: Vec<String> = key_columns
-                .get(&dataset.alias)
-                .cloned()
-                .unwrap_or_default();
+            let tracked: Vec<String> = key_columns.get(&dataset.alias).cloned().unwrap_or_default();
             let mut builders: Vec<(String, usize, ColumnStatsBuilder)> = tracked
                 .iter()
                 .filter_map(|col| {
@@ -133,10 +130,7 @@ impl PilotRunOptimizer {
             sizes.insert(dataset.alias.clone(), (total_rows * fraction).max(1.0));
             for (col, _, builder) in builders {
                 let stats = builder.build();
-                distincts.insert(
-                    (dataset.alias.clone(), col),
-                    stats.distinct.max(1) as f64,
-                );
+                distincts.insert((dataset.alias.clone(), col), stats.distinct.max(1) as f64);
             }
         }
         Ok((PilotEstimates { sizes, distincts }, metrics))
@@ -154,7 +148,8 @@ impl Optimizer for PilotRunOptimizer {
         catalog: &Catalog,
         stats: &StatsCatalog,
     ) -> Result<PhysicalPlan> {
-        self.plan_with_overhead(spec, catalog, stats).map(|(p, _)| p)
+        self.plan_with_overhead(spec, catalog, stats)
+            .map(|(p, _)| p)
     }
 
     fn plan_with_overhead(
@@ -188,10 +183,8 @@ mod tests {
     /// can only ever see `sample_limit` of them.
     fn catalog() -> Catalog {
         let mut cat = Catalog::new(4);
-        let fact_schema = Schema::for_dataset(
-            "fact",
-            &[("id", DataType::Int64), ("fk", DataType::Int64)],
-        );
+        let fact_schema =
+            Schema::for_dataset("fact", &[("id", DataType::Int64), ("fk", DataType::Int64)]);
         let fact_rows = (0..20_000)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10_000)]))
             .collect();
@@ -202,10 +195,8 @@ mod tests {
         )
         .unwrap();
 
-        let dim_schema = Schema::for_dataset(
-            "dim",
-            &[("pk", DataType::Int64), ("v", DataType::Int64)],
-        );
+        let dim_schema =
+            Schema::for_dataset("dim", &[("pk", DataType::Int64), ("v", DataType::Int64)]);
         let dim_rows = (0..10_000)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 3)]))
             .collect();
@@ -232,11 +223,15 @@ mod tests {
         assert_eq!(opt.name(), "pilot-run");
         let (plan, overhead) = opt.plan_with_overhead(&spec(), &cat, cat.stats()).unwrap();
         assert!(overhead.rows_scanned > 0, "pilot runs scan sample rows");
-        assert!(overhead.rows_scanned <= 2 * 1_000 as u64 + 8);
+        assert!(overhead.rows_scanned <= 2 * 1_000_u64 + 8);
         let exec = Executor::new(&cat);
         let mut m = ExecutionMetrics::new();
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();
-        assert_eq!(rel.len(), 20_000, "every fact row joins exactly one dim row");
+        assert_eq!(
+            rel.len(),
+            20_000,
+            "every fact row joins exactly one dim row"
+        );
     }
 
     #[test]

@@ -50,10 +50,8 @@ mod tests {
         let mut cat = Catalog::new(4);
         // Two "fact" tables joined on a low-selectivity key plus one small dim.
         for (name, rows, key_mod) in [("f1", 4_000i64, 40i64), ("f2", 4_000, 40), ("dim", 40, 40)] {
-            let schema = Schema::for_dataset(
-                name,
-                &[("id", DataType::Int64), ("k", DataType::Int64)],
-            );
+            let schema =
+                Schema::for_dataset(name, &[("id", DataType::Int64), ("k", DataType::Int64)]);
             let data = (0..rows)
                 .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % key_mod)]))
                 .collect();
@@ -79,9 +77,14 @@ mod tests {
     #[test]
     fn worst_order_uses_only_hash_joins() {
         let cat = catalog();
-        let plan = WorstOrderOptimizer.plan(&spec(), &cat, cat.stats()).unwrap();
+        let plan = WorstOrderOptimizer
+            .plan(&spec(), &cat, cat.stats())
+            .unwrap();
         let sig = plan.signature();
-        assert!(!sig.contains("⋈b") && !sig.contains("⋈i"), "signature {sig}");
+        assert!(
+            !sig.contains("⋈b") && !sig.contains("⋈i"),
+            "signature {sig}"
+        );
     }
 
     #[test]
@@ -89,7 +92,9 @@ mod tests {
         let cat = catalog();
         let q = spec();
         let worst = WorstOrderOptimizer.plan(&q, &cat, cat.stats()).unwrap();
-        let best = BestOrderOptimizer::default().plan(&q, &cat, cat.stats()).unwrap();
+        let best = BestOrderOptimizer::default()
+            .plan(&q, &cat, cat.stats())
+            .unwrap();
 
         let exec = Executor::new(&cat);
         let model = CostModel::with_partitions(4);

@@ -304,7 +304,11 @@ mod tests {
             .with_dataset(DatasetRef::named("c"))
             .with_join(FieldRef::new("a", "x"), FieldRef::new("b", "x"))
             .with_join(FieldRef::new("b", "y"), FieldRef::new("c", "y"))
-            .with_predicate(Predicate::compare(FieldRef::new("a", "v"), CmpOp::Lt, 10i64))
+            .with_predicate(Predicate::compare(
+                FieldRef::new("a", "v"),
+                CmpOp::Lt,
+                10i64,
+            ))
             .with_projection(vec![FieldRef::new("a", "v")])
     }
 
@@ -382,11 +386,7 @@ mod tests {
         ));
         assert_eq!(q.pushdown_candidates(), vec!["a".to_string()]);
         // A single UDF on c → candidate.
-        let q2 = three_way().with_predicate(Predicate::udf(
-            "f",
-            FieldRef::new("c", "z"),
-            |_| true,
-        ));
+        let q2 = three_way().with_predicate(Predicate::udf("f", FieldRef::new("c", "z"), |_| true));
         assert_eq!(q2.pushdown_candidates(), vec!["c".to_string()]);
     }
 

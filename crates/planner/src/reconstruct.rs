@@ -88,7 +88,7 @@ pub fn reconstruct_after_join(
         .map(|j| JoinCondition::new(repoint(&j.left), repoint(&j.right)))
         .collect();
 
-    let projection = spec.projection.iter().map(|p| repoint(p)).collect();
+    let projection = spec.projection.iter().map(repoint).collect();
 
     QuerySpec {
         datasets,
@@ -202,11 +202,7 @@ mod tests {
 
     #[test]
     fn predicate_on_surviving_dataset_kept_with_field_untouched() {
-        let q = q1().with_predicate(Predicate::compare(
-            FieldRef::new("D", "x"),
-            CmpOp::Gt,
-            5i64,
-        ));
+        let q = q1().with_predicate(Predicate::compare(FieldRef::new("D", "x"), CmpOp::Gt, 5i64));
         let rewritten = reconstruct_after_join(&q, "A", "B", "I_1");
         assert_eq!(rewritten.predicates_for("D").len(), 1);
     }

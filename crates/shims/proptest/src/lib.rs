@@ -1,0 +1,503 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! subset of proptest the test suite uses: the [`proptest!`] macro,
+//! `prop_assert!` / `prop_assert_eq!`, range and tuple strategies,
+//! `prop::collection::vec`, `prop::array::uniform3`, `prop::option::of`,
+//! [`Just`], `prop_oneof!`, `any::<T>()` and `.prop_map`.
+//!
+//! Differences from the real crate: cases are generated from a deterministic
+//! per-test seed (derived from the test name), and failing cases are reported
+//! but **not shrunk**. For a reproduction codebase, deterministic replay is the
+//! property that matters.
+
+use std::fmt;
+
+/// Deterministic PRNG driving the generators (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A fresh RNG whose stream is a pure function of `label`.
+    pub fn deterministic(label: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+/// Error carried out of a failing property body by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end.wrapping_sub(start) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_unit_f64() * 2e6 - 1e6
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// A boxed generator function — one arm of a [`Union`].
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Weighted union of same-valued strategies (backs `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, UnionArm<V>)>,
+}
+
+impl<V> Union<V> {
+    /// An empty union; `prop_oneof!` pushes arms into it.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self { arms: Vec::new() }
+    }
+
+    /// Adds an arm with the given relative weight.
+    pub fn push(&mut self, weight: u32, generate: UnionArm<V>) {
+        self.arms.push((weight, generate));
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        let mut pick = rng.below(total);
+        for (weight, generate) in &self.arms {
+            if pick < *weight as u64 {
+                return generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weight accounting is exhaustive")
+    }
+}
+
+/// Mirrors the `proptest::prop` module paths used by the test suite.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Vec<T>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.start >= self.size.end {
+                    self.size.start
+                } else {
+                    self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, len_range)`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `[T; 3]` built from one element strategy.
+        pub struct Uniform3<S>(S);
+
+        impl<S: Strategy> Strategy for Uniform3<S> {
+            type Value = [S::Value; 3];
+            fn generate(&self, rng: &mut TestRng) -> [S::Value; 3] {
+                [
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                ]
+            }
+        }
+
+        /// `prop::array::uniform3(element)`.
+        pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+            Uniform3(element)
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Option<T>` (roughly 1-in-5 `None`, like proptest's
+        /// default weighting).
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(5) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+
+        /// `prop::option::of(element)`.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy(element)
+        }
+    }
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let mut union = $crate::Union::new();
+        $(
+            let strategy = $strat;
+            union.push(
+                $weight as u32,
+                ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&strategy, rng)
+                }),
+            );
+        )+
+        union
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(error) = outcome {
+                    panic!("proptest case {}/{} failed: {}", case + 1, config.cases, error);
+                }
+            }
+        }
+    )*};
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = (0i64..10, 5usize..6).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = TestRng::deterministic("vec");
+        let strat = prop::collection::vec(0i64..3, 2..7);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..3).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights() {
+        let mut rng = TestRng::deterministic("weights");
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1_000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(trues > 800, "{trues}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: generated values satisfy their strategies.
+        fn macro_generates_in_range(a in 3i64..9, flips in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(flips.len() < 4);
+        }
+    }
+}

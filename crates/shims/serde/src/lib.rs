@@ -1,0 +1,157 @@
+//! Offline stand-in for `serde` (JSON-serialization only).
+//!
+//! The bench harness only ever derives `Serialize` on flat result-row structs
+//! and feeds them to `serde_json::to_string_pretty`, so this shim models
+//! serialization as "write yourself as pretty JSON": one trait method, plus a
+//! derive macro re-exported from `serde_derive`.
+
+pub use serde_derive::Serialize;
+
+/// Types that can render themselves as JSON.
+pub trait Serialize {
+    /// Appends the JSON form of `self` to `out`. `indent` is the current
+    /// pretty-printing depth in spaces; implementations writing multi-line
+    /// forms indent their children by `indent + 2`.
+    fn write_json(&self, out: &mut String, indent: usize);
+}
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(value: &str, out: &mut String) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+int_serialize!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (*self as f64).write_json(out, indent);
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (**self).write_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.write_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().write_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        if self.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push_str("[\n");
+        for (i, item) in self.iter().enumerate() {
+            out.push_str(&" ".repeat(indent + 2));
+            item.write_json(out, indent + 2);
+            if i + 1 < self.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(indent));
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render_as_json() {
+        let mut out = String::new();
+        42i64.write_json(&mut out, 0);
+        out.push(' ');
+        3.5f64.write_json(&mut out, 0);
+        out.push(' ');
+        true.write_json(&mut out, 0);
+        assert_eq!(out, "42 3.5 true");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        "a\"b\\c\nd".to_string().write_json(&mut out, 0);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn vectors_render_multi_line() {
+        let mut out = String::new();
+        vec![1i64, 2].write_json(&mut out, 0);
+        assert_eq!(out, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        f64::NAN.write_json(&mut out, 0);
+        assert_eq!(out, "null");
+    }
+}

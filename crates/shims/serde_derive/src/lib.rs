@@ -1,0 +1,124 @@
+//! `#[derive(Serialize)]` for the offline serde stand-in.
+//!
+//! Supports exactly the shape the workspace uses: non-generic structs with
+//! named fields whose types all implement `serde::Serialize`. The parser walks
+//! the raw token stream (no `syn` available offline), so field types may
+//! contain generics but not exotic constructs like function pointers with
+//! commas outside angle brackets.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's pretty-JSON writer) for a struct
+/// with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and visibility/keywords until `struct`.
+    let mut name = None;
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the following bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive(Serialize) expects a struct");
+
+    // Find the brace-delimited field list.
+    let body = tokens
+        .find_map(|token| match token {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive(Serialize) expects named fields");
+
+    let fields = field_names(body);
+    assert!(
+        !fields.is_empty(),
+        "derive(Serialize) expects at least one named field"
+    );
+
+    let mut writes = String::new();
+    for (i, field) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        writes.push_str(&format!(
+            "out.push_str(&\" \".repeat(indent + 2));\n\
+             serde::write_json_string(\"{field}\", out);\n\
+             out.push_str(\": \");\n\
+             serde::Serialize::write_json(&self.{field}, out, indent + 2);\n\
+             out.push_str(\"{comma}\\n\");\n"
+        ));
+    }
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut String, indent: usize) {{\n\
+                 out.push_str(\"{{\\n\");\n\
+                 {writes}\
+                 out.push_str(&\" \".repeat(indent));\n\
+                 out.push('}}');\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Extracts field identifiers from the body of a named-field struct, skipping
+/// attributes and visibility, and using angle-bracket depth to find the commas
+/// that separate fields.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and `pub`.
+        let field = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    // Possibly `pub(crate)` — skip a following paren group.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(ident)) => break ident.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other}"),
+            }
+        };
+        fields.push(field);
+
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}

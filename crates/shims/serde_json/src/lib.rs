@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde_json`: pretty printing over the serde shim.
+
+use std::fmt;
+
+/// Serialization error. The shim's writer is infallible, so this is only here
+/// to keep `to_string_pretty(...)` returning `Result` like the real crate.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as pretty-printed (2-space indented) JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Renders `value` as JSON (same output as [`to_string_pretty`] in this shim).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        cost: f64,
+        rows: u64,
+    }
+
+    #[test]
+    fn derived_struct_pretty_prints() {
+        let rows = vec![
+            Row {
+                name: "Q8".to_string(),
+                cost: 12.5,
+                rows: 3,
+            },
+            Row {
+                name: "Q9".to_string(),
+                cost: 1.0,
+                rows: 0,
+            },
+        ];
+        let json = super::to_string_pretty(&rows).unwrap();
+        assert_eq!(
+            json,
+            "[\n  {\n    \"name\": \"Q8\",\n    \"cost\": 12.5,\n    \"rows\": 3\n  },\n  {\n    \"name\": \"Q9\",\n    \"cost\": 1,\n    \"rows\": 0\n  }\n]"
+        );
+    }
+}

@@ -152,7 +152,12 @@ mod tests {
 
     #[test]
     fn counts_and_nulls() {
-        let s = stats_of(vec![Value::Int64(1), Value::Null, Value::Int64(2), Value::Null]);
+        let s = stats_of(vec![
+            Value::Int64(1),
+            Value::Null,
+            Value::Int64(2),
+            Value::Null,
+        ]);
         assert_eq!(s.count, 2);
         assert_eq!(s.null_count, 2);
     }
@@ -160,7 +165,11 @@ mod tests {
     #[test]
     fn distinct_estimate_exactish_for_small_inputs() {
         let s = stats_of((0..100).map(Value::Int64).collect());
-        assert!((s.distinct as i64 - 100).abs() <= 3, "distinct {}", s.distinct);
+        assert!(
+            (s.distinct as i64 - 100).abs() <= 3,
+            "distinct {}",
+            s.distinct
+        );
     }
 
     #[test]
@@ -215,7 +224,11 @@ mod tests {
 
     #[test]
     fn string_columns_supported() {
-        let s = stats_of((0..500).map(|i| Value::Utf8(format!("name{i:04}"))).collect());
+        let s = stats_of(
+            (0..500)
+                .map(|i| Value::Utf8(format!("name{i:04}")))
+                .collect(),
+        );
         assert_eq!(s.count, 500);
         assert!((s.distinct as i64 - 500).abs() <= 15);
     }

@@ -332,6 +332,9 @@ mod tests {
         let mut catalog = StatsCatalog::new();
         catalog.register("b", DatasetStats::default());
         catalog.register("a", DatasetStats::default());
-        assert_eq!(catalog.dataset_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            catalog.dataset_names(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 }

@@ -95,14 +95,7 @@ impl GkSketch {
         } else {
             delta.saturating_sub(1)
         };
-        self.entries.insert(
-            pos,
-            GkEntry {
-                value,
-                g: 1,
-                delta,
-            },
-        );
+        self.entries.insert(pos, GkEntry { value, g: 1, delta });
     }
 
     fn compress(&mut self) {
@@ -114,9 +107,7 @@ impl GkSketch {
         // Keep the first entry always; try to merge each entry into its successor.
         for entry in self.entries.drain(..) {
             let can_merge = match compressed.last() {
-                Some(last) if compressed.len() > 1 => {
-                    last.g + entry.g + entry.delta <= threshold
-                }
+                Some(last) if compressed.len() > 1 => last.g + entry.g + entry.delta <= threshold,
                 _ => false,
             };
             if can_merge {
@@ -237,7 +228,9 @@ mod tests {
     #[test]
     fn quantiles_are_monotone() {
         let mut s = sketch_of((0..20_000).map(|i| ((i * 37) % 1000) as f64), 0.01);
-        let qs: Vec<f64> = (0..=10).map(|i| s.quantile(i as f64 / 10.0).unwrap()).collect();
+        let qs: Vec<f64> = (0..=10)
+            .map(|i| s.quantile(i as f64 / 10.0).unwrap())
+            .collect();
         for w in qs.windows(2) {
             assert!(w[0] <= w[1], "quantiles must be non-decreasing: {qs:?}");
         }

@@ -177,7 +177,13 @@ mod tests {
     fn skewed_distribution_buckets_adapt() {
         // 90% of the mass at small values: the range covering them should report
         // ~90% selectivity even though it is narrow in value space.
-        let values = (0..10_000u64).map(|i| if i % 10 == 0 { 1_000.0 + i as f64 } else { i as f64 % 10.0 });
+        let values = (0..10_000u64).map(|i| {
+            if i % 10 == 0 {
+                1_000.0 + i as f64
+            } else {
+                i as f64 % 10.0
+            }
+        });
         let h = EquiHeightHistogram::from_values(values, 64);
         let s = h.range_selectivity(0.0, 9.0);
         assert!(s > 0.8, "selectivity {s} should capture the skewed mass");

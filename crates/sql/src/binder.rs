@@ -78,14 +78,18 @@ impl Binder<'_> {
         for table_ref in &statement.from {
             let table = self.catalog.table(&table_ref.table)?;
             let binding = table_ref.binding_name().to_string();
-            if bindings.insert(binding.clone(), table_ref.table.clone()).is_some() {
+            if bindings
+                .insert(binding.clone(), table_ref.table.clone())
+                .is_some()
+            {
                 return Err(SqlError::new(format!(
                     "duplicate dataset alias `{binding}` in FROM clause"
                 ))
                 .into());
             }
             let _ = table; // existence check only; schemas are consulted per column below
-            spec.datasets.push(DatasetRef::aliased(binding, table_ref.table.clone()));
+            spec.datasets
+                .push(DatasetRef::aliased(binding, table_ref.table.clone()));
         }
         if spec.datasets.is_empty() {
             return Err(SqlError::new("FROM clause is empty").into());
@@ -134,11 +138,7 @@ impl Binder<'_> {
                             }
                         };
                         let alias = item.alias.clone().unwrap_or(default_alias);
-                        aggregates.push(AggregateExpr {
-                            func,
-                            input,
-                            alias,
-                        });
+                        aggregates.push(AggregateExpr { func, input, alias });
                     }
                     other => {
                         return Err(SqlError::new(format!(
@@ -197,9 +197,10 @@ impl Binder<'_> {
         };
         for item in &statement.order_by {
             let field = match &item.expr {
-                ScalarExpr::Column { qualifier: None, name }
-                    if post.aggregates.iter().any(|a| &a.alias == name) =>
-                {
+                ScalarExpr::Column {
+                    qualifier: None,
+                    name,
+                } if post.aggregates.iter().any(|a| &a.alias == name) => {
                     FieldRef::new("agg", name.clone())
                 }
                 column @ ScalarExpr::Column { .. } => self.resolve_column(column, &bindings)?,
@@ -358,9 +359,8 @@ impl Binder<'_> {
         let func = self.require_scalar_udf(&name)?;
         let rhs = constant.value;
         let display = format!("{name}[{op}{rhs}]");
-        let mut predicate = Predicate::udf(display, field, move |v| {
-            compare_values(op, &func(v), &rhs)
-        });
+        let mut predicate =
+            Predicate::udf(display, field, move |v| compare_values(op, &func(v), &rhs));
         if constant.parameterized {
             predicate = predicate.parameterized();
         }
@@ -374,16 +374,22 @@ impl Binder<'_> {
         bindings: &HashMap<String, String>,
     ) -> Result<FieldRef> {
         let ScalarExpr::Column { qualifier, name } = expr else {
-            return Err(SqlError::new(format!("expected a column reference, found `{expr}`")).into());
+            return Err(
+                SqlError::new(format!("expected a column reference, found `{expr}`")).into(),
+            );
         };
         match qualifier {
             Some(alias) => {
                 let table = bindings.get(alias).ok_or_else(|| {
-                    SqlError::new(format!("unknown dataset alias `{alias}` in `{alias}.{name}`"))
+                    SqlError::new(format!(
+                        "unknown dataset alias `{alias}` in `{alias}.{name}`"
+                    ))
                 })?;
                 let schema = self.catalog.table(table)?.schema();
                 schema.index_of_unqualified(name).map_err(|_| {
-                    SqlError::new(format!("dataset `{table}` (alias `{alias}`) has no column `{name}`"))
+                    SqlError::new(format!(
+                        "dataset `{table}` (alias `{alias}`) has no column `{name}`"
+                    ))
                 })?;
                 Ok(FieldRef::new(alias.clone(), name.clone()))
             }
@@ -438,9 +444,9 @@ impl Binder<'_> {
                     parameterized: true,
                 })
             }
-            other => {
-                Err(SqlError::new(format!("expected a constant expression, found `{other}`")).into())
-            }
+            other => Err(
+                SqlError::new(format!("expected a constant expression, found `{other}`")).into(),
+            ),
         }
     }
 
@@ -475,9 +481,9 @@ impl Binder<'_> {
     }
 
     fn require_scalar_udf(&self, name: &str) -> Result<ScalarUdf> {
-        self.udfs.scalar(name).ok_or_else(|| {
-            SqlError::new(format!("`{name}` is not a registered scalar UDF")).into()
-        })
+        self.udfs
+            .scalar(name)
+            .ok_or_else(|| SqlError::new(format!("`{name}` is not a registered scalar UDF")).into())
     }
 }
 
@@ -554,7 +560,10 @@ mod tests {
 
         let customer = Schema::for_dataset(
             "customer",
-            &[("c_custkey", DataType::Int64), ("c_nationkey", DataType::Int64)],
+            &[
+                ("c_custkey", DataType::Int64),
+                ("c_nationkey", DataType::Int64),
+            ],
         );
         let customer_rows = (0..20)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 5)]))
@@ -584,7 +593,9 @@ mod tests {
 
     fn registry() -> UdfRegistry {
         let mut reg = UdfRegistry::new();
-        reg.register_scalar("myyear", |v| Value::Int64(v.as_i64().unwrap_or(0) / 365 + 1995));
+        reg.register_scalar("myyear", |v| {
+            Value::Int64(v.as_i64().unwrap_or(0) / 365 + 1995)
+        });
         reg.register_value_fn("myrand", |args| {
             let lo = args[0].as_i64().unwrap_or(0);
             Ok(Value::Int64(lo))
@@ -593,8 +604,14 @@ mod tests {
     }
 
     fn bind_sql(sql: &str) -> Result<BoundQuery> {
-        let stmt = parse(sql).map_err(SqlError::from)?;
-        bind(&stmt, "test", &catalog(), &registry(), &ParamBindings::new().with("nk", 3i64))
+        let stmt = parse(sql)?;
+        bind(
+            &stmt,
+            "test",
+            &catalog(),
+            &registry(),
+            &ParamBindings::new().with("nk", 3i64),
+        )
     }
 
     #[test]
@@ -610,7 +627,10 @@ mod tests {
         assert_eq!(bound.spec.predicates.len(), 2);
         assert_eq!(
             bound.spec.projection,
-            vec![FieldRef::new("o", "o_orderkey"), FieldRef::new("n", "n_name")]
+            vec![
+                FieldRef::new("o", "o_orderkey"),
+                FieldRef::new("n", "n_name")
+            ]
         );
         assert!(!bound.has_post_processing());
     }
@@ -649,7 +669,10 @@ mod tests {
         // The actual bound values are visible to the executor.
         let schema = Schema::for_dataset(
             "customer",
-            &[("c_custkey", DataType::Int64), ("c_nationkey", DataType::Int64)],
+            &[
+                ("c_custkey", DataType::Int64),
+                ("c_nationkey", DataType::Int64),
+            ],
         );
         let row = Tuple::new(vec![Value::Int64(7), Value::Int64(3)]);
         assert!(bound.spec.predicates[0].evaluate(&schema, &row).unwrap());
@@ -711,8 +734,18 @@ mod tests {
                 ("o_orderstatus", DataType::Utf8),
             ],
         );
-        let small = Tuple::new(vec![Value::Int64(5), Value::Int64(0), Value::Int64(0), Value::from("F")]);
-        let large = Tuple::new(vec![Value::Int64(50), Value::Int64(0), Value::Int64(0), Value::from("F")]);
+        let small = Tuple::new(vec![
+            Value::Int64(5),
+            Value::Int64(0),
+            Value::Int64(0),
+            Value::from("F"),
+        ]);
+        let large = Tuple::new(vec![
+            Value::Int64(50),
+            Value::Int64(0),
+            Value::Int64(0),
+            Value::from("F"),
+        ]);
         assert!(p.evaluate(&schema, &small).unwrap());
         assert!(!p.evaluate(&schema, &large).unwrap());
     }
@@ -725,7 +758,8 @@ mod tests {
         let bound = bind(&stmt, "q", &catalog(), &reg, &ParamBindings::new()).unwrap();
         assert_eq!(bound.spec.predicates.len(), 1);
 
-        let stmt = parse("SELECT o_orderkey FROM orders WHERE not_registered(o_orderdate)").unwrap();
+        let stmt =
+            parse("SELECT o_orderkey FROM orders WHERE not_registered(o_orderdate)").unwrap();
         assert!(bind(&stmt, "q", &catalog(), &reg, &ParamBindings::new()).is_err());
     }
 
@@ -743,11 +777,20 @@ mod tests {
         assert_eq!(bound.post.aggregates.len(), 2);
         assert_eq!(bound.post.aggregates[0].alias, "orders_n");
         assert_eq!(bound.post.limit, Some(3));
-        assert_eq!(bound.post.order_by[0].field, FieldRef::new("agg", "orders_n"));
+        assert_eq!(
+            bound.post.order_by[0].field,
+            FieldRef::new("agg", "orders_n")
+        );
         assert!(!bound.post.order_by[0].ascending);
         // The join-level projection keeps the group key and the aggregate input.
-        assert!(bound.spec.projection.contains(&FieldRef::new("n", "n_name")));
-        assert!(bound.spec.projection.contains(&FieldRef::new("o", "o_orderkey")));
+        assert!(bound
+            .spec
+            .projection
+            .contains(&FieldRef::new("n", "n_name")));
+        assert!(bound
+            .spec
+            .projection
+            .contains(&FieldRef::new("o", "o_orderkey")));
     }
 
     #[test]
@@ -766,7 +809,12 @@ mod tests {
              WHERE o.o_custkey = c.c_custkey AND c.c_nationkey = n.n_nationkey GROUP BY n.n_name",
         )
         .unwrap();
-        let aliases: Vec<&str> = bound.post.aggregates.iter().map(|a| a.alias.as_str()).collect();
+        let aliases: Vec<&str> = bound
+            .post
+            .aggregates
+            .iter()
+            .map(|a| a.alias.as_str())
+            .collect();
         assert_eq!(aliases, vec!["sum_o_orderkey", "count_star"]);
     }
 
@@ -784,7 +832,9 @@ mod tests {
 
     #[test]
     fn duplicate_alias_and_disconnected_join_graph_are_rejected() {
-        assert!(bind_sql("SELECT o_orderkey FROM orders o, customer o WHERE o.o_orderkey = 1").is_err());
+        assert!(
+            bind_sql("SELECT o_orderkey FROM orders o, customer o WHERE o.o_orderkey = 1").is_err()
+        );
         // Two datasets, no join between them → QuerySpec validation rejects it.
         assert!(bind_sql("SELECT o_orderkey FROM orders, customer WHERE o_orderkey = 1").is_err());
     }
@@ -805,7 +855,12 @@ mod tests {
                 ("o_orderstatus", DataType::Utf8),
             ],
         );
-        let row = Tuple::new(vec![Value::Int64(1), Value::Int64(1), Value::Int64(10), Value::from("F")]);
+        let row = Tuple::new(vec![
+            Value::Int64(1),
+            Value::Int64(1),
+            Value::Int64(10),
+            Value::from("F"),
+        ]);
         assert!(bound.spec.predicates[0].evaluate(&schema, &row).unwrap());
     }
 

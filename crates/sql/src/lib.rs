@@ -64,7 +64,7 @@ pub fn compile(
     udfs: &UdfRegistry,
     params: &ParamBindings,
 ) -> Result<BoundQuery> {
-    let statement = parse(sql).map_err(SqlError::from)?;
+    let statement = parse(sql)?;
     bind(&statement, name, catalog, udfs, params)
 }
 
@@ -77,10 +77,8 @@ mod tests {
     fn catalog() -> Catalog {
         let mut cat = Catalog::new(2);
         for (name, key, rows) in [("fact", "f_id", 100i64), ("dim", "d_id", 10)] {
-            let schema = Schema::for_dataset(
-                name,
-                &[(key, DataType::Int64), ("grp", DataType::Int64)],
-            );
+            let schema =
+                Schema::for_dataset(name, &[(key, DataType::Int64), ("grp", DataType::Int64)]);
             let data = (0..rows)
                 .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10)]))
                 .collect();

@@ -230,7 +230,9 @@ impl Parser {
             current = Condition::And(Box::new(current), Box::new(rhs));
         }
         if self.at_keyword("OR") {
-            return Err(self.error("OR is not supported: the optimizer handles conjunctive queries"));
+            return Err(
+                self.error("OR is not supported: the optimizer handles conjunctive queries")
+            );
         }
         Ok(current)
     }
@@ -413,7 +415,8 @@ mod tests {
 
     #[test]
     fn parses_projection_with_aliases() {
-        let stmt = parse("SELECT a.x, SUM(a.y) AS total, b.z qty FROM a, b WHERE a.k = b.k").unwrap();
+        let stmt =
+            parse("SELECT a.x, SUM(a.y) AS total, b.z qty FROM a, b WHERE a.k = b.k").unwrap();
         assert_eq!(stmt.projection.len(), 3);
         assert_eq!(stmt.projection[1].alias.as_deref(), Some("total"));
         assert_eq!(stmt.projection[2].alias.as_deref(), Some("qty"));
@@ -444,9 +447,13 @@ mod tests {
         assert!(matches!(conjuncts[2], Condition::Between { .. }));
         assert!(matches!(conjuncts[3], Condition::InList { list, .. } if list.len() == 2));
         assert!(matches!(conjuncts[4], Condition::BoolFunction { .. }));
-        assert!(
-            matches!(conjuncts[5], Condition::Compare { left: ScalarExpr::FunctionCall { .. }, .. })
-        );
+        assert!(matches!(
+            conjuncts[5],
+            Condition::Compare {
+                left: ScalarExpr::FunctionCall { .. },
+                ..
+            }
+        ));
         assert!(
             matches!(conjuncts[6], Condition::Compare { right: ScalarExpr::Parameter(p), .. } if p == "moy")
         );
@@ -512,7 +519,10 @@ mod tests {
         let conjuncts = stmt.where_conjuncts();
         assert!(matches!(
             conjuncts[0],
-            Condition::Compare { right: ScalarExpr::Literal(Literal::Int(-5)), .. }
+            Condition::Compare {
+                right: ScalarExpr::Literal(Literal::Int(-5)),
+                ..
+            }
         ));
         assert!(matches!(
             conjuncts[1],
@@ -554,7 +564,8 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        let stmt = parse("select a.x from a where a.x between 1 and 2 order by a.x desc limit 5").unwrap();
+        let stmt =
+            parse("select a.x from a where a.x between 1 and 2 order by a.x desc limit 5").unwrap();
         assert_eq!(stmt.projection.len(), 1);
         assert_eq!(stmt.limit, Some(5));
         assert!(!stmt.order_by[0].ascending);

@@ -237,10 +237,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 TokenKind::Ident(input[start..i].to_string())
             }
             other => {
-                return Err(SqlError::at(start, format!("unexpected character `{other}`")));
+                return Err(SqlError::at(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         };
-        tokens.push(Token { kind, offset: start });
+        tokens.push(Token {
+            kind,
+            offset: start,
+        });
     }
     tokens.push(Token {
         kind: TokenKind::Eof,

@@ -53,7 +53,8 @@ impl UdfRegistry {
         name: impl Into<String>,
         func: impl Fn(&Value) -> Value + Send + Sync + 'static,
     ) {
-        self.scalar.insert(name.into().to_lowercase(), Arc::new(func));
+        self.scalar
+            .insert(name.into().to_lowercase(), Arc::new(func));
     }
 
     /// Registers a value function (computes a constant from literal arguments).
@@ -152,7 +153,10 @@ mod tests {
             Ok(Value::Int64((lo + hi) / 2))
         });
         let f = reg.value_fn("MYRAND").expect("registered");
-        assert_eq!(f(&[Value::Int64(8), Value::Int64(10)]).unwrap(), Value::Int64(9));
+        assert_eq!(
+            f(&[Value::Int64(8), Value::Int64(10)]).unwrap(),
+            Value::Int64(9)
+        );
         assert_eq!(reg.value_fn_names(), vec!["myrand".to_string()]);
     }
 

@@ -3,8 +3,9 @@
 use crate::index::SecondaryIndex;
 use crate::table::Table;
 use rdo_common::{RdoError, Relation, Result};
-use rdo_sketch::{DatasetStatsBuilder, StatsCatalog};
+use rdo_sketch::{DatasetStats, DatasetStatsBuilder, StatsCatalog};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Options controlling dataset ingestion.
 #[derive(Debug, Clone)]
@@ -55,25 +56,46 @@ impl IngestOptions {
 
 /// The catalog of the simulated cluster: every node sees the same metadata, the
 /// data itself lives in the per-table partitions.
+///
+/// Tables are held behind [`Arc`] so the partition-parallel executor can hand
+/// cheap read-only handles to its workers; a shared `&Catalog` is `Send + Sync`
+/// (asserted at compile time below).
 #[derive(Debug, Clone)]
 pub struct Catalog {
     num_partitions: usize,
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
     indexes: HashMap<(String, String), SecondaryIndex>,
     stats: StatsCatalog,
 }
+
+/// Compile-time guarantee that catalog reads can be shared across the worker
+/// pool's scoped threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<SecondaryIndex>();
+};
 
 impl Catalog {
     /// Creates a catalog for a cluster with `num_partitions` partitions (the
     /// paper uses a 10-node cluster with 4 cores each; partitions model the
     /// per-core data partitions of Hyracks).
+    ///
+    /// A cluster cannot have zero partitions: `num_partitions == 0` is
+    /// **clamped to 1** (a single-partition, effectively serial cluster)
+    /// rather than rejected, so sweeps like `for p in 0..k` keep working.
+    /// After construction `num_partitions() >= 1` always holds, and every
+    /// ingested table has exactly `num_partitions()` partitions.
     pub fn new(num_partitions: usize) -> Self {
-        Self {
+        let catalog = Self {
             num_partitions: num_partitions.max(1),
             tables: HashMap::new(),
             indexes: HashMap::new(),
             stats: StatsCatalog::new(),
-        }
+        };
+        debug_assert!(catalog.num_partitions >= 1, "partition count clamp failed");
+        catalog
     }
 
     /// Number of partitions in the cluster.
@@ -101,12 +123,17 @@ impl Catalog {
             self.num_partitions,
             options.partition_key.as_deref(),
         )?;
+        debug_assert_eq!(
+            table.num_partitions(),
+            self.num_partitions,
+            "ingested table must match the cluster partition count"
+        );
         for column in &options.secondary_indexes {
             let index = SecondaryIndex::build(&table, column)?;
             self.indexes
                 .insert((name.clone(), index.column().to_string()), index);
         }
-        self.tables.insert(name, table);
+        self.tables.insert(name, Arc::new(table));
         Ok(())
     }
 
@@ -136,7 +163,28 @@ impl Catalog {
         let table =
             Table::from_relation(name.clone(), relation, self.num_partitions, partition_key)?
                 .into_temporary();
-        self.tables.insert(name, table);
+        self.tables.insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Registers a materialized intermediate result whose statistics were
+    /// already built elsewhere — the partition-parallel Sink builds one
+    /// [`DatasetStatsBuilder`] per partition and merges the partials at the
+    /// re-optimization barrier, then hands the merged [`DatasetStats`] in here
+    /// instead of re-observing the gathered relation on the coordinator.
+    pub fn register_intermediate_prebuilt(
+        &mut self,
+        name: impl Into<String>,
+        relation: Relation,
+        partition_key: Option<&str>,
+        stats: DatasetStats,
+    ) -> Result<()> {
+        let name = name.into();
+        self.stats.register(name.clone(), stats);
+        let table =
+            Table::from_relation(name.clone(), relation, self.num_partitions, partition_key)?
+                .into_temporary();
+        self.tables.insert(name, Arc::new(table));
         Ok(())
     }
 
@@ -151,6 +199,16 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(name)
+            .map(|t| t.as_ref())
+            .ok_or_else(|| RdoError::UnknownDataset(name.to_string()))
+    }
+
+    /// Returns a shared handle to a table, for handing to worker threads
+    /// without borrowing the catalog.
+    pub fn table_handle(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
             .ok_or_else(|| RdoError::UnknownDataset(name.to_string()))
     }
 
@@ -161,8 +219,9 @@ impl Catalog {
 
     /// Returns a secondary index on `table.column` if one exists.
     pub fn secondary_index(&self, table: &str, column: &str) -> Option<&SecondaryIndex> {
-        let unqualified = column.rsplit('.').next().unwrap_or(column);
-        self.indexes.get(&(table.to_string(), unqualified.to_string()))
+        let unqualified = rdo_common::unqualified(column);
+        self.indexes
+            .get(&(table.to_string(), unqualified.to_string()))
     }
 
     /// True if `table.column` has a secondary index.
@@ -197,7 +256,10 @@ mod tests {
     fn relation(n: i64) -> Relation {
         let schema = Schema::for_dataset(
             "orders",
-            &[("o_orderkey", DataType::Int64), ("o_custkey", DataType::Int64)],
+            &[
+                ("o_orderkey", DataType::Int64),
+                ("o_custkey", DataType::Int64),
+            ],
         );
         let rows = (0..n)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10)]))
@@ -208,8 +270,12 @@ mod tests {
     #[test]
     fn ingest_registers_table_and_stats() {
         let mut cat = Catalog::new(4);
-        cat.ingest("orders", relation(100), IngestOptions::partitioned_on("o_orderkey"))
-            .unwrap();
+        cat.ingest(
+            "orders",
+            relation(100),
+            IngestOptions::partitioned_on("o_orderkey"),
+        )
+        .unwrap();
         assert!(cat.has_table("orders"));
         assert_eq!(cat.table("orders").unwrap().row_count(), 100);
         assert_eq!(cat.stats().row_count("orders"), Some(100));
@@ -267,7 +333,8 @@ mod tests {
     #[test]
     fn intermediate_without_online_stats_still_has_rowcount() {
         let mut cat = Catalog::new(2);
-        cat.register_intermediate("I_1", relation(25), None, &[], false).unwrap();
+        cat.register_intermediate("I_1", relation(25), None, &[], false)
+            .unwrap();
         assert_eq!(cat.stats().row_count("I_1"), Some(25));
         assert!(cat.stats().get("I_1").unwrap().columns.is_empty());
     }
@@ -290,6 +357,66 @@ mod tests {
     #[test]
     fn unknown_table_errors() {
         let cat = Catalog::new(2);
-        assert!(matches!(cat.table("missing"), Err(RdoError::UnknownDataset(_))));
+        assert!(matches!(
+            cat.table("missing"),
+            Err(RdoError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn zero_partitions_clamps_to_one() {
+        let mut cat = Catalog::new(0);
+        assert_eq!(cat.num_partitions(), 1, "zero partitions clamps to 1");
+        cat.ingest(
+            "orders",
+            relation(10),
+            IngestOptions::partitioned_on("o_orderkey"),
+        )
+        .unwrap();
+        assert_eq!(cat.table("orders").unwrap().num_partitions(), 1);
+    }
+
+    #[test]
+    fn every_ingested_table_matches_cluster_partition_count() {
+        for partitions in [1usize, 2, 7] {
+            let mut cat = Catalog::new(partitions);
+            cat.ingest("orders", relation(30), IngestOptions::default())
+                .unwrap();
+            cat.register_intermediate("I_1", relation(5), None, &[], false)
+                .unwrap();
+            for name in cat.table_names() {
+                assert_eq!(cat.table(&name).unwrap().num_partitions(), partitions);
+            }
+        }
+    }
+
+    #[test]
+    fn table_handles_are_shared_not_copied() {
+        let mut cat = Catalog::new(2);
+        cat.ingest("orders", relation(10), IngestOptions::default())
+            .unwrap();
+        let a = cat.table_handle("orders").unwrap();
+        let b = cat.table_handle("orders").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(cat.table_handle("missing").is_err());
+    }
+
+    #[test]
+    fn prebuilt_stats_registration() {
+        use rdo_sketch::DatasetStatsBuilder;
+        let mut cat = Catalog::new(2);
+        let rel = relation(40);
+        let mut builder = DatasetStatsBuilder::new(rel.schema(), &["o_custkey".into()]);
+        builder.observe_relation(&rel);
+        cat.register_intermediate_prebuilt("I_1", rel, Some("o_custkey"), builder.build())
+            .unwrap();
+        assert!(cat.table("I_1").unwrap().is_temporary());
+        assert_eq!(cat.stats().row_count("I_1"), Some(40));
+        assert!(cat
+            .stats()
+            .get("I_1")
+            .unwrap()
+            .column("o_custkey")
+            .is_some());
     }
 }

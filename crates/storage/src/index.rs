@@ -24,19 +24,20 @@ pub struct SecondaryIndex {
 impl SecondaryIndex {
     /// Builds the index by scanning every partition of `table`.
     pub fn build(table: &Table, column: &str) -> Result<Self> {
-        let unqualified = column.rsplit('.').next().unwrap_or(column);
+        let unqualified = rdo_common::unqualified(column);
         let idx = table
             .schema()
             .index_of_unqualified(unqualified)
-            .or_else(|_| {
-                FieldRef::parse(column).and_then(|f| table.schema().resolve(&f))
-            })
+            .or_else(|_| FieldRef::parse(column).and_then(|f| table.schema().resolve(&f)))
             .map_err(|_| RdoError::UnknownField(column.to_string()))?;
         let mut partitions = Vec::with_capacity(table.num_partitions());
         for p in table.partitions() {
             let mut index: HashMap<Value, Vec<usize>> = HashMap::with_capacity(p.len());
             for (offset, row) in p.iter().enumerate() {
-                index.entry(row.value(idx).clone()).or_default().push(offset);
+                index
+                    .entry(row.value(idx).clone())
+                    .or_default()
+                    .push(offset);
             }
             partitions.push(index);
         }
@@ -93,7 +94,10 @@ mod tests {
     fn table(n: i64, partitions: usize) -> Table {
         let schema = Schema::for_dataset(
             "lineitem",
-            &[("l_orderkey", DataType::Int64), ("l_partkey", DataType::Int64)],
+            &[
+                ("l_orderkey", DataType::Int64),
+                ("l_partkey", DataType::Int64),
+            ],
         );
         let rows = (0..n)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 50)]))
@@ -118,7 +122,10 @@ mod tests {
                 matches += 1;
             }
         }
-        assert_eq!(matches, 20, "1000 rows with 50 distinct part keys → 20 matches");
+        assert_eq!(
+            matches, 20,
+            "1000 rows with 50 distinct part keys → 20 matches"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Hash-partitioned in-memory tables.
 
-use rdo_common::{FieldRef, RdoError, Relation, Result, Schema, Tuple, Value};
+use rdo_common::{unqualified, FieldRef, RdoError, Relation, Result, Schema, Tuple, Value};
 use rdo_sketch::hll::hash_value;
 
 /// A dataset hash-partitioned across the simulated cluster nodes.
@@ -137,10 +137,6 @@ pub fn partition_of(value: &Value, num_partitions: usize) -> usize {
     (hash_value(value) % num_partitions as u64) as usize
 }
 
-fn unqualified(column: &str) -> &str {
-    column.rsplit('.').next().unwrap_or(column)
-}
-
 fn resolve_key(schema: &Schema, key: &str) -> Result<usize> {
     if let Ok(field) = FieldRef::parse(key) {
         if let Ok(idx) = schema.resolve(&field) {
@@ -158,10 +154,7 @@ mod tests {
     use rdo_common::DataType;
 
     fn relation(n: i64) -> Relation {
-        let schema = Schema::for_dataset(
-            "t",
-            &[("k", DataType::Int64), ("v", DataType::Utf8)],
-        );
+        let schema = Schema::for_dataset("t", &[("k", DataType::Int64), ("v", DataType::Utf8)]);
         let rows = (0..n)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Utf8(format!("row{i}"))]))
             .collect();

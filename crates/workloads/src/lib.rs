@@ -24,7 +24,7 @@ pub mod scale;
 pub mod tpcds;
 pub mod tpch;
 
-pub use queries::{q17, q50, q8, q9, all_queries};
+pub use queries::{all_queries, q17, q50, q8, q9};
 pub use queries_sql::{
     compile_paper_query, paper_udfs, q50_params, PAPER_QUERY_NAMES, Q17_SQL, Q50_SQL, Q8_SQL,
     Q9_SQL,

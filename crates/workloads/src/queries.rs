@@ -84,12 +84,8 @@ pub fn q50(moy: i64, year: i64) -> QuerySpec {
         .with_dataset(DatasetRef::aliased("d1", "date_dim"))
         .with_dataset(DatasetRef::aliased("d2", "date_dim"))
         .with_dataset(DatasetRef::named("store"))
-        .with_predicate(
-            Predicate::compare(f("d1", "d_moy"), CmpOp::Eq, moy).parameterized(),
-        )
-        .with_predicate(
-            Predicate::compare(f("d1", "d_year"), CmpOp::Eq, year).parameterized(),
-        )
+        .with_predicate(Predicate::compare(f("d1", "d_moy"), CmpOp::Eq, moy).parameterized())
+        .with_predicate(Predicate::compare(f("d1", "d_year"), CmpOp::Eq, year).parameterized())
         .with_join(
             f("d1", "d_date_sk"),
             f("store_returns", "sr_returned_date_sk"),
@@ -135,7 +131,11 @@ pub fn q8() -> QuerySpec {
         // Correlated pair: the date range implies status 'F' in the generator,
         // but a static optimizer multiplies the two selectivities.
         .with_predicate(Predicate::between(f("orders", "o_orderdate"), 0i64, 729i64))
-        .with_predicate(Predicate::compare(f("orders", "o_orderstatus"), CmpOp::Eq, "F"))
+        .with_predicate(Predicate::compare(
+            f("orders", "o_orderstatus"),
+            CmpOp::Eq,
+            "F",
+        ))
         .with_predicate(Predicate::compare(f("region", "r_name"), CmpOp::Eq, "ASIA"))
         .with_join(f("part", "p_partkey"), f("lineitem", "l_partkey"))
         .with_join(f("supplier", "s_suppkey"), f("lineitem", "l_suppkey"))
@@ -198,7 +198,8 @@ mod tests {
     #[test]
     fn queries_validate() {
         for q in all_queries() {
-            q.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", q.name));
+            q.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", q.name));
         }
     }
 
@@ -216,7 +217,10 @@ mod tests {
         let q50 = q50(9, 2000);
         assert_eq!(q50.datasets.len(), 5);
         assert_eq!(q50.pushdown_candidates(), vec!["d1".to_string()]);
-        assert!(q50.predicates.iter().all(|p| p.is_complex()), "Q50 filters are parameterized");
+        assert!(
+            q50.predicates.iter().all(|p| p.is_complex()),
+            "Q50 filters are parameterized"
+        );
 
         let q8 = q8();
         assert_eq!(q8.datasets.len(), 8);
@@ -238,8 +242,12 @@ mod tests {
         );
         for q in all_queries() {
             let dynamic = runner.run(Strategy::Dynamic, &q, &mut env.catalog).unwrap();
-            let best = runner.run(Strategy::BestOrder, &q, &mut env.catalog).unwrap();
-            let worst = runner.run(Strategy::WorstOrder, &q, &mut env.catalog).unwrap();
+            let best = runner
+                .run(Strategy::BestOrder, &q, &mut env.catalog)
+                .unwrap();
+            let worst = runner
+                .run(Strategy::WorstOrder, &q, &mut env.catalog)
+                .unwrap();
             assert_eq!(
                 dynamic.result.clone().sorted(),
                 best.result.clone().sorted(),

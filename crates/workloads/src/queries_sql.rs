@@ -190,7 +190,10 @@ mod tests {
             let mut prog_candidates = programmatic.pushdown_candidates();
             sql_candidates.sort();
             prog_candidates.sort();
-            assert_eq!(sql_candidates, prog_candidates, "{name}: push-down candidates");
+            assert_eq!(
+                sql_candidates, prog_candidates,
+                "{name}: push-down candidates"
+            );
         }
     }
 
@@ -225,7 +228,9 @@ mod tests {
             JoinAlgorithmRule::with_threshold(2_000.0),
         );
         let sql = compile_paper_query("Q9", &env.catalog).unwrap();
-        let sql_report = runner.run(Strategy::Dynamic, &sql.spec, &mut env.catalog).unwrap();
+        let sql_report = runner
+            .run(Strategy::Dynamic, &sql.spec, &mut env.catalog)
+            .unwrap();
         let prog_report = runner
             .run(Strategy::Dynamic, &queries::q9(), &mut env.catalog)
             .unwrap();
@@ -245,7 +250,9 @@ mod tests {
         );
         for (name, programmatic) in [("Q8", queries::q8()), ("Q50", queries::q50(9, 2000))] {
             let sql = compile_paper_query(name, &env.catalog).unwrap();
-            let sql_report = runner.run(Strategy::Dynamic, &sql.spec, &mut env.catalog).unwrap();
+            let sql_report = runner
+                .run(Strategy::Dynamic, &sql.spec, &mut env.catalog)
+                .unwrap();
             let prog_report = runner
                 .run(Strategy::Dynamic, &programmatic, &mut env.catalog)
                 .unwrap();
@@ -266,13 +273,19 @@ mod tests {
     #[test]
     fn paper_udf_registry_contents() {
         let udfs = paper_udfs();
-        assert_eq!(udfs.scalar_names(), vec!["mysub".to_string(), "myyear".to_string()]);
+        assert_eq!(
+            udfs.scalar_names(),
+            vec!["mysub".to_string(), "myyear".to_string()]
+        );
         assert_eq!(udfs.value_fn_names(), vec!["myrand".to_string()]);
         let myyear = udfs.scalar("myyear").unwrap();
         assert_eq!(myyear(&Value::Int64(0)), Value::Int64(year_of(0)));
         let mysub = udfs.scalar("mysub").unwrap();
         assert_eq!(mysub(&Value::from("Brand#3")), Value::from("#3"));
         let myrand = udfs.value_fn("myrand").unwrap();
-        assert_eq!(myrand(&[Value::Int64(8), Value::Int64(10)]).unwrap(), Value::Int64(8));
+        assert_eq!(
+            myrand(&[Value::Int64(8), Value::Int64(10)]).unwrap(),
+            Value::Int64(8)
+        );
     }
 }

@@ -128,6 +128,10 @@ mod tests {
     #[test]
     fn display_and_minimum() {
         assert_eq!(ScaleFactor::gb(10).to_string(), "10GB");
-        assert_eq!(ScaleFactor::gb(0).gb, 1, "scale factor is clamped to at least 1");
+        assert_eq!(
+            ScaleFactor::gb(0).gb,
+            1,
+            "scale factor is clamped to at least 1"
+        );
     }
 }

@@ -156,7 +156,7 @@ pub fn store_returns(sales: &Relation, target_rows: u64, rng: &mut StdRng) -> Re
         .step_by(step)
         .map(|sale| {
             let sold = sale.value(0).as_i64().unwrap_or(0);
-            let returned = (sold + rng.gen_range(1..=60)).min(CALENDAR_DAYS - 1);
+            let returned = (sold + rng.gen_range(1i64..=60)).min(CALENDAR_DAYS - 1);
             Tuple::new(vec![
                 Value::Int64(returned),
                 sale.value(1).clone(),
@@ -172,12 +172,7 @@ pub fn store_returns(sales: &Relation, target_rows: u64, rng: &mut StdRng) -> Re
 /// Generates `catalog_sales`; roughly half of the rows re-use a (customer,
 /// item) pair from `store_returns` with a sale date shortly after the return,
 /// so the Q17 three-fact join finds matches.
-pub fn catalog_sales(
-    rows: u64,
-    items: u64,
-    returns: &Relation,
-    rng: &mut StdRng,
-) -> Relation {
+pub fn catalog_sales(rows: u64, items: u64, returns: &Relation, rng: &mut StdRng) -> Relation {
     let schema = Schema::for_dataset(
         "catalog_sales",
         &[
@@ -194,7 +189,7 @@ pub fn catalog_sales(
                 let r = &returns.rows()[rng.gen_range(0..returns.len())];
                 let returned = r.value(0).as_i64().unwrap_or(0);
                 Tuple::new(vec![
-                    Value::Int64((returned + rng.gen_range(0..30)).min(CALENDAR_DAYS - 1)),
+                    Value::Int64((returned + rng.gen_range(0i64..30)).min(CALENDAR_DAYS - 1)),
                     r.value(2).clone(),
                     r.value(1).clone(),
                     Value::Int64(rng.gen_range(1..=10)),
@@ -222,9 +217,21 @@ pub fn load_tpcds(
     let sizes = scale.tpcds();
     let mut rng = StdRng::seed_from_u64(seed);
 
-    catalog.ingest("date_dim", date_dim(), IngestOptions::partitioned_on("d_date_sk"))?;
-    catalog.ingest("store", store(sizes.store), IngestOptions::partitioned_on("s_store_sk"))?;
-    catalog.ingest("item", item(sizes.item), IngestOptions::partitioned_on("i_item_sk"))?;
+    catalog.ingest(
+        "date_dim",
+        date_dim(),
+        IngestOptions::partitioned_on("d_date_sk"),
+    )?;
+    catalog.ingest(
+        "store",
+        store(sizes.store),
+        IngestOptions::partitioned_on("s_store_sk"),
+    )?;
+    catalog.ingest(
+        "item",
+        item(sizes.item),
+        IngestOptions::partitioned_on("i_item_sk"),
+    )?;
 
     let sales = store_sales(sizes.store_sales, sizes.item, sizes.store, &mut rng);
     let returns = store_returns(&sales, sizes.store_returns, &mut rng);
@@ -263,7 +270,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let sales = store_sales(5_000, 200, 10, &mut rng);
         let returns = store_returns(&sales, 500, &mut rng);
-        assert!(returns.len() >= 450 && returns.len() <= 550, "got {}", returns.len());
+        assert!(
+            returns.len() >= 450 && returns.len() <= 550,
+            "got {}",
+            returns.len()
+        );
         use std::collections::HashSet;
         let tickets: HashSet<i64> = sales
             .rows()
@@ -308,7 +319,10 @@ mod tests {
     fn load_registers_tables_and_indexes() {
         let mut cat = Catalog::new(4);
         load_tpcds(&mut cat, ScaleFactor::gb(1), true, 11).unwrap();
-        assert_eq!(cat.table("date_dim").unwrap().row_count(), CALENDAR_DAYS as usize);
+        assert_eq!(
+            cat.table("date_dim").unwrap().row_count(),
+            CALENDAR_DAYS as usize
+        );
         assert!(cat.table("store_sales").unwrap().row_count() > 0);
         assert!(cat.has_secondary_index("store_sales", "ss_sold_date_sk"));
         assert!(cat.has_secondary_index("store_returns", "sr_returned_date_sk"));
@@ -322,6 +336,6 @@ mod tests {
         let ss = cat.table("store_sales").unwrap().row_count();
         let sr = cat.table("store_returns").unwrap().row_count();
         assert_eq!(ss, 600);
-        assert!(sr >= 55 && sr <= 65, "returns ≈ 10% of sales, got {sr}");
+        assert!((55..=65).contains(&sr), "returns ≈ 10% of sales, got {sr}");
     }
 }

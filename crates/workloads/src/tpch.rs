@@ -222,7 +222,7 @@ pub fn lineitem(rows: u64, orders: u64, parts: u64, suppliers: u64, rng: &mut St
             // Line items buy from one of the suppliers that actually supplies
             // the part (same arithmetic as `partsupp`), so the composite
             // partsupp join of Q9 finds matches.
-            let suppkey = (partkey * 7 + rng.gen_range(0..4) * 13) % suppliers.max(1) as i64;
+            let suppkey = (partkey * 7 + rng.gen_range(0i64..4) * 13) % suppliers.max(1) as i64;
             Tuple::new(vec![
                 Value::Int64(orderkey),
                 Value::Int64(partkey),
@@ -245,8 +245,16 @@ pub fn load_tpch(
     let sizes = scale.tpch();
     let mut rng = StdRng::seed_from_u64(seed);
 
-    catalog.ingest("region", region(), IngestOptions::partitioned_on("r_regionkey"))?;
-    catalog.ingest("nation", nation(), IngestOptions::partitioned_on("n_nationkey"))?;
+    catalog.ingest(
+        "region",
+        region(),
+        IngestOptions::partitioned_on("r_regionkey"),
+    )?;
+    catalog.ingest(
+        "nation",
+        nation(),
+        IngestOptions::partitioned_on("n_nationkey"),
+    )?;
     catalog.ingest(
         "supplier",
         supplier(sizes.supplier, &mut rng),
@@ -274,11 +282,19 @@ pub fn load_tpch(
     )?;
     let mut lineitem_options = IngestOptions::partitioned_on("l_orderkey");
     if with_indexes {
-        lineitem_options = lineitem_options.with_index("l_partkey").with_index("l_suppkey");
+        lineitem_options = lineitem_options
+            .with_index("l_partkey")
+            .with_index("l_suppkey");
     }
     catalog.ingest(
         "lineitem",
-        lineitem(sizes.lineitem, sizes.orders, sizes.part, sizes.supplier, &mut rng),
+        lineitem(
+            sizes.lineitem,
+            sizes.orders,
+            sizes.part,
+            sizes.supplier,
+            &mut rng,
+        ),
         lineitem_options,
     )?;
     Ok(())
@@ -349,8 +365,14 @@ mod tests {
             .map(|r| (r.value(0).as_i64().unwrap(), r.value(1).as_i64().unwrap()))
             .collect();
         for row in li.rows() {
-            let pair = (row.value(1).as_i64().unwrap(), row.value(2).as_i64().unwrap());
-            assert!(pairs.contains(&pair), "lineitem pair {pair:?} missing from partsupp");
+            let pair = (
+                row.value(1).as_i64().unwrap(),
+                row.value(2).as_i64().unwrap(),
+            );
+            assert!(
+                pairs.contains(&pair),
+                "lineitem pair {pair:?} missing from partsupp"
+            );
         }
     }
 

@@ -40,25 +40,23 @@ fn main() -> rdo_common::Result<()> {
     );
     println!(
         "\ninjected crash: {}",
-        crash.expect_err("the injector fails the run").to_string()
+        crash.expect_err("the injector fails the run")
     );
     println!("checkpoints left behind:");
     for entry in &log.entries {
-        println!("  [{:?}] {} -> table {}", entry.kind, entry.description, entry.table);
+        println!(
+            "  [{:?}] {} -> table {}",
+            entry.kind, entry.description, entry.table
+        );
     }
 
-    let recovered = driver.execute(
-        &query,
-        &mut env.catalog,
-        FailureInjector::none(),
-        &mut log,
-    )?;
+    let recovered = driver.execute(&query, &mut env.catalog, FailureInjector::none(), &mut log)?;
     println!(
         "\nrecovered run: {} stages replayed from checkpoints, {} newly executed, {} base rows scanned",
         recovered.stages_recovered, recovered.stages_executed, recovered.metrics.rows_scanned
     );
-    let saved = 1.0
-        - recovered.metrics.rows_scanned as f64 / baseline.metrics.rows_scanned.max(1) as f64;
+    let saved =
+        1.0 - recovered.metrics.rows_scanned as f64 / baseline.metrics.rows_scanned.max(1) as f64;
     println!(
         "scan work saved by resuming instead of restarting: {:.1}%",
         100.0 * saved

@@ -4,8 +4,10 @@
 //!
 //! Run with: `cargo run --release --example lsm_ingestion`
 
+use runtime_dynamic_optimization::lsm::{
+    LsmDataset, LsmOptions, PrefixMergePolicy, TieredMergePolicy,
+};
 use runtime_dynamic_optimization::prelude::*;
-use runtime_dynamic_optimization::lsm::{LsmDataset, LsmOptions, PrefixMergePolicy, TieredMergePolicy};
 
 fn main() -> rdo_common::Result<()> {
     // ------------------------------------------------------------- ingest --
@@ -19,7 +21,10 @@ fn main() -> rdo_common::Result<()> {
     );
     let customer_schema = Schema::for_dataset(
         "customer",
-        &[("c_custkey", DataType::Int64), ("c_segment", DataType::Int64)],
+        &[
+            ("c_custkey", DataType::Int64),
+            ("c_segment", DataType::Int64),
+        ],
     );
 
     let mut orders = LsmDataset::with_policy(
@@ -71,7 +76,10 @@ fn main() -> rdo_common::Result<()> {
     println!(
         "\norders statistics straight from the LSM components: {} rows, ~{} distinct o_custkey",
         orders_stats.row_count,
-        orders_stats.column("o_custkey").map(|c| c.distinct).unwrap_or(0)
+        orders_stats
+            .column("o_custkey")
+            .map(|c| c.distinct)
+            .unwrap_or(0)
     );
 
     // -------------------------------------------- register and run a query --

@@ -41,7 +41,10 @@ fn main() -> rdo_common::Result<()> {
     }
 
     println!("\npredicate push-down overhead (Figure 6, right):");
-    println!("{:<6} {:>16} {:>16} {:>10}", "query", "baseline", "push-down", "overhead%");
+    println!(
+        "{:<6} {:>16} {:>16} {:>10}",
+        "query", "baseline", "push-down", "overhead%"
+    );
     for query in all_queries() {
         let baseline = runner.run(Strategy::DynamicWithoutPushdown, &query, &mut env.catalog)?;
         let with_pushdown = runner.run(Strategy::Dynamic, &query, &mut env.catalog)?;
@@ -49,11 +52,14 @@ fn main() -> rdo_common::Result<()> {
             .breakdown
             .map(|b| b.predicate_pushdown)
             .unwrap_or(0.0);
-        let overhead =
-            (with_pushdown.simulated_cost - baseline.simulated_cost).max(0.0) / baseline.simulated_cost;
+        let overhead = (with_pushdown.simulated_cost - baseline.simulated_cost).max(0.0)
+            / baseline.simulated_cost;
         println!(
             "{:<6} {:>16.1} {:>16.1} {:>9.1}%",
-            query.name, baseline.simulated_cost, pushdown_cost, 100.0 * overhead
+            query.name,
+            baseline.simulated_cost,
+            pushdown_cost,
+            100.0 * overhead
         );
     }
     Ok(())

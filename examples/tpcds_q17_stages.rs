@@ -19,7 +19,10 @@ fn main() -> rdo_common::Result<()> {
 
     println!("\nQ17 executed with runtime dynamic optimization");
     println!("  result rows:            {}", outcome.result.len());
-    println!("  re-optimization points: {}", outcome.reoptimization_points);
+    println!(
+        "  re-optimization points: {}",
+        outcome.reoptimization_points
+    );
     println!("  planner invocations:    {}", outcome.planner_invocations);
     println!("\nstages (in execution order):");
     for (i, stage) in outcome.stage_plans.iter().enumerate() {

@@ -11,6 +11,9 @@
 //!   ingestion-time statistics of the simulated shared-nothing cluster;
 //! * [`exec`] — physical operators (hash / broadcast / indexed nested-loop
 //!   joins, Sink materialization), the executor and the cluster cost model;
+//! * [`parallel`] — the partition-parallel executor: a scoped-thread worker
+//!   pool running one task per partition, with explicit exchange operators
+//!   (hash re-partition, broadcast, gather) between them;
 //! * [`planner`] — the query model, cardinality estimation, the greedy
 //!   next-join Planner and the static baselines (cost-based, best-order,
 //!   worst-order, pilot-run);
@@ -51,6 +54,7 @@ pub use rdo_common as common;
 pub use rdo_core as core;
 pub use rdo_exec as exec;
 pub use rdo_lsm as lsm;
+pub use rdo_parallel as parallel;
 pub use rdo_planner as planner;
 pub use rdo_sketch as sketch;
 pub use rdo_sql as sql;
@@ -69,6 +73,7 @@ pub mod prelude {
         PhysicalPlan, PostProcess, Predicate, SortKey,
     };
     pub use rdo_lsm::{LsmDataset, LsmOptions, PrefixMergePolicy, TieredMergePolicy};
+    pub use rdo_parallel::{ParallelConfig, ParallelExecutor, WorkerPool};
     pub use rdo_planner::{
         BestOrderOptimizer, CostBasedOptimizer, DatasetRef, GreedyPlanner, JoinAlgorithmRule,
         NextJoinPolicy, Optimizer, PilotRunOptimizer, QuerySpec, WorstOrderOptimizer,

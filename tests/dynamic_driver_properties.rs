@@ -28,13 +28,15 @@ fn star_case_strategy() -> impl Strategy<Value = StarCase> {
         2i64..10,
         any::<bool>(),
     )
-        .prop_map(|(fact_rows, dim_rows, fan_out, filter_mod, use_udf)| StarCase {
-            fact_rows,
-            dim_rows,
-            fan_out,
-            filter_mod,
-            use_udf,
-        })
+        .prop_map(
+            |(fact_rows, dim_rows, fan_out, filter_mod, use_udf)| StarCase {
+                fact_rows,
+                dim_rows,
+                fan_out,
+                filter_mod,
+                use_udf,
+            },
+        )
 }
 
 fn build_catalog(case: &StarCase) -> Catalog {
@@ -67,10 +69,8 @@ fn build_catalog(case: &StarCase) -> Catalog {
         .unwrap();
     for (d, rows) in case.dim_rows.iter().enumerate() {
         let name = format!("dim{d}");
-        let schema = Schema::for_dataset(
-            &name,
-            &[("id", DataType::Int64), ("attr", DataType::Int64)],
-        );
+        let schema =
+            Schema::for_dataset(&name, &[("id", DataType::Int64), ("attr", DataType::Int64)]);
         let data: Vec<Tuple> = (0..*rows)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 13)]))
             .collect();

@@ -2,9 +2,9 @@
 //! under the checkpointed driver, SQL-bound queries under the indexed
 //! nested-loop configuration, and correlation analysis driven from the catalog.
 
+use rdo_workloads::{compile_paper_query, q8, q9};
 use runtime_dynamic_optimization::planner::analyze_query;
 use runtime_dynamic_optimization::prelude::*;
-use rdo_workloads::{compile_paper_query, q8, q9};
 
 fn env(with_indexes: bool) -> BenchmarkEnv {
     BenchmarkEnv::load(ScaleFactor::gb(2), 4, with_indexes, 321).unwrap()
@@ -27,7 +27,12 @@ fn checkpointed_driver_respects_the_reopt_budget() {
     let driver = CheckpointedDriver::new(budgeted);
     let mut log = CheckpointLog::new();
     driver
-        .execute(&q9(), &mut env.catalog, FailureInjector::after_stages(1), &mut log)
+        .execute(
+            &q9(),
+            &mut env.catalog,
+            FailureInjector::after_stages(1),
+            &mut log,
+        )
         .unwrap_err();
     let recovered = driver
         .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut log)
@@ -39,10 +44,20 @@ fn checkpointed_driver_respects_the_reopt_budget() {
     // the predicate push-downs. An uninterrupted budgeted run gives the bound.
     let mut fresh_log = CheckpointLog::new();
     let uninterrupted = driver
-        .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut fresh_log)
+        .execute(
+            &q9(),
+            &mut env.catalog,
+            FailureInjector::none(),
+            &mut fresh_log,
+        )
         .unwrap();
     let unlimited_run = CheckpointedDriver::new(unlimited)
-        .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut CheckpointLog::new())
+        .execute(
+            &q9(),
+            &mut env.catalog,
+            FailureInjector::none(),
+            &mut CheckpointLog::new(),
+        )
         .unwrap();
     assert!(uninterrupted.stages_executed <= unlimited_run.stages_executed);
 }

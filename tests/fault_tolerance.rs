@@ -2,8 +2,8 @@
 //! resumable from its re-optimization checkpoints and produce exactly the
 //! answer an uninterrupted run produces.
 
-use runtime_dynamic_optimization::prelude::*;
 use rdo_workloads::q9;
+use runtime_dynamic_optimization::prelude::*;
 
 fn env() -> BenchmarkEnv {
     BenchmarkEnv::load(ScaleFactor::gb(2), 4, false, 123).unwrap()
@@ -23,7 +23,12 @@ fn q9_crash_and_recovery_matches_uninterrupted_execution() {
     let driver = CheckpointedDriver::new(config);
     let mut log = CheckpointLog::new();
     let error = driver
-        .execute(&q9(), &mut env.catalog, FailureInjector::after_stages(2), &mut log)
+        .execute(
+            &q9(),
+            &mut env.catalog,
+            FailureInjector::after_stages(2),
+            &mut log,
+        )
         .unwrap_err();
     assert!(error.to_string().contains("injected failure"));
     assert_eq!(log.len(), 2);
@@ -50,13 +55,23 @@ fn recovery_skips_already_executed_work() {
     // Uninterrupted run, to learn the total amount of work.
     let mut empty_log = CheckpointLog::new();
     let full = driver
-        .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut empty_log)
+        .execute(
+            &q9(),
+            &mut env.catalog,
+            FailureInjector::none(),
+            &mut empty_log,
+        )
         .unwrap();
 
     // Crash after one stage, then resume.
     let mut log = CheckpointLog::new();
     driver
-        .execute(&q9(), &mut env.catalog, FailureInjector::after_stages(1), &mut log)
+        .execute(
+            &q9(),
+            &mut env.catalog,
+            FailureInjector::after_stages(1),
+            &mut log,
+        )
         .unwrap_err();
     let resumed = driver
         .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut log)
@@ -88,7 +103,12 @@ fn every_crash_point_recovers_to_the_same_answer() {
     // Learn how many checkpointable stages Q9 has.
     let mut probe_log = CheckpointLog::new();
     let probe = driver
-        .execute(&q9(), &mut env.catalog, FailureInjector::none(), &mut probe_log)
+        .execute(
+            &q9(),
+            &mut env.catalog,
+            FailureInjector::none(),
+            &mut probe_log,
+        )
         .unwrap();
     let stages = probe.stages_executed;
     assert!(stages >= 2, "Q9 must have several checkpointable stages");

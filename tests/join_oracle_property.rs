@@ -33,10 +33,7 @@ fn make_catalog(
     with_index: bool,
 ) -> Catalog {
     let mut catalog = Catalog::new(partitions);
-    let left_schema = Schema::for_dataset(
-        "l",
-        &[("lk", DataType::Int64), ("lv", DataType::Int64)],
-    );
+    let left_schema = Schema::for_dataset("l", &[("lk", DataType::Int64), ("lv", DataType::Int64)]);
     let left_rows: Vec<Tuple> = left_keys
         .iter()
         .enumerate()
@@ -50,10 +47,8 @@ fn make_catalog(
         .ingest("l", Relation::new(left_schema, left_rows).unwrap(), options)
         .unwrap();
 
-    let right_schema = Schema::for_dataset(
-        "r",
-        &[("rk", DataType::Int64), ("rv", DataType::Int64)],
-    );
+    let right_schema =
+        Schema::for_dataset("r", &[("rk", DataType::Int64), ("rv", DataType::Int64)]);
     let right_rows: Vec<Tuple> = right_keys
         .iter()
         .enumerate()

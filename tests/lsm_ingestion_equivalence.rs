@@ -2,8 +2,8 @@
 //! the same query answers, and statistics derived from component sketches that
 //! are close enough to drive the optimizer to the same decisions.
 
-use runtime_dynamic_optimization::prelude::*;
 use rdo_lsm::NoMergePolicy;
+use runtime_dynamic_optimization::prelude::*;
 
 /// Builds the same three-table star schema twice: once through direct catalog
 /// ingestion and once through the LSM pipeline (small memtable so many flushes
@@ -29,10 +29,8 @@ fn build_catalogs(rows: i64) -> (Catalog, Catalog) {
     let fact = Relation::new(fact_schema, fact_rows).unwrap();
 
     let dim = |name: &str, count: i64| {
-        let schema = Schema::for_dataset(
-            name,
-            &[("id", DataType::Int64), ("attr", DataType::Int64)],
-        );
+        let schema =
+            Schema::for_dataset(name, &[("id", DataType::Int64), ("attr", DataType::Int64)]);
         let data = (0..count)
             .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 7)]))
             .collect();
@@ -46,13 +44,21 @@ fn build_catalogs(rows: i64) -> (Catalog, Catalog) {
     direct
         .ingest("fact", fact.clone(), IngestOptions::partitioned_on("f_id"))
         .unwrap();
-    direct.ingest("d1", d1.clone(), IngestOptions::partitioned_on("id")).unwrap();
-    direct.ingest("d2", d2.clone(), IngestOptions::partitioned_on("id")).unwrap();
+    direct
+        .ingest("d1", d1.clone(), IngestOptions::partitioned_on("id"))
+        .unwrap();
+    direct
+        .ingest("d2", d2.clone(), IngestOptions::partitioned_on("id"))
+        .unwrap();
 
     // LSM path: tiny memtable forces many flushes; the default prefix policy
     // merges them as ingestion proceeds.
     let mut lsm_catalog = Catalog::new(4);
-    for (name, relation, key) in [("fact", &fact, "f_id"), ("d1", &d1, "id"), ("d2", &d2, "id")] {
+    for (name, relation, key) in [
+        ("fact", &fact, "f_id"),
+        ("d1", &d1, "id"),
+        ("d2", &d2, "id"),
+    ] {
         let mut dataset = LsmDataset::from_relation(
             name,
             relation,
@@ -77,7 +83,11 @@ fn star_query() -> QuerySpec {
         .with_predicate(Predicate::udf("pick", FieldRef::new("d1", "attr"), |v| {
             v.as_i64() == Some(3)
         }))
-        .with_predicate(Predicate::compare(FieldRef::new("d1", "id"), CmpOp::Lt, 50i64))
+        .with_predicate(Predicate::compare(
+            FieldRef::new("d1", "id"),
+            CmpOp::Lt,
+            50i64,
+        ))
         .with_projection(vec![FieldRef::new("fact", "f_id")])
 }
 
@@ -102,7 +112,10 @@ fn component_derived_statistics_are_close_to_scan_derived_statistics() {
     for table in ["fact", "d1", "d2"] {
         let reference = direct.stats().get(table).expect("direct stats");
         let from_components = lsm.stats().get(table).expect("LSM stats");
-        assert_eq!(reference.row_count, from_components.row_count, "{table}: row count");
+        assert_eq!(
+            reference.row_count, from_components.row_count,
+            "{table}: row count"
+        );
         for (column, stats) in &reference.columns {
             let lsm_column = from_components
                 .column(column)
@@ -122,10 +135,7 @@ fn component_derived_statistics_are_close_to_scan_derived_statistics() {
 
 #[test]
 fn merge_policy_choice_does_not_change_the_visible_data() {
-    let schema = Schema::for_dataset(
-        "t",
-        &[("id", DataType::Int64), ("v", DataType::Int64)],
-    );
+    let schema = Schema::for_dataset("t", &[("id", DataType::Int64), ("v", DataType::Int64)]);
     let rows: Vec<Tuple> = (0..3_000)
         .map(|i| Tuple::new(vec![Value::Int64(i % 1_000), Value::Int64(i)]))
         .collect();

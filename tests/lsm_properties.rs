@@ -27,11 +27,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
-fn run_ops(
-    ops: &[Op],
-    capacity: usize,
-    tiered: bool,
-) -> (LsmDataset, BTreeMap<i64, i64>) {
+fn run_ops(ops: &[Op], capacity: usize, tiered: bool) -> (LsmDataset, BTreeMap<i64, i64>) {
     let policy: Box<dyn rdo_lsm::MergePolicy> = if tiered {
         Box::new(TieredMergePolicy { max_components: 3 })
     } else {

@@ -3,8 +3,8 @@
 //! and the post-join GROUP BY / ORDER BY / LIMIT stage must match a naive
 //! oracle computed from the raw join result.
 
-use runtime_dynamic_optimization::prelude::*;
 use rdo_workloads::{compile_paper_query, PAPER_QUERY_NAMES};
+use runtime_dynamic_optimization::prelude::*;
 use std::collections::BTreeMap;
 
 fn runner() -> QueryRunner {
@@ -21,7 +21,9 @@ fn every_paper_query_compiles_and_all_strategies_agree() {
     for name in PAPER_QUERY_NAMES {
         let bound = compile_paper_query(name, &env.catalog)
             .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
-        let reports = runner.run_comparison(&bound.spec, &mut env.catalog).unwrap();
+        let reports = runner
+            .run_comparison(&bound.spec, &mut env.catalog)
+            .unwrap();
         let reference = reports[0].result.clone().sorted();
         for report in &reports {
             assert_eq!(
@@ -54,7 +56,9 @@ fn q17_group_by_matches_a_naive_oracle() {
     // Oracle: group by (i_item_id, s_store_name), sum ss_quantity.
     let schema = joined.schema();
     let item_idx = schema.resolve(&FieldRef::new("item", "i_item_id")).unwrap();
-    let store_idx = schema.resolve(&FieldRef::new("store", "s_store_name")).unwrap();
+    let store_idx = schema
+        .resolve(&FieldRef::new("store", "s_store_name"))
+        .unwrap();
     let qty_idx = schema
         .resolve(&FieldRef::new("store_sales", "ss_quantity"))
         .unwrap();
@@ -91,7 +95,14 @@ fn sql_parameters_change_the_result_like_programmatic_parameters() {
     let udfs = paper_udfs();
 
     let narrow = compile(Q50_SQL, "Q50", &env.catalog, &udfs, &q50_params(9, 2000)).unwrap();
-    let wide = compile(Q50_SQL, "Q50-wide", &env.catalog, &udfs, &q50_params(1, 1998)).unwrap();
+    let wide = compile(
+        Q50_SQL,
+        "Q50-wide",
+        &env.catalog,
+        &udfs,
+        &q50_params(1, 1998),
+    )
+    .unwrap();
     let narrow_report = runner
         .run(Strategy::Dynamic, &narrow.spec, &mut env.catalog)
         .unwrap();
@@ -126,7 +137,10 @@ fn ad_hoc_sql_aggregation_over_tpch_runs_end_to_end() {
         .unwrap();
     let output = bound.post.apply(report.result.clone()).unwrap();
     assert!(output.len() <= 5);
-    assert!(output.len() > 0, "suppliers exist in every nation at this scale");
+    assert!(
+        !output.is_empty(),
+        "suppliers exist in every nation at this scale"
+    );
     // Counts are non-increasing because of ORDER BY suppliers DESC.
     let counts: Vec<i64> = output
         .rows()
@@ -149,7 +163,11 @@ fn ad_hoc_sql_aggregation_over_tpch_runs_end_to_end() {
             .run(Strategy::Dynamic, &full.spec, &mut env.catalog)
             .unwrap();
         let grouped = full.post.apply(joined.result.clone()).unwrap();
-        grouped.rows().iter().map(|r| r.value(1).as_i64().unwrap()).sum()
+        grouped
+            .rows()
+            .iter()
+            .map(|r| r.value(1).as_i64().unwrap())
+            .sum()
     };
     assert_eq!(
         total as usize,

@@ -42,12 +42,18 @@ fn catalog(count: usize) -> Catalog {
             ],
         );
         let rows = (0..50)
-            .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 10), Value::Int64(i % 7)]))
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int64(i),
+                    Value::Int64(i % 10),
+                    Value::Int64(i % 7),
+                ])
+            })
             .collect();
         cat.ingest(
             name,
             Relation::new(schema, rows).unwrap(),
-            IngestOptions::partitioned_on(&format!("pk{index}")),
+            IngestOptions::partitioned_on(format!("pk{index}")),
         )
         .unwrap();
     }
@@ -99,7 +105,8 @@ fn gen_predicates() -> impl Strategy<Value = Vec<GenPredicate>> {
         prop_oneof![
             (0usize..4).prop_map(GenPredicate::Join),
             (0usize..4, -10i64..10).prop_map(|(i, v)| GenPredicate::Less(i, v)),
-            (0usize..4, -10i64..10, -10i64..10).prop_map(|(i, a, b)| GenPredicate::Between(i, a, b)),
+            (0usize..4, -10i64..10, -10i64..10)
+                .prop_map(|(i, a, b)| GenPredicate::Between(i, a, b)),
             (0usize..4, prop::collection::vec(-10i64..10, 1..4))
                 .prop_map(|(i, vs)| GenPredicate::InList(i, vs)),
         ],

@@ -49,8 +49,12 @@ fn dynamic_beats_worst_order_on_every_query() {
     let mut env = BenchmarkEnv::load(ScaleFactor::gb(5), 4, false, 3).unwrap();
     let runner = runner(4);
     for query in all_queries() {
-        let dynamic = runner.run(Strategy::Dynamic, &query, &mut env.catalog).unwrap();
-        let worst = runner.run(Strategy::WorstOrder, &query, &mut env.catalog).unwrap();
+        let dynamic = runner
+            .run(Strategy::Dynamic, &query, &mut env.catalog)
+            .unwrap();
+        let worst = runner
+            .run(Strategy::WorstOrder, &query, &mut env.catalog)
+            .unwrap();
         assert!(
             worst.simulated_cost > dynamic.simulated_cost,
             "{}: worst-order ({:.0}) should cost more than dynamic ({:.0})",
@@ -66,8 +70,12 @@ fn best_order_is_within_the_overhead_of_dynamic() {
     let mut env = BenchmarkEnv::load(ScaleFactor::gb(5), 4, false, 4).unwrap();
     let runner = runner(4);
     for query in all_queries() {
-        let dynamic = runner.run(Strategy::Dynamic, &query, &mut env.catalog).unwrap();
-        let best = runner.run(Strategy::BestOrder, &query, &mut env.catalog).unwrap();
+        let dynamic = runner
+            .run(Strategy::Dynamic, &query, &mut env.catalog)
+            .unwrap();
+        let best = runner
+            .run(Strategy::BestOrder, &query, &mut env.catalog)
+            .unwrap();
         // Best-order approximates the plan the dynamic approach discovers but
         // without re-optimization overhead: the two must stay in the same cost
         // band (the dynamic run can even win when its measured intermediate
@@ -116,7 +124,9 @@ fn dynamic_reports_contain_overhead_breakdown() {
     let mut env = BenchmarkEnv::load(ScaleFactor::gb(2), 4, false, 6).unwrap();
     let runner = runner(4);
     for query in all_queries() {
-        let report = runner.run(Strategy::Dynamic, &query, &mut env.catalog).unwrap();
+        let report = runner
+            .run(Strategy::Dynamic, &query, &mut env.catalog)
+            .unwrap();
         let breakdown = report.breakdown.expect("dynamic runs carry a breakdown");
         assert!(breakdown.total > 0.0);
         let parts = breakdown.base_execution + breakdown.reoptimization + breakdown.online_stats;
