@@ -423,7 +423,7 @@ pub fn correlations(config: &ExperimentConfig) -> Vec<CorrelationRow> {
         for query in all_queries() {
             let reports = rdo_planner::analyze_query(&query, |alias| {
                 let table = query.table_of(alias)?;
-                let relation = env.catalog.table(table)?.gather();
+                let relation = env.catalog.table(table)?.try_gather()?;
                 let stats = env.catalog.stats().get(table).cloned();
                 Ok((relation, stats))
             })

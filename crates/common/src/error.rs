@@ -22,6 +22,9 @@ pub enum RdoError {
     Execution(String),
     /// Statistics were requested for a field that has none.
     MissingStatistics(String),
+    /// A disk I/O operation of the spill subsystem failed. Carries the
+    /// rendered `std::io::Error` so the error type stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl fmt::Display for RdoError {
@@ -36,11 +39,18 @@ impl fmt::Display for RdoError {
             RdoError::Planning(msg) => write!(f, "planning error: {msg}"),
             RdoError::Execution(msg) => write!(f, "execution error: {msg}"),
             RdoError::MissingStatistics(msg) => write!(f, "missing statistics: {msg}"),
+            RdoError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for RdoError {}
+
+impl From<std::io::Error> for RdoError {
+    fn from(e: std::io::Error) -> Self {
+        RdoError::Io(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -19,7 +19,7 @@
 use crate::driver::{project_result, sanitize, DynamicConfig, DynamicDriver};
 use rdo_common::{RdoError, Relation, Result};
 use rdo_exec::ExecutionMetrics;
-use rdo_parallel::{materialize, ParallelExecutor};
+use rdo_parallel::{materialize, ParallelExecutor, WorkerPool};
 use rdo_planner::greedy::join_edges;
 use rdo_planner::{
     reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, GreedyPlanner,
@@ -149,6 +149,12 @@ impl CheckpointedDriver {
         log: &mut CheckpointLog,
     ) -> Result<RecoveredOutcome> {
         spec.validate()?;
+        // Shared persistent pool + spill policy, exactly as in DynamicDriver:
+        // spilled checkpoints survive between the failed and the recovering
+        // execution because the catalog keeps the same spill manager for an
+        // unchanged configuration.
+        catalog.configure_spill(self.config.spill)?;
+        let pool = WorkerPool::new(self.config.parallel.workers);
         let planner = GreedyPlanner::new(self.config.policy, self.config.rule);
         let mut metrics = ExecutionMetrics::new();
         let mut stage_plans = Vec::new();
@@ -185,7 +191,8 @@ impl CheckpointedDriver {
                 let plan = DynamicDriver::pushdown_plan(&spec, &alias)?;
                 let description = format!("pushdown {}", plan.signature());
                 let data = {
-                    let executor = ParallelExecutor::new(catalog, self.config.parallel);
+                    let executor =
+                        ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
                     executor.execute(&plan, &mut stage_metrics)?
                 };
                 let table = format!("{}__ckpt_{}_filtered", sanitize(&spec.name), alias);
@@ -196,7 +203,7 @@ impl CheckpointedDriver {
                     .map(|k| k.field.clone());
                 let tracked = DynamicDriver::tracked_columns(&spec, &alias);
                 materialize(
-                    self.config.parallel,
+                    &pool,
                     catalog,
                     &table,
                     &data,
@@ -235,7 +242,8 @@ impl CheckpointedDriver {
 
             let mut stage_metrics = ExecutionMetrics::new();
             let data = {
-                let executor = ParallelExecutor::new(catalog, self.config.parallel);
+                let executor =
+                    ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
                 executor.execute(&plan, &mut stage_metrics)?
             };
             intermediate_counter += 1;
@@ -247,7 +255,7 @@ impl CheckpointedDriver {
             let tracked = DynamicDriver::tracked_columns(&new_spec, &table);
             let partition_key = planned.keys.first().map(|(probe, _)| probe.field.clone());
             materialize(
-                self.config.parallel,
+                &pool,
                 catalog,
                 &table,
                 &data,
@@ -280,7 +288,7 @@ impl CheckpointedDriver {
         stage_plans.push(final_plan.signature());
         let mut stage_metrics = ExecutionMetrics::new();
         let relation = {
-            let executor = ParallelExecutor::new(catalog, self.config.parallel);
+            let executor = ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
             executor.execute_to_relation(&final_plan, &mut stage_metrics)?
         };
         metrics.add(&stage_metrics);

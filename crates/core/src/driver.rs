@@ -2,13 +2,14 @@
 
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
 use rdo_exec::{ExecutionMetrics, PhysicalPlan};
-use rdo_parallel::{materialize, ParallelConfig, ParallelExecutor};
+use rdo_parallel::{materialize, ParallelConfig, ParallelExecutor, WorkerPool};
 use rdo_planner::greedy::join_edges;
 use rdo_planner::{
     reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, GreedyPlanner,
     JoinAlgorithmRule, NextJoinPolicy, Optimizer, QuerySpec,
 };
 use rdo_storage::Catalog;
+use rdo_storage::SpillConfig;
 
 /// Configuration of the dynamic driver. The paper's approach and the
 /// INGRES-like baseline share the same driver and differ only in these knobs.
@@ -37,6 +38,12 @@ pub struct DynamicConfig {
     /// re-optimization barrier merges per-partition sketch partials. Results
     /// and metrics are identical for every worker count.
     pub parallel: ParallelConfig,
+    /// Disk-backed materialization knobs: when a budget is set, intermediates
+    /// that would push the resident working set past it are spilled to the
+    /// paged disk store and read back page by page, with real spilled-bytes /
+    /// page-I/O counters in the metrics. Results and (non-spill) metrics are
+    /// bit-identical to the in-memory store.
+    pub spill: SpillConfig,
 }
 
 impl Default for DynamicConfig {
@@ -48,6 +55,10 @@ impl Default for DynamicConfig {
             push_down_predicates: true,
             reopt_budget: None,
             parallel: ParallelConfig::default(),
+            // Reads RDO_SPILL_BUDGET so an exported budget drives every
+            // driver-based code path (including the whole test suite)
+            // out-of-core without code changes.
+            spill: SpillConfig::from_env(),
         }
     }
 }
@@ -94,6 +105,18 @@ impl DynamicConfig {
         self.parallel = parallel;
         self
     }
+
+    /// Sets the disk-backed materialization knobs (builder style).
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// Sets a spill budget in bytes (builder style).
+    pub fn with_spill_budget(mut self, bytes: u64) -> Self {
+        self.spill = self.spill.with_budget(bytes);
+        self
+    }
 }
 
 /// What one dynamic execution did.
@@ -138,6 +161,12 @@ impl DynamicDriver {
     /// but restored before returning.
     pub fn execute(&self, spec: &QuerySpec, catalog: &mut Catalog) -> Result<DynamicOutcome> {
         spec.validate()?;
+        // One persistent worker pool per execution, shared by every stage's
+        // executor and Sink barrier (threads spawn once, not per stage), and
+        // the spill policy applied to the catalog for the intermediates this
+        // run materializes.
+        catalog.configure_spill(self.config.spill)?;
+        let pool = WorkerPool::new(self.config.parallel.workers);
         let planner = GreedyPlanner::new(self.config.policy, self.config.rule);
         let mut spec = spec.clone();
         let mut total = ExecutionMetrics::new();
@@ -156,7 +185,11 @@ impl DynamicDriver {
                     let plan = Self::pushdown_plan(&spec, &alias)?;
                     stage_plans.push(format!("pushdown {}", plan.signature()));
                     let data = {
-                        let executor = ParallelExecutor::new(catalog, self.config.parallel);
+                        let executor = ParallelExecutor::with_pool(
+                            catalog,
+                            self.config.parallel,
+                            pool.clone(),
+                        );
                         executor.execute(&plan, &mut stage_metrics)?
                     };
                     let table_name = format!("{}__{}_filtered", sanitize(&spec.name), alias);
@@ -167,7 +200,7 @@ impl DynamicDriver {
                         .map(|k| k.field.clone());
                     let tracked = Self::tracked_columns(&spec, &alias);
                     materialize(
-                        self.config.parallel,
+                        &pool,
                         catalog,
                         &table_name,
                         &data,
@@ -198,7 +231,8 @@ impl DynamicDriver {
 
                 let mut stage_metrics = ExecutionMetrics::new();
                 let data = {
-                    let executor = ParallelExecutor::new(catalog, self.config.parallel);
+                    let executor =
+                        ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
                     executor.execute(&plan, &mut stage_metrics)?
                 };
 
@@ -218,7 +252,7 @@ impl DynamicDriver {
                 let tracked = Self::tracked_columns(&new_spec, &name);
                 let partition_key = planned.keys.first().map(|(probe, _)| probe.field.clone());
                 materialize(
-                    self.config.parallel,
+                    &pool,
                     catalog,
                     &name,
                     &data,
@@ -245,7 +279,8 @@ impl DynamicDriver {
             stage_plans.push(final_plan.signature());
             let mut stage_metrics = ExecutionMetrics::new();
             let relation = {
-                let executor = ParallelExecutor::new(catalog, self.config.parallel);
+                let executor =
+                    ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
                 executor.execute_to_relation(&final_plan, &mut stage_metrics)?
             };
             total.add(&stage_metrics);
@@ -561,6 +596,39 @@ mod tests {
             assert_eq!(outcome.total, reference.total, "workers={workers}");
             assert_eq!(outcome.stage_plans, reference.stage_plans);
         }
+    }
+
+    #[test]
+    fn spilled_execution_matches_in_memory_execution_exactly() {
+        let reference = {
+            let mut cat = catalog();
+            DynamicDriver::new(DynamicConfig::default().with_spill(SpillConfig::disabled()))
+                .execute(&spec(), &mut cat)
+                .unwrap()
+        };
+        let mut cat = catalog();
+        // A 1-byte budget forces every materialized intermediate to disk.
+        let config = DynamicConfig::default()
+            .with_spill(SpillConfig::disabled().with_budget(1).with_page_size(4096));
+        let outcome = DynamicDriver::new(config)
+            .execute(&spec(), &mut cat)
+            .unwrap();
+        assert!(
+            outcome.total.spill_bytes_written > 0 && outcome.total.spill_pages_read > 0,
+            "the run actually went out-of-core: {:?}",
+            outcome.total
+        );
+        assert_eq!(outcome.result, reference.result, "bit-identical result");
+        assert_eq!(outcome.stage_plans, reference.stage_plans);
+        let mut scrubbed = outcome.total;
+        scrubbed.spill_pages_written = 0;
+        scrubbed.spill_bytes_written = 0;
+        scrubbed.spill_pages_read = 0;
+        scrubbed.spill_bytes_read = 0;
+        assert_eq!(scrubbed, reference.total, "non-spill metrics unchanged");
+        // Temp tables dropped => spill dir is empty again.
+        let dir = cat.spill_dir().expect("spill configured");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
     }
 
     #[test]

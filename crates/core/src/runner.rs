@@ -6,7 +6,7 @@ use crate::driver::{project_result, DynamicConfig, DynamicDriver};
 use crate::report::CostBreakdown;
 use rdo_common::{Relation, Result};
 use rdo_exec::{CostModel, ExecutionMetrics};
-use rdo_parallel::{ParallelConfig, ParallelExecutor};
+use rdo_parallel::{ParallelConfig, ParallelExecutor, WorkerPool};
 use rdo_planner::{
     BestOrderOptimizer, CostBasedOptimizer, JoinAlgorithmRule, Optimizer, PilotRunOptimizer,
     QuerySpec, WorstOrderOptimizer,
@@ -186,12 +186,14 @@ impl QueryRunner {
                 self.run_static(strategy, spec, catalog, &BestOrderOptimizer::new(self.rule))
             }
             Strategy::WorstOrder => self.run_static(strategy, spec, catalog, &WorstOrderOptimizer),
-            Strategy::PilotRun => self.run_static(
-                strategy,
-                spec,
-                catalog,
-                &PilotRunOptimizer::new(self.rule, self.pilot_sample_limit),
-            ),
+            Strategy::PilotRun => {
+                // The pilot optimizer takes the run's executor pool so its
+                // sample probes execute partition-parallel too.
+                let pool = WorkerPool::new(self.parallel.workers);
+                let optimizer = PilotRunOptimizer::new(self.rule, self.pilot_sample_limit)
+                    .with_pool(pool.clone());
+                self.run_static_on_pool(strategy, spec, catalog, &optimizer, pool)
+            }
         }
     }
 
@@ -241,10 +243,22 @@ impl QueryRunner {
         catalog: &mut Catalog,
         optimizer: &dyn Optimizer,
     ) -> Result<RunReport> {
+        let pool = WorkerPool::new(self.parallel.workers);
+        self.run_static_on_pool(strategy, spec, catalog, optimizer, pool)
+    }
+
+    fn run_static_on_pool(
+        &self,
+        strategy: Strategy,
+        spec: &QuerySpec,
+        catalog: &mut Catalog,
+        optimizer: &dyn Optimizer,
+        pool: WorkerPool,
+    ) -> Result<RunReport> {
         let start = Instant::now();
         let (plan, mut metrics) = optimizer.plan_with_overhead(spec, catalog, catalog.stats())?;
         let relation = {
-            let executor = ParallelExecutor::new(catalog, self.parallel);
+            let executor = ParallelExecutor::with_pool(catalog, self.parallel, pool);
             executor.execute_to_relation(&plan, &mut metrics)?
         };
         let result = project_result(relation, &spec.projection)?;

@@ -46,6 +46,17 @@ pub struct ExecutionMetrics {
     pub stats_values_observed: u64,
     /// Rows returned to the user.
     pub result_rows: u64,
+    /// Pages written to the disk-backed spill store (out-of-core
+    /// intermediates). Logical page traffic: deterministic for a given query,
+    /// independent of worker count and buffer-pool state.
+    pub spill_pages_written: u64,
+    /// Serialized bytes written to the spill store — the *measured* size of
+    /// spilled intermediates, as opposed to the modeled `bytes_materialized`.
+    pub spill_bytes_written: u64,
+    /// Pages read back from the spill store.
+    pub spill_pages_read: u64,
+    /// Serialized bytes read back from the spill store.
+    pub spill_bytes_read: u64,
 }
 
 impl ExecutionMetrics {
@@ -73,6 +84,10 @@ impl ExecutionMetrics {
         self.bytes_materialized += other.bytes_materialized;
         self.stats_values_observed += other.stats_values_observed;
         self.result_rows += other.result_rows;
+        self.spill_pages_written += other.spill_pages_written;
+        self.spill_bytes_written += other.spill_bytes_written;
+        self.spill_pages_read += other.spill_pages_read;
+        self.spill_bytes_read += other.spill_bytes_read;
     }
 
     /// Returns the sum of two metrics objects.
@@ -141,6 +156,16 @@ pub struct CostModel {
     pub materialize_byte: f64,
     /// Cost per value observed by online statistics collection.
     pub stats_value: f64,
+    /// Cost per serialized byte written to the spill store (sequential disk
+    /// write). Charged on *measured* bytes — when an intermediate actually
+    /// went out-of-core — on top of the modeled materialization cost, so
+    /// re-optimization decisions see the real size of spilled intermediates.
+    pub spill_write_byte: f64,
+    /// Cost per serialized byte read back from the spill store.
+    pub spill_read_byte: f64,
+    /// Fixed cost per spill page touched (write or read) — the per-request
+    /// overhead of the paged store and buffer pool.
+    pub spill_page_io: f64,
     /// Fixed cost charged per planner invocation (re-optimization point).
     pub planner_invocation: f64,
     /// Number of partitions in the simulated cluster; a higher partition count
@@ -167,6 +192,9 @@ impl Default for CostModel {
             materialize_row: 0.25,
             materialize_byte: 0.004,
             stats_value: 0.06,
+            spill_write_byte: 0.002,
+            spill_read_byte: 0.002,
+            spill_page_io: 0.5,
             planner_invocation: 40.0,
             partitions: 40,
         }
@@ -203,7 +231,10 @@ impl CostModel {
             + m.rows_broadcast as f64 * self.broadcast_row
             + m.bytes_broadcast as f64 * self.broadcast_byte;
         let random_io = m.index_lookups as f64 * self.index_lookup;
-        cpu / p + network / p + random_io / p
+        let spill_io = m.spill_bytes_written as f64 * self.spill_write_byte
+            + m.spill_bytes_read as f64 * self.spill_read_byte
+            + (m.spill_pages_written + m.spill_pages_read) as f64 * self.spill_page_io;
+        cpu / p + network / p + random_io / p + spill_io / p
     }
 }
 
@@ -243,6 +274,10 @@ mod tests {
             bytes_materialized: 15,
             stats_values_observed: 16,
             result_rows: 17,
+            spill_pages_written: 18,
+            spill_bytes_written: 19,
+            spill_pages_read: 20,
+            spill_bytes_read: 21,
         };
         a.add(&b);
         assert_eq!(a.rows_scanned, 1_001);
@@ -252,6 +287,31 @@ mod tests {
         assert_eq!(a.index_fetched_rows, 13);
         assert_eq!(a.stats_values_observed, 16);
         assert_eq!(a.result_rows, 17);
+        assert_eq!(a.spill_pages_written, 18);
+        assert_eq!(a.spill_bytes_written, 19);
+        assert_eq!(a.spill_pages_read, 20);
+        assert_eq!(a.spill_bytes_read, 21);
+    }
+
+    #[test]
+    fn spilled_intermediates_cost_more_than_resident_ones() {
+        let model = CostModel::default();
+        let resident = ExecutionMetrics {
+            rows_materialized: 10_000,
+            bytes_materialized: 1_000_000,
+            ..Default::default()
+        };
+        let spilled = ExecutionMetrics {
+            spill_pages_written: 16,
+            spill_bytes_written: 1_000_000,
+            spill_pages_read: 16,
+            spill_bytes_read: 1_000_000,
+            ..resident
+        };
+        assert!(
+            spilled.simulated_cost(&model) > resident.simulated_cost(&model),
+            "measured spill I/O adds real cost on top of the modeled charge"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::partition::{
 use crate::plan::{JoinAlgorithm, PhysicalPlan};
 use crate::setup::{prepare_indexed_join, prepare_scan, resolve_keys};
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
-use rdo_storage::Catalog;
+use rdo_storage::{Catalog, SpillReadTally};
 
 /// Executes physical plans against a catalog.
 pub struct Executor<'a> {
@@ -69,18 +69,34 @@ impl<'a> Executor<'a> {
         let table = self.catalog.table(table_name)?;
         let setup = prepare_scan(table, dataset, projection)?;
 
+        // Stream each partition page by page through the scan kernel: a
+        // memory-backed table arrives as one whole-partition page, a spilled
+        // one as buffer-pool pages — the tallies fold identically either way.
         let mut partitions: Vec<Vec<Tuple>> = Vec::with_capacity(table.num_partitions());
         let mut tally = ScanTally::default();
-        for partition in table.partitions() {
-            let (out, partial) = scan_partition(
-                &setup.schema,
-                predicates,
-                setup.projection_indexes.as_deref(),
-                partition,
-            )?;
-            tally.add(&partial);
-            partitions.push(out);
+        let mut spill_read = SpillReadTally::default();
+        for p in 0..table.num_partitions() {
+            let mut out_rows: Vec<Tuple> = Vec::new();
+            let page_tally = table.scan_pages(p, |rows| {
+                let (out, partial) = scan_partition(
+                    &setup.schema,
+                    predicates,
+                    setup.projection_indexes.as_deref(),
+                    rows,
+                )?;
+                tally.add(&partial);
+                if out_rows.is_empty() {
+                    out_rows = out;
+                } else {
+                    out_rows.extend(out);
+                }
+                Ok(true)
+            })?;
+            spill_read.add(&page_tally);
+            partitions.push(out_rows);
         }
+        metrics.spill_pages_read += spill_read.pages;
+        metrics.spill_bytes_read += spill_read.bytes;
 
         if table.is_temporary() {
             metrics.rows_intermediate_read += tally.scanned_rows;

@@ -25,6 +25,9 @@ pub struct MaterializeOutcome {
     /// Number of individual values observed by online statistics collection
     /// (zero when statistics collection was disabled for this sink).
     pub stats_values: u64,
+    /// True if the catalog's spill policy sent the table to the paged disk
+    /// store instead of keeping it memory-resident.
+    pub spilled: bool,
 }
 
 /// Materializes `data` into the catalog as temporary table `name`, hash-
@@ -77,7 +80,7 @@ pub fn materialize(
         0
     };
 
-    catalog.register_intermediate(
+    let stored = catalog.register_intermediate(
         name,
         relation,
         partition_key,
@@ -88,12 +91,15 @@ pub fn materialize(
     metrics.rows_materialized += rows;
     metrics.bytes_materialized += bytes;
     metrics.stats_values_observed += stats_values;
+    metrics.spill_pages_written += stored.pages_written;
+    metrics.spill_bytes_written += stored.bytes_written;
 
     Ok(MaterializeOutcome {
         table: name.to_string(),
         rows,
         bytes,
         stats_values,
+        spilled: stored.spilled,
     })
 }
 
@@ -189,6 +195,49 @@ mod tests {
         assert_eq!(outcome.stats_values, 0);
         assert_eq!(cat.stats().row_count("I_last"), Some(100));
         assert!(cat.stats().get("I_last").unwrap().columns.is_empty());
+    }
+
+    #[test]
+    fn materialize_spills_under_budget_and_scans_charge_spill_reads() {
+        use rdo_storage::SpillConfig;
+        let mut cat = catalog();
+        cat.configure_spill(SpillConfig::default().with_budget(1).with_page_size(512))
+            .unwrap();
+        let mut m = ExecutionMetrics::new();
+        let data = {
+            let exec = Executor::new(&cat);
+            exec.execute(&PhysicalPlan::scan("orders"), &mut m).unwrap()
+        };
+        let outcome = materialize(
+            &mut cat,
+            "I_spill",
+            &data,
+            Some("o_custkey"),
+            &["o_custkey".to_string()],
+            true,
+            &mut m,
+        )
+        .unwrap();
+        assert!(outcome.spilled, "1-byte budget forces the disk store");
+        assert!(m.spill_pages_written > 0 && m.spill_bytes_written > 0);
+        assert!(cat.table("I_spill").unwrap().is_spilled());
+
+        // Reading the spilled intermediate charges the same logical
+        // intermediate-read metrics as the memory path, plus page reads.
+        let mut m2 = ExecutionMetrics::new();
+        let exec = Executor::new(&cat);
+        let rel = exec
+            .execute_to_relation(&PhysicalPlan::scan("I_spill"), &mut m2)
+            .unwrap();
+        assert_eq!(rel.len(), 100);
+        assert_eq!(m2.rows_intermediate_read, 100);
+        assert_eq!(m2.spill_pages_read, m.spill_pages_written);
+        assert_eq!(m2.spill_bytes_read, m.spill_bytes_written);
+
+        // Statistics were collected before spilling, exactly as in memory.
+        let stats = cat.stats().get("I_spill").unwrap();
+        assert_eq!(stats.row_count, 100);
+        assert!(stats.column("o_custkey").is_some());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rdo_exec::partition::{
 };
 use rdo_exec::setup::{prepare_indexed_join, prepare_scan, resolve_keys};
 use rdo_exec::{ExecutionMetrics, JoinAlgorithm, PartitionedData, PhysicalPlan, Predicate};
-use rdo_storage::Catalog;
+use rdo_storage::{Catalog, SpillReadTally};
 
 /// Executes physical plans against a catalog with one task per partition.
 pub struct ParallelExecutor<'a> {
@@ -27,18 +27,31 @@ pub struct ParallelExecutor<'a> {
 }
 
 impl<'a> ParallelExecutor<'a> {
-    /// Creates an executor over the given catalog.
+    /// Creates an executor over the given catalog with its own worker pool.
+    /// Callers executing many stages (the dynamic driver) should create one
+    /// [`WorkerPool`] up front and use [`ParallelExecutor::with_pool`] so the
+    /// persistent threads are spawned once, not per stage.
     pub fn new(catalog: &'a Catalog, config: ParallelConfig) -> Self {
+        Self::with_pool(catalog, config, WorkerPool::new(config.workers))
+    }
+
+    /// Creates an executor sharing an existing worker pool (an `Arc` clone).
+    pub fn with_pool(catalog: &'a Catalog, config: ParallelConfig, pool: WorkerPool) -> Self {
         Self {
             catalog,
             config,
-            pool: WorkerPool::new(config.workers),
+            pool,
         }
     }
 
     /// The executor's configuration.
     pub fn config(&self) -> ParallelConfig {
         self.config
+    }
+
+    /// The executor's worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Executes a plan, returning the partitioned output.
@@ -110,20 +123,40 @@ impl<'a> ParallelExecutor<'a> {
         let table = self.catalog.table_handle(table_name)?;
         let setup = prepare_scan(&table, dataset, projection)?;
 
+        // Each partition streams page by page through the scan kernel —
+        // memory-backed tables deliver one whole-partition page, spilled ones
+        // come back through the buffer pool. Per-partition tallies fold in
+        // partition order, so metrics are identical for every worker count.
         let results = self.map_partitions(table.num_partitions(), |p| {
-            scan_partition(
-                &setup.schema,
-                predicates,
-                setup.projection_indexes.as_deref(),
-                table.partition(p),
-            )
+            let mut out_rows: Vec<Tuple> = Vec::new();
+            let mut partial = ScanTally::default();
+            let page_tally = table.scan_pages(p, |rows| {
+                let (out, page_partial) = scan_partition(
+                    &setup.schema,
+                    predicates,
+                    setup.projection_indexes.as_deref(),
+                    rows,
+                )?;
+                partial.add(&page_partial);
+                if out_rows.is_empty() {
+                    out_rows = out;
+                } else {
+                    out_rows.extend(out);
+                }
+                Ok(true)
+            })?;
+            Ok((out_rows, partial, page_tally))
         })?;
         let mut partitions: Vec<Vec<Tuple>> = Vec::with_capacity(results.len());
         let mut tally = ScanTally::default();
-        for (rows, partial) in results {
+        let mut spill_read = SpillReadTally::default();
+        for (rows, partial, page_tally) in results {
             tally.add(&partial);
+            spill_read.add(&page_tally);
             partitions.push(rows);
         }
+        metrics.spill_pages_read += spill_read.pages;
+        metrics.spill_bytes_read += spill_read.bytes;
 
         if table.is_temporary() {
             metrics.rows_intermediate_read += tally.scanned_rows;

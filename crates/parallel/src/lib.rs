@@ -22,14 +22,16 @@
 //!      │           │           │
 //!      ▼           ▼           ▼
 //!  ┌────────────────────────────────┐
-//!  │           WorkerPool           │  (scoped threads, work-stealing by
+//!  │           WorkerPool           │  (persistent threads, work-stealing by
 //!  │  task = per-partition kernel   │   atomic partition counter)
 //!  │  from rdo_exec::partition      │
 //!  └────────────────────────────────┘
 //! ```
 //!
-//! * **Worker pool** — [`WorkerPool`] spawns `workers` scoped threads that
-//!   pull partition indexes from a shared atomic counter and run the
+//! * **Worker pool** — [`WorkerPool`] spawns its threads **once** (per driver
+//!   execution; `WorkerPool::new`) and feeds them jobs through a
+//!   condvar-guarded dispatch slot, so per-stage spawn/join cost is gone;
+//!   workers pull partition indexes from a shared atomic counter and run the
 //!   per-partition kernels of [`rdo_exec::partition`]. With `workers = 1` the
 //!   tasks run in a plain loop on the calling thread, which makes the
 //!   single-worker configuration *bit-identical* to the serial executor by

@@ -17,7 +17,6 @@
 //! accuracy guarantees; the dynamic driver uses this parallel Sink in all
 //! configurations so its planning decisions never depend on the worker count.
 
-use crate::config::ParallelConfig;
 use crate::exchange::Gather;
 use crate::pool::WorkerPool;
 use rdo_common::Result;
@@ -28,10 +27,18 @@ use rdo_storage::Catalog;
 /// Materializes `data` into the catalog as temporary table `name`,
 /// hash-partitioned on `partition_key`, collecting online statistics on
 /// `tracked_columns` (when `collect_stats` is true) from per-partition
-/// partials merged at the barrier.
+/// partials merged at the barrier. Sketch building runs on the caller's
+/// persistent `pool` (one pool per driver execution, shared by every stage).
+///
+/// When `data` is already hash-partitioned on `partition_key` with the
+/// cluster's partition count, its layout is registered verbatim — re-hashing
+/// the gathered relation on the coordinator would reproduce exactly the same
+/// assignment, so the serial rebuild is skipped. The catalog's spill policy
+/// then decides whether the table stays resident or goes to the paged disk
+/// store; logical page writes land in the `spill_*` metrics.
 #[allow(clippy::too_many_arguments)]
 pub fn materialize(
-    config: ParallelConfig,
+    pool: &WorkerPool,
     catalog: &mut Catalog,
     name: &str,
     data: &PartitionedData,
@@ -40,21 +47,19 @@ pub fn materialize(
     collect_stats: bool,
     metrics: &mut ExecutionMetrics,
 ) -> Result<MaterializeOutcome> {
-    let relation = Gather.apply(data);
-    let rows = relation.len() as u64;
-    let bytes = relation.approx_bytes() as u64;
+    let rows = data.row_count() as u64;
+    let bytes = data.approx_bytes() as u64;
 
     // Statistics cost accounting, shared with the serial Sink: one
     // observation per tracked column actually present in the schema, per row.
     let stats_values = if collect_stats {
-        rdo_exec::sink::tracked_columns_present(relation.schema(), tracked_columns) * rows
+        rdo_exec::sink::tracked_columns_present(data.schema(), tracked_columns) * rows
     } else {
         0
     };
 
     // Per-partition sketch building on the pool, merged in partition order.
     let tracked: &[String] = if collect_stats { tracked_columns } else { &[] };
-    let pool = WorkerPool::new(config.workers);
     let partials = pool.map_indexed(data.num_partitions(), |p| {
         let mut builder = DatasetStatsBuilder::new(data.schema(), tracked);
         for row in &data.partitions()[p] {
@@ -67,23 +72,40 @@ pub fn materialize(
         merged.merge(partial);
     }
 
-    catalog.register_intermediate_prebuilt(name, relation, partition_key, merged.build())?;
+    let layout_matches = partition_key.is_some_and(|key| data.is_partitioned_on(key))
+        && data.num_partitions() == catalog.num_partitions();
+    let stored = if layout_matches {
+        catalog.register_intermediate_partitioned(
+            name,
+            data.schema().clone(),
+            data.partitions().to_vec(),
+            partition_key,
+            merged.build(),
+        )?
+    } else {
+        let relation = Gather.apply(data);
+        catalog.register_intermediate_prebuilt(name, relation, partition_key, merged.build())?
+    };
 
     metrics.rows_materialized += rows;
     metrics.bytes_materialized += bytes;
     metrics.stats_values_observed += stats_values;
+    metrics.spill_pages_written += stored.pages_written;
+    metrics.spill_bytes_written += stored.bytes_written;
 
     Ok(MaterializeOutcome {
         table: name.to_string(),
         rows,
         bytes,
         stats_values,
+        spilled: stored.spilled,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ParallelConfig;
     use crate::executor::ParallelExecutor;
     use rdo_common::{DataType, Relation, Schema, Tuple, Value};
     use rdo_exec::PhysicalPlan;
@@ -124,7 +146,7 @@ mod tests {
         let mut cat = catalog();
         let (data, mut metrics) = scan(&cat, 4);
         let outcome = materialize(
-            ParallelConfig::serial().with_workers(4),
+            &WorkerPool::new(4),
             &mut cat,
             "I_1",
             &data,
@@ -146,12 +168,83 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_fast_path_matches_the_gather_rehash_path() {
+        // `I_key` goes through the fast path (data partitioned on o_orderkey,
+        // the base table's partition key); `I_rehash` is forced through the
+        // gather-and-rehash path by asking for a different partition key. A
+        // third registration re-hashes the fast path's gathered rows on the
+        // same key, proving the layouts are bit-identical.
+        let mut cat = catalog();
+        let (data, _) = scan(&cat, 2);
+        assert!(data.is_partitioned_on("o_orderkey"));
+        let pool = WorkerPool::new(2);
+        let mut m = ExecutionMetrics::new();
+        materialize(
+            &pool,
+            &mut cat,
+            "I_key",
+            &data,
+            Some("o_orderkey"),
+            &[],
+            false,
+            &mut m,
+        )
+        .unwrap();
+        let fast = cat.table("I_key").unwrap();
+        let rehashed = rdo_storage::Table::from_relation(
+            "check",
+            fast.gather(),
+            cat.num_partitions(),
+            Some("o_orderkey"),
+        )
+        .unwrap();
+        assert_eq!(fast.partitions(), rehashed.partitions());
+        assert!(fast.is_temporary() && fast.is_partitioned_on("o_orderkey"));
+        assert_eq!(cat.stats().row_count("I_key"), Some(100));
+    }
+
+    #[test]
+    fn materialize_spills_when_the_budget_is_exceeded() {
+        use rdo_storage::SpillConfig;
+        let mut cat = catalog();
+        cat.configure_spill(SpillConfig::default().with_budget(1).with_page_size(512))
+            .unwrap();
+        let (data, _) = scan(&cat, 2);
+        let pool = WorkerPool::new(2);
+        let mut m = ExecutionMetrics::new();
+        let outcome = materialize(
+            &pool,
+            &mut cat,
+            "I_spill",
+            &data,
+            Some("o_orderkey"),
+            &["o_custkey".to_string()],
+            true,
+            &mut m,
+        )
+        .unwrap();
+        assert!(outcome.spilled);
+        assert!(m.spill_pages_written > 0 && m.spill_bytes_written > 0);
+        let table = cat.table("I_spill").unwrap();
+        assert!(table.is_spilled());
+        assert_eq!(table.row_count(), 100);
+        // Statistics were merged from per-partition partials before spilling.
+        assert_eq!(m.stats_values_observed, 100);
+        assert!(cat
+            .stats()
+            .get("I_spill")
+            .unwrap()
+            .column("o_custkey")
+            .is_some());
+    }
+
+    #[test]
     fn stats_are_identical_for_every_worker_count() {
         let reference = {
             let mut cat = catalog();
             let (data, mut m) = scan(&cat, 1);
             materialize(
-                ParallelConfig::serial(),
+                &WorkerPool::new(1),
                 &mut cat,
                 "I_1",
                 &data,
@@ -167,7 +260,7 @@ mod tests {
             let mut cat = catalog();
             let (data, mut m) = scan(&cat, workers);
             materialize(
-                ParallelConfig::serial().with_workers(workers),
+                &WorkerPool::new(workers),
                 &mut cat,
                 "I_1",
                 &data,
@@ -196,7 +289,7 @@ mod tests {
         let mut cat = catalog();
         let (data, mut metrics) = scan(&cat, 2);
         let outcome = materialize(
-            ParallelConfig::serial().with_workers(2),
+            &WorkerPool::new(2),
             &mut cat,
             "I_last",
             &data,

@@ -111,12 +111,16 @@ impl<'a> SizeEstimator<'a> {
         }
         let predicates: Vec<_> = spec.predicates_for(alias).into_iter().cloned().collect();
         let mut count = 0u64;
-        for partition in table.partitions() {
-            for row in partition {
-                if evaluate_all(&predicates, &schema, row)? {
-                    count += 1;
+        // Page-streamed so the oracle also works on spilled intermediates.
+        for p in 0..table.num_partitions() {
+            table.scan_pages(p, |rows| {
+                for row in rows {
+                    if evaluate_all(&predicates, &schema, row)? {
+                        count += 1;
+                    }
                 }
-            }
+                Ok(true)
+            })?;
         }
         Ok(count as f64)
     }

@@ -16,23 +16,42 @@ use crate::query::QuerySpec;
 use rdo_common::{Result, Value};
 use rdo_exec::expr::evaluate_all;
 use rdo_exec::{ExecutionMetrics, PhysicalPlan};
+use rdo_parallel::WorkerPool;
 use rdo_sketch::{ColumnStatsBuilder, StatsCatalog};
 use rdo_storage::Catalog;
 use std::collections::HashMap;
 
 /// Pilot-run based optimizer.
-#[derive(Debug, Clone, Copy)]
+///
+/// With an executor handle attached ([`PilotRunOptimizer::with_pool`]) the
+/// sample probes run partition-parallel through `rdo-parallel`'s worker pool
+/// instead of a serial loop on the coordinator; per-partition sample partials
+/// are merged in partition order, so the derived estimates (and the charged
+/// overhead metrics) are identical for every worker count.
+#[derive(Debug, Clone)]
 pub struct PilotRunOptimizer {
     /// Physical join-algorithm rule.
     pub rule: JoinAlgorithmRule,
     /// Maximum number of rows sampled per dataset (the LIMIT of the pilot runs).
     pub sample_limit: usize,
+    /// Executor handle the probes run through (serial loop when absent).
+    pool: Option<WorkerPool>,
 }
 
 impl PilotRunOptimizer {
     /// Creates the optimizer.
     pub fn new(rule: JoinAlgorithmRule, sample_limit: usize) -> Self {
-        Self { rule, sample_limit }
+        Self {
+            rule,
+            sample_limit,
+            pool: None,
+        }
+    }
+
+    /// Attaches the worker pool the sample probes execute on (builder style).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 }
 
@@ -66,10 +85,20 @@ impl LeafStats for PilotEstimates {
     }
 }
 
+/// Per-partition partial of one dataset's pilot probe, merged in partition
+/// order on the coordinator.
+struct ProbePartial {
+    sampled: u64,
+    qualified: u64,
+    bytes: u64,
+    builders: Vec<ColumnStatsBuilder>,
+}
+
 impl PilotRunOptimizer {
     /// Runs the pilot queries: scans up to `sample_limit` rows of each dataset
     /// (spread across its partitions), applies the dataset's local predicates
-    /// and collects sample statistics on its join-key columns.
+    /// and collects sample statistics on its join-key columns. One probe task
+    /// per partition, mapped over the attached worker pool when present.
     fn pilot_runs(
         &self,
         spec: &QuerySpec,
@@ -81,7 +110,7 @@ impl PilotRunOptimizer {
         let key_columns = spec.join_key_columns();
 
         for dataset in &spec.datasets {
-            let table = catalog.table(&dataset.table)?;
+            let table = catalog.table_handle(&dataset.table)?;
             let mut schema = table.schema().clone();
             if dataset.alias != dataset.table {
                 schema = schema.with_dataset(&dataset.alias);
@@ -92,33 +121,72 @@ impl PilotRunOptimizer {
                 .cloned()
                 .collect();
             let tracked: Vec<String> = key_columns.get(&dataset.alias).cloned().unwrap_or_default();
-            let mut builders: Vec<(String, usize, ColumnStatsBuilder)> = tracked
+            let tracked_indexes: Vec<(String, usize)> = tracked
                 .iter()
                 .filter_map(|col| {
                     schema
                         .index_of_unqualified(col)
                         .ok()
-                        .map(|idx| (col.clone(), idx, ColumnStatsBuilder::new()))
+                        .map(|idx| (col.clone(), idx))
                 })
                 .collect();
 
             let per_partition = (self.sample_limit / table.num_partitions().max(1)).max(1);
-            let mut sampled = 0u64;
-            let mut qualified = 0u64;
-            for partition in table.partitions() {
-                for row in partition.iter().take(per_partition) {
-                    sampled += 1;
-                    metrics.rows_scanned += 1;
-                    metrics.bytes_scanned += row.approx_bytes() as u64;
-                    if evaluate_all(&predicates, &schema, row)? {
-                        qualified += 1;
-                        metrics.output_rows += 1;
-                        for (_, idx, builder) in &mut builders {
-                            builder.observe(row.value(*idx));
+            let probe = |p: usize| -> Result<ProbePartial> {
+                let mut partial = ProbePartial {
+                    sampled: 0,
+                    qualified: 0,
+                    bytes: 0,
+                    builders: tracked_indexes
+                        .iter()
+                        .map(|_| ColumnStatsBuilder::new())
+                        .collect(),
+                };
+                let mut remaining = per_partition;
+                table.scan_pages(p, |rows| {
+                    for row in rows.iter().take(remaining) {
+                        partial.sampled += 1;
+                        partial.bytes += row.approx_bytes() as u64;
+                        if evaluate_all(&predicates, &schema, row)? {
+                            partial.qualified += 1;
+                            for ((_, idx), builder) in
+                                tracked_indexes.iter().zip(partial.builders.iter_mut())
+                            {
+                                builder.observe(row.value(*idx));
+                            }
                         }
                     }
+                    remaining = remaining.saturating_sub(rows.len());
+                    Ok(remaining > 0)
+                })?;
+                Ok(partial)
+            };
+
+            // One probe task per partition. Partials merge in partition order;
+            // sample counts are plain sums and the distinct sketches merge
+            // through HyperLogLog unions, so the estimates are identical to
+            // the serial loop for every worker count.
+            let partials: Vec<Result<ProbePartial>> = match &self.pool {
+                Some(pool) => pool.map_indexed(table.num_partitions(), probe),
+                None => (0..table.num_partitions()).map(probe).collect(),
+            };
+            let mut sampled = 0u64;
+            let mut qualified = 0u64;
+            let mut builders: Vec<(String, ColumnStatsBuilder)> = tracked_indexes
+                .iter()
+                .map(|(col, _)| (col.clone(), ColumnStatsBuilder::new()))
+                .collect();
+            for partial in partials {
+                let partial = partial?;
+                sampled += partial.sampled;
+                qualified += partial.qualified;
+                metrics.bytes_scanned += partial.bytes;
+                for ((_, merged), built) in builders.iter_mut().zip(partial.builders.iter()) {
+                    merged.merge(built);
                 }
             }
+            metrics.rows_scanned += sampled;
+            metrics.output_rows += qualified;
             metrics.stats_values_observed += qualified * builders.len() as u64;
 
             let total_rows = table.row_count() as f64;
@@ -128,7 +196,7 @@ impl PilotRunOptimizer {
                 qualified as f64 / sampled as f64
             };
             sizes.insert(dataset.alias.clone(), (total_rows * fraction).max(1.0));
-            for (col, _, builder) in builders {
+            for (col, builder) in builders {
                 let stats = builder.build();
                 distincts.insert((dataset.alias.clone(), col), stats.distinct.max(1) as f64);
             }
@@ -246,6 +314,26 @@ mod tests {
         );
         // Sizes, on the other hand, extrapolate correctly when there is no filter.
         assert!((estimates.sizes["fact"] - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pool_backed_probes_match_the_serial_probes_exactly() {
+        let cat = catalog();
+        let q = spec().with_predicate(Predicate::compare(
+            FieldRef::new("dim", "v"),
+            CmpOp::Eq,
+            1i64,
+        ));
+        let serial = PilotRunOptimizer::new(JoinAlgorithmRule::default(), 800);
+        let (expected, expected_metrics) = serial.pilot_runs(&q, &cat).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let parallel = PilotRunOptimizer::new(JoinAlgorithmRule::default(), 800)
+                .with_pool(WorkerPool::new(workers));
+            let (estimates, metrics) = parallel.pilot_runs(&q, &cat).unwrap();
+            assert_eq!(metrics, expected_metrics, "workers={workers}");
+            assert_eq!(estimates.sizes, expected.sizes, "workers={workers}");
+            assert_eq!(estimates.distincts, expected.distincts, "workers={workers}");
+        }
     }
 
     #[test]

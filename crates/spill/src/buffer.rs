@@ -1,0 +1,485 @@
+//! The fixed-frame buffer pool in front of the spill files.
+//!
+//! All page traffic of the spill store goes through this pool: freshly built
+//! pages enter as **dirty** frames and are written back to their file when the
+//! clock hand evicts them; reads pin the frame for the duration of the
+//! caller's decode closure and unpin afterwards. Replacement is CLOCK (second
+//! chance): every access sets the frame's reference bit, the hand clears bits
+//! until it finds an unreferenced, unpinned frame. Pinned frames are never
+//! evicted; if every frame is pinned the pool degrades gracefully by
+//! bypassing the cache (direct file I/O) instead of failing.
+//!
+//! Page data lives behind an [`Arc`] so both the caller's decode closure and
+//! the miss-path file read run outside the pool lock — concurrent scans of
+//! different partitions overlap their disk I/O and decoding, serializing only
+//! on the (short) frame bookkeeping and on dirty-page writebacks (which the
+//! clock hand performs while holding the lock).
+
+use rdo_common::{RdoError, Result};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::{Arc, Mutex};
+
+/// A page address: (file id, page number within the file).
+pub type PageKey = (u64, u32);
+
+/// One spill file, shared between the store that owns it and the pool that
+/// writes evicted dirty pages back to it.
+#[derive(Debug)]
+pub struct SpillFile {
+    file: Mutex<File>,
+}
+
+impl SpillFile {
+    /// Wraps an open read/write file.
+    pub fn new(file: File) -> Self {
+        Self {
+            file: Mutex::new(file),
+        }
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        let mut f = self.file.lock().expect("spill file lock");
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+
+    fn write_all_at(&self, offset: u64, data: &[u8]) -> std::io::Result<()> {
+        let mut f = self.file.lock().expect("spill file lock");
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    key: PageKey,
+    /// Byte offset of the page in its file (where writeback lands).
+    offset: u64,
+    data: Arc<Vec<u8>>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct PoolCounters {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writebacks: u64,
+    bypasses: u64,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    frames: Vec<Frame>,
+    map: HashMap<PageKey, usize>,
+    files: HashMap<u64, Arc<SpillFile>>,
+    hand: usize,
+    counters: PoolCounters,
+}
+
+/// Snapshot of the pool's replacement activity (diagnostics; not part of the
+/// deterministic execution metrics, which count *logical* page traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolDiagnostics {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read the file.
+    pub misses: u64,
+    /// Frames reclaimed by the clock hand.
+    pub evictions: u64,
+    /// Dirty frames flushed to their file on eviction.
+    pub writebacks: u64,
+    /// Requests served with direct file I/O because every frame was pinned.
+    pub bypasses: u64,
+    /// Frames currently holding a page.
+    pub frames_in_use: usize,
+    /// Total frame capacity.
+    pub capacity: usize,
+}
+
+/// The buffer pool. Thread-safe; shared by every spilled table of one
+/// [`crate::SpillManager`].
+#[derive(Debug)]
+pub struct BufferPool {
+    state: Mutex<PoolState>,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// A pool with `capacity` frames (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(PoolState {
+                frames: Vec::new(),
+                map: HashMap::new(),
+                files: HashMap::new(),
+                hand: 0,
+                counters: PoolCounters::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Registers a spill file so evictions can write dirty pages back to it.
+    pub fn register_file(&self, file_id: u64, file: Arc<SpillFile>) {
+        let mut state = self.state.lock().expect("buffer pool lock");
+        state.files.insert(file_id, file);
+    }
+
+    /// Drops every frame belonging to `file_id` (dirty pages included — the
+    /// file is being deleted) and unregisters the file.
+    pub fn drop_file(&self, file_id: u64) {
+        let mut state = self.state.lock().expect("buffer pool lock");
+        state.map.retain(|key, _| key.0 != file_id);
+        for frame in &mut state.frames {
+            if frame.key.0 == file_id {
+                // Poison the slot so the clock hand reclaims it without a
+                // writeback; pins cannot be outstanding (the owning store is
+                // being dropped, so no reader holds its pages).
+                frame.dirty = false;
+                frame.referenced = false;
+                frame.pins = 0;
+                frame.data = Arc::new(Vec::new());
+                frame.key = (file_id, u32::MAX);
+            }
+        }
+        state.files.remove(&file_id);
+    }
+
+    /// Caches a freshly built page as a dirty frame. The page reaches its file
+    /// when the frame is evicted (dirty writeback); until then reads are
+    /// served from the frame. If every frame is pinned the page is written to
+    /// the file immediately instead.
+    pub fn put_page(&self, file_id: u64, page_no: u32, offset: u64, data: Vec<u8>) -> Result<()> {
+        let mut state = self.state.lock().expect("buffer pool lock");
+        match self.find_victim(&mut state)? {
+            Some(slot) => {
+                let frame = Frame {
+                    key: (file_id, page_no),
+                    offset,
+                    data: Arc::new(data),
+                    dirty: true,
+                    pins: 0,
+                    referenced: true,
+                };
+                if slot == state.frames.len() {
+                    state.frames.push(frame);
+                } else {
+                    state.frames[slot] = frame;
+                }
+                state.map.insert((file_id, page_no), slot);
+                Ok(())
+            }
+            None => {
+                state.counters.bypasses += 1;
+                let file = Self::file_of(&state, file_id)?;
+                file.write_all_at(offset, &data)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs `f` over the bytes of a page, pinning its frame for the duration.
+    /// A miss reads the page from its file into a (possibly evicted) frame;
+    /// the read itself happens **outside** the pool lock so concurrent
+    /// partition scans overlap their disk I/O.
+    pub fn with_page<R>(
+        &self,
+        file_id: u64,
+        page_no: u32,
+        offset: u64,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let key = (file_id, page_no);
+        let file = {
+            let mut state = self.state.lock().expect("buffer pool lock");
+            if let Some(&slot) = state.map.get(&key) {
+                state.counters.hits += 1;
+                let frame = &mut state.frames[slot];
+                frame.pins += 1;
+                frame.referenced = true;
+                let data = Arc::clone(&frame.data);
+                drop(state);
+                let result = f(&data);
+                self.unpin(file_id, page_no);
+                return Ok(result);
+            }
+            state.counters.misses += 1;
+            Self::file_of(&state, file_id)?
+        };
+
+        // Miss: read without holding the pool lock.
+        let mut buf = vec![0u8; len];
+        file.read_exact_at(offset, &mut buf)?;
+        let data = Arc::new(buf);
+
+        let mut state = self.state.lock().expect("buffer pool lock");
+        if let Some(&slot) = state.map.get(&key) {
+            // A concurrent miss installed the page while we read; freshen its
+            // reference bit and serve from our identical copy.
+            state.frames[slot].referenced = true;
+        } else if let Some(slot) = self.find_victim(&mut state)? {
+            let frame = Frame {
+                key,
+                offset,
+                data: Arc::clone(&data),
+                dirty: false,
+                pins: 0,
+                referenced: true,
+            };
+            if slot == state.frames.len() {
+                state.frames.push(frame);
+            } else {
+                state.frames[slot] = frame;
+            }
+            state.map.insert(key, slot);
+        } else {
+            // Every frame pinned: serve the read without caching.
+            state.counters.bypasses += 1;
+        }
+        drop(state);
+        Ok(f(&data))
+    }
+
+    /// Pins a resident page, shielding its frame from eviction. Returns false
+    /// if the page is not resident. Exposed for tests and diagnostics;
+    /// [`BufferPool::with_page`] pins internally.
+    pub fn pin(&self, file_id: u64, page_no: u32) -> bool {
+        let mut state = self.state.lock().expect("buffer pool lock");
+        match state.map.get(&(file_id, page_no)).copied() {
+            Some(slot) => {
+                state.frames[slot].pins += 1;
+                state.frames[slot].referenced = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases one pin of a resident page.
+    pub fn unpin(&self, file_id: u64, page_no: u32) {
+        let mut state = self.state.lock().expect("buffer pool lock");
+        if let Some(&slot) = state.map.get(&(file_id, page_no)) {
+            let frame = &mut state.frames[slot];
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Pin count of a resident page (None if not resident).
+    pub fn pin_count(&self, file_id: u64, page_no: u32) -> Option<u32> {
+        let state = self.state.lock().expect("buffer pool lock");
+        state
+            .map
+            .get(&(file_id, page_no))
+            .map(|&slot| state.frames[slot].pins)
+    }
+
+    /// True if the page currently occupies a frame.
+    pub fn is_resident(&self, file_id: u64, page_no: u32) -> bool {
+        let state = self.state.lock().expect("buffer pool lock");
+        state.map.contains_key(&(file_id, page_no))
+    }
+
+    /// Replacement-activity snapshot.
+    pub fn diagnostics(&self) -> PoolDiagnostics {
+        let state = self.state.lock().expect("buffer pool lock");
+        PoolDiagnostics {
+            hits: state.counters.hits,
+            misses: state.counters.misses,
+            evictions: state.counters.evictions,
+            writebacks: state.counters.writebacks,
+            bypasses: state.counters.bypasses,
+            frames_in_use: state.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    fn file_of(state: &PoolState, file_id: u64) -> Result<Arc<SpillFile>> {
+        state
+            .files
+            .get(&file_id)
+            .cloned()
+            .ok_or_else(|| RdoError::Execution(format!("spill file {file_id} is not registered")))
+    }
+
+    /// Finds a frame slot for a new page: a fresh slot while the pool grows,
+    /// then the CLOCK victim (skipping pinned frames, clearing reference bits,
+    /// writing back dirty pages). `None` means every frame is pinned.
+    fn find_victim(&self, state: &mut PoolState) -> Result<Option<usize>> {
+        if state.frames.len() < self.capacity {
+            return Ok(Some(state.frames.len()));
+        }
+        // Two sweeps: the first clears reference bits, the second must find an
+        // unpinned frame unless everything is pinned.
+        for _ in 0..2 * self.capacity {
+            let i = state.hand;
+            state.hand = (state.hand + 1) % self.capacity;
+            if state.frames[i].pins > 0 {
+                continue;
+            }
+            if state.frames[i].referenced {
+                state.frames[i].referenced = false;
+                continue;
+            }
+            if state.frames[i].dirty {
+                let file = Self::file_of(state, state.frames[i].key.0)?;
+                file.write_all_at(state.frames[i].offset, &state.frames[i].data)?;
+                state.counters.writebacks += 1;
+            }
+            let key = state.frames[i].key;
+            state.map.remove(&key);
+            state.counters.evictions += 1;
+            return Ok(Some(i));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pool with one registered file backed by a real temp file.
+    fn pool_with_file(capacity: usize) -> (BufferPool, u64, std::path::PathBuf) {
+        let pool = BufferPool::new(capacity);
+        let path = std::env::temp_dir().join(format!(
+            "rdo-bufferpool-test-{}-{capacity}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        pool.register_file(7, Arc::new(SpillFile::new(file)));
+        (pool, 7, path)
+    }
+
+    fn page(byte: u8, len: usize) -> Vec<u8> {
+        vec![byte; len]
+    }
+
+    #[test]
+    fn eviction_follows_clock_order_and_writes_back_dirty_pages() {
+        let (pool, fid, path) = pool_with_file(2);
+        // Pages 0 and 1 fill the pool as dirty frames at offsets 0 and 4.
+        pool.put_page(fid, 0, 0, page(0xAA, 4)).unwrap();
+        pool.put_page(fid, 1, 4, page(0xBB, 4)).unwrap();
+        assert!(pool.is_resident(fid, 0) && pool.is_resident(fid, 1));
+        assert_eq!(pool.diagnostics().writebacks, 0, "nothing evicted yet");
+
+        // Page 2 forces an eviction: the hand clears both reference bits on
+        // its first sweep and evicts frame 0 (page 0) on the second — CLOCK
+        // degrades to FIFO when nothing was re-referenced.
+        pool.put_page(fid, 2, 8, page(0xCC, 4)).unwrap();
+        assert!(!pool.is_resident(fid, 0), "page 0 is the clock victim");
+        assert!(pool.is_resident(fid, 1) && pool.is_resident(fid, 2));
+        let d = pool.diagnostics();
+        assert_eq!(d.evictions, 1);
+        assert_eq!(d.writebacks, 1, "page 0 was dirty and must be flushed");
+
+        // Second chance: the sweep above cleared page 1's reference bit while
+        // page 2 arrived with its bit set, so page 1 — not the newer page 2 —
+        // is the next victim.
+        pool.put_page(fid, 3, 12, page(0xDD, 4)).unwrap();
+        assert!(!pool.is_resident(fid, 1), "unreferenced page 1 evicted");
+        assert!(pool.is_resident(fid, 2), "referenced page 2 kept");
+        assert_eq!(pool.diagnostics().writebacks, 2);
+
+        // Every written-back page reads back from the file bit-exact.
+        let bytes0 = pool.with_page(fid, 0, 0, 4, |b| b.to_vec()).unwrap();
+        let bytes1 = pool.with_page(fid, 1, 4, 4, |b| b.to_vec()).unwrap();
+        assert_eq!(bytes0, page(0xAA, 4));
+        assert_eq!(bytes1, page(0xBB, 4));
+        assert_eq!(pool.diagnostics().misses, 2, "two real file reads");
+
+        drop(pool);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let (pool, fid, path) = pool_with_file(2);
+        pool.put_page(fid, 0, 0, page(1, 8)).unwrap();
+        pool.put_page(fid, 1, 8, page(2, 8)).unwrap();
+
+        assert!(pool.pin(fid, 0), "resident page pins");
+        assert_eq!(pool.pin_count(fid, 0), Some(1));
+        assert!(!pool.pin(fid, 99), "absent page does not pin");
+
+        // Page 0 is pinned, so the two evictions needed for pages 2 and 3 both
+        // fall on the unpinned slot.
+        pool.put_page(fid, 2, 16, page(3, 8)).unwrap();
+        pool.put_page(fid, 3, 24, page(4, 8)).unwrap();
+        assert!(pool.is_resident(fid, 0), "pinned frame survived");
+        assert!(pool.is_resident(fid, 3));
+
+        // Both frames pinned: the pool bypasses the cache instead of failing.
+        assert!(pool.pin(fid, 3));
+        pool.put_page(fid, 4, 32, page(5, 8)).unwrap();
+        assert!(!pool.is_resident(fid, 4), "bypass write is not cached");
+        let bytes = pool.with_page(fid, 4, 32, 8, |b| b.to_vec()).unwrap();
+        assert_eq!(bytes, page(5, 8), "bypass read still returns the page");
+        assert!(pool.diagnostics().bypasses >= 2);
+
+        // Unpinning makes the frame evictable again.
+        pool.unpin(fid, 0);
+        assert_eq!(pool.pin_count(fid, 0), Some(0));
+        pool.unpin(fid, 3);
+        pool.put_page(fid, 5, 40, page(6, 8)).unwrap();
+        let evicted_something = !pool.is_resident(fid, 0) || !pool.is_resident(fid, 3);
+        assert!(evicted_something, "unpinned frames are reclaimable");
+
+        drop(pool);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn with_page_pins_only_for_the_closure_duration() {
+        let (pool, fid, path) = pool_with_file(2);
+        pool.put_page(fid, 0, 0, page(9, 16)).unwrap();
+        pool.with_page(fid, 0, 0, 16, |bytes| {
+            assert_eq!(bytes, &page(9, 16)[..]);
+            assert_eq!(
+                pool.pin_count(fid, 0),
+                Some(1),
+                "pinned while the closure runs"
+            );
+        })
+        .unwrap();
+        assert_eq!(pool.pin_count(fid, 0), Some(0), "unpinned afterwards");
+        assert_eq!(pool.diagnostics().hits, 1);
+
+        drop(pool);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn drop_file_discards_frames_without_writeback() {
+        let (pool, fid, path) = pool_with_file(4);
+        pool.put_page(fid, 0, 0, page(1, 4)).unwrap();
+        pool.put_page(fid, 1, 4, page(2, 4)).unwrap();
+        pool.drop_file(fid);
+        assert!(!pool.is_resident(fid, 0));
+        assert_eq!(pool.diagnostics().frames_in_use, 0);
+        assert_eq!(pool.diagnostics().writebacks, 0, "deleted file: no flush");
+        assert!(
+            pool.with_page(fid, 0, 0, 4, |_| ()).is_err(),
+            "unregistered file errors"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+}

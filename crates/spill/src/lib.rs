@@ -1,0 +1,51 @@
+//! Disk-backed materialization for out-of-core intermediate results.
+//!
+//! The paper's dynamic optimizer materializes the chosen join's result at
+//! every re-optimization point and its cost model explicitly charges for
+//! *writing and reading those materialized intermediates*. Before this crate
+//! the reproduction kept every intermediate as an in-memory `Vec<Tuple>`, so
+//! those charges were simulated numbers and the scale factor was capped by
+//! RAM. `rdo-spill` makes them physical:
+//!
+//! ```text
+//!        Sink (materialize at a re-optimization point)
+//!                         │
+//!              SpillManager::wants_spill?          (budget policy:
+//!                 │ no            │ yes             RDO_SPILL_BUDGET /
+//!                 ▼               ▼                 DynamicConfig.spill)
+//!        in-memory Table    SpilledPartitions
+//!                                 │ pages (custom row codec, no serde)
+//!                                 ▼
+//!                           BufferPool              (fixed frames, CLOCK
+//!                                 │ pin/unpin,       second-chance,
+//!                                 │ dirty writeback  pinned never evicted)
+//!                                 ▼
+//!                        intermediate-N.pages       (one file per table,
+//!                                                    deleted on drop)
+//! ```
+//!
+//! * [`codec`] — exact binary roundtrip for `Value`/`Tuple` (NULLs, NaN bit
+//!   patterns, strings of any length).
+//! * [`buffer`] — the fixed-frame [`BufferPool`]: CLOCK eviction, pin/unpin,
+//!   dirty-page writeback, graceful bypass when every frame is pinned.
+//! * [`store`] — [`SpilledPartitions`], the paged per-partition store with a
+//!   streaming `scan_pages` API the executors feed through the existing
+//!   per-partition kernels.
+//! * [`manager`] — [`SpillManager`] (budget accounting, temp-dir ownership,
+//!   the shared pool) and [`SpillConfig`] (`RDO_SPILL_BUDGET`).
+//!
+//! The counters the subsystem reports ([`SpillWriteTally`] /
+//! [`SpillReadTally`]) are *logical* page traffic — a pure function of the
+//! spilled rows — so execution metrics stay bit-identical for every worker
+//! count even though the buffer pool's physical hit/miss behaviour varies.
+
+pub mod buffer;
+pub mod codec;
+pub mod manager;
+pub mod store;
+
+pub use buffer::{BufferPool, PoolDiagnostics, SpillFile};
+pub use manager::{
+    SpillConfig, SpillManager, SpillReadTally, SpillWriteTally, DEFAULT_PAGE_SIZE, SPILL_BUDGET_ENV,
+};
+pub use store::SpilledPartitions;

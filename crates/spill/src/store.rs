@@ -1,0 +1,297 @@
+//! The paged, disk-backed partition store.
+//!
+//! A [`SpilledPartitions`] holds one materialized intermediate result: every
+//! partition serialized into fixed-size-target pages in a single spill file,
+//! with an in-memory page directory per partition. Writes and reads both go
+//! through the manager's buffer pool, so a freshly spilled table that still
+//! fits in the pool is served from memory while larger ones do real I/O.
+//! Dropping the store invalidates its pool pages and deletes its file.
+
+use crate::codec::{decode_rows, encode_tuple};
+use crate::manager::{SpillManager, SpillReadTally, SpillWriteTally};
+use rdo_common::{Result, Tuple};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Location of one page inside the spill file.
+#[derive(Debug, Clone, Copy)]
+struct PageMeta {
+    page_no: u32,
+    offset: u64,
+    len: u32,
+    rows: u32,
+}
+
+#[derive(Debug, Default)]
+struct PartitionPages {
+    pages: Vec<PageMeta>,
+    rows: usize,
+}
+
+/// A materialized intermediate result spilled to disk, page by page.
+#[derive(Debug)]
+pub struct SpilledPartitions {
+    manager: Arc<SpillManager>,
+    file_id: u64,
+    path: PathBuf,
+    parts: Vec<PartitionPages>,
+    total_rows: usize,
+    /// Tuple-model bytes (`Tuple::approx_bytes` sums), kept identical to the
+    /// in-memory accounting so cost-model inputs do not depend on where a
+    /// table lives.
+    approx_bytes: usize,
+    /// Exact serialized page bytes — the *measured* size of the intermediate.
+    serialized_bytes: u64,
+    pages: u64,
+}
+
+impl SpilledPartitions {
+    /// Serializes `partitions` into pages and hands them to the buffer pool
+    /// (dirty frames; the pool writes them to the file as they are evicted).
+    /// Returns the store and the logical write volume.
+    pub fn write(
+        manager: Arc<SpillManager>,
+        partitions: &[Vec<Tuple>],
+    ) -> Result<(Self, SpillWriteTally)> {
+        let page_size = manager.config().page_size.max(512);
+        let (file_id, path) = manager.create_file()?;
+        let mut parts = Vec::with_capacity(partitions.len());
+        let mut tally = SpillWriteTally::default();
+        let mut offset = 0u64;
+        let mut page_no = 0u32;
+        let mut total_rows = 0usize;
+        let mut approx_bytes = 0usize;
+
+        let mut flush =
+            |buf: &mut Vec<u8>, rows_in_page: &mut u32, pages: &mut Vec<PageMeta>| -> Result<()> {
+                let data = std::mem::take(buf);
+                let meta = PageMeta {
+                    page_no,
+                    offset,
+                    len: data.len() as u32,
+                    rows: *rows_in_page,
+                };
+                offset += data.len() as u64;
+                tally.pages += 1;
+                tally.bytes += data.len() as u64;
+                manager
+                    .pool()
+                    .put_page(file_id, page_no, meta.offset, data)?;
+                page_no += 1;
+                *rows_in_page = 0;
+                pages.push(meta);
+                Ok(())
+            };
+
+        for partition in partitions {
+            let mut pages = Vec::new();
+            let mut buf: Vec<u8> = Vec::with_capacity(page_size.min(1 << 20));
+            let mut rows_in_page = 0u32;
+            for row in partition {
+                encode_tuple(&mut buf, row);
+                rows_in_page += 1;
+                approx_bytes += row.approx_bytes();
+                if buf.len() >= page_size {
+                    flush(&mut buf, &mut rows_in_page, &mut pages)?;
+                }
+            }
+            if rows_in_page > 0 {
+                flush(&mut buf, &mut rows_in_page, &mut pages)?;
+            }
+            total_rows += partition.len();
+            parts.push(PartitionPages {
+                pages,
+                rows: partition.len(),
+            });
+        }
+
+        Ok((
+            Self {
+                manager,
+                file_id,
+                path,
+                parts,
+                total_rows,
+                approx_bytes,
+                serialized_bytes: tally.bytes,
+                pages: tally.pages,
+            },
+            tally,
+        ))
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total rows across partitions.
+    pub fn row_count(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Rows of one partition.
+    pub fn partition_rows(&self, p: usize) -> usize {
+        self.parts[p].rows
+    }
+
+    /// Tuple-model bytes (matches `Tuple::approx_bytes` accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Exact serialized bytes on disk.
+    pub fn serialized_bytes(&self) -> u64 {
+        self.serialized_bytes
+    }
+
+    /// Total pages in the store.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Streams partition `p` page by page: `f` receives each page's decoded
+    /// rows in storage order and returns whether to keep going. The returned
+    /// tally counts the pages actually fetched, so an early stop charges only
+    /// what was read.
+    pub fn scan_pages<F>(&self, p: usize, mut f: F) -> Result<SpillReadTally>
+    where
+        F: FnMut(&[Tuple]) -> Result<bool>,
+    {
+        let mut tally = SpillReadTally::default();
+        for meta in &self.parts[p].pages {
+            let rows = self.manager.pool().with_page(
+                self.file_id,
+                meta.page_no,
+                meta.offset,
+                meta.len as usize,
+                |bytes| decode_rows(bytes, meta.rows as usize),
+            )??;
+            tally.pages += 1;
+            tally.bytes += meta.len as u64;
+            if !f(&rows)? {
+                break;
+            }
+        }
+        Ok(tally)
+    }
+
+    /// Materializes one partition back into memory.
+    pub fn read_partition(&self, p: usize) -> Result<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(self.parts[p].rows);
+        self.scan_pages(p, |rows| {
+            out.extend_from_slice(rows);
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+}
+
+impl Drop for SpilledPartitions {
+    fn drop(&mut self) {
+        self.manager.pool().drop_file(self.file_id);
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::SpillConfig;
+    use rdo_common::Value;
+
+    fn rows(n: i64, tag: &str) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int64(i),
+                    Value::Utf8(format!("{tag}-{i}")),
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float64(i as f64 / 3.0)
+                    },
+                ])
+            })
+            .collect()
+    }
+
+    fn manager(budget: u64, page_size: usize) -> Arc<SpillManager> {
+        SpillManager::create(
+            SpillConfig::default()
+                .with_budget(budget)
+                .with_page_size(page_size),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_then_scan_roundtrips_every_partition() {
+        let mgr = manager(1, 512);
+        let partitions = vec![rows(100, "a"), Vec::new(), rows(37, "b")];
+        let (store, tally) = SpilledPartitions::write(Arc::clone(&mgr), &partitions).unwrap();
+        assert_eq!(store.num_partitions(), 3);
+        assert_eq!(store.row_count(), 137);
+        assert!(tally.pages > 1, "small page size forces multiple pages");
+        assert_eq!(tally.bytes, store.serialized_bytes());
+        for (p, expected) in partitions.iter().enumerate() {
+            assert_eq!(&store.read_partition(p).unwrap(), expected);
+            assert_eq!(store.partition_rows(p), expected.len());
+        }
+        let expected_bytes: usize = partitions.iter().flatten().map(|t| t.approx_bytes()).sum();
+        assert_eq!(store.approx_bytes(), expected_bytes);
+    }
+
+    #[test]
+    fn scan_charges_only_pages_actually_read() {
+        let mgr = manager(1, 512);
+        let partitions = vec![rows(500, "x")];
+        let (store, write) = SpilledPartitions::write(Arc::clone(&mgr), &partitions).unwrap();
+        let full = store.scan_pages(0, |_| Ok(true)).unwrap();
+        assert_eq!(full.pages, write.pages);
+        assert_eq!(full.bytes, write.bytes);
+        let first_only = store.scan_pages(0, |_| Ok(false)).unwrap();
+        assert_eq!(first_only.pages, 1, "early stop reads one page");
+        assert!(first_only.bytes < full.bytes);
+    }
+
+    #[test]
+    fn pages_survive_pool_pressure() {
+        // A 16-frame pool (minimum) with 512-byte pages and ~60 pages of data:
+        // most reads must miss the pool and hit the file (after writeback).
+        let mgr = manager(1, 512);
+        let partitions = vec![rows(400, "pressure"), rows(400, "more")];
+        let (store, _) = SpilledPartitions::write(Arc::clone(&mgr), &partitions).unwrap();
+        for (p, expected) in partitions.iter().enumerate() {
+            assert_eq!(&store.read_partition(p).unwrap(), expected);
+        }
+        let d = mgr.pool_diagnostics();
+        assert!(d.writebacks > 0, "evictions flushed dirty pages: {d:?}");
+        assert!(d.misses > 0, "reads went to the file: {d:?}");
+    }
+
+    #[test]
+    fn oversized_rows_get_their_own_pages() {
+        let mgr = manager(1, 512);
+        let big = Tuple::new(vec![Value::Utf8("z".repeat(10_000))]);
+        let partitions = vec![vec![big.clone(), big.clone()]];
+        let (store, tally) = SpilledPartitions::write(Arc::clone(&mgr), &partitions).unwrap();
+        assert_eq!(tally.pages, 2, "one oversized page per row");
+        assert_eq!(store.read_partition(0).unwrap(), partitions[0]);
+    }
+
+    #[test]
+    fn drop_deletes_the_spill_file() {
+        let mgr = manager(1, 512);
+        let (store, _) = SpilledPartitions::write(Arc::clone(&mgr), &[rows(50, "d")]).unwrap();
+        let path = store.path.clone();
+        assert!(path.exists());
+        drop(store);
+        assert!(!path.exists(), "file removed with the store");
+        assert_eq!(
+            std::fs::read_dir(mgr.dir()).unwrap().count(),
+            0,
+            "spill dir empty"
+        );
+    }
+}

@@ -2,9 +2,11 @@
 
 use crate::index::SecondaryIndex;
 use crate::table::Table;
-use rdo_common::{RdoError, Relation, Result};
+use rdo_common::{RdoError, Relation, Result, Schema, Tuple};
 use rdo_sketch::{DatasetStats, DatasetStatsBuilder, StatsCatalog};
+use rdo_spill::{SpillConfig, SpillManager};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Options controlling dataset ingestion.
@@ -54,18 +56,38 @@ impl IngestOptions {
     }
 }
 
+/// What registering an intermediate result did: where it landed and the
+/// logical page-write volume if it was spilled. The Sink copies these into
+/// `ExecutionMetrics` so spilled bytes become measured cost-model inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoredIntermediate {
+    /// True if the table went to the paged disk store.
+    pub spilled: bool,
+    /// Pages written to the spill store (zero when resident).
+    pub pages_written: u64,
+    /// Serialized bytes written to the spill store (zero when resident).
+    pub bytes_written: u64,
+}
+
 /// The catalog of the simulated cluster: every node sees the same metadata, the
 /// data itself lives in the per-table partitions.
 ///
 /// Tables are held behind [`Arc`] so the partition-parallel executor can hand
 /// cheap read-only handles to its workers; a shared `&Catalog` is `Send + Sync`
 /// (asserted at compile time below).
+///
+/// When a spill budget is configured ([`Catalog::configure_spill`]), newly
+/// registered intermediate results that would push the resident working set
+/// past the budget are written to the paged disk store instead of staying in
+/// memory; base datasets always stay resident. Catalog clones share the same
+/// [`SpillManager`] (and its buffer pool and temp directory).
 #[derive(Debug, Clone)]
 pub struct Catalog {
     num_partitions: usize,
     tables: HashMap<String, Arc<Table>>,
     indexes: HashMap<(String, String), SecondaryIndex>,
     stats: StatsCatalog,
+    spill: Option<Arc<SpillManager>>,
 }
 
 /// Compile-time guarantee that catalog reads can be shared across the worker
@@ -93,6 +115,7 @@ impl Catalog {
             tables: HashMap::new(),
             indexes: HashMap::new(),
             stats: StatsCatalog::new(),
+            spill: None,
         };
         debug_assert!(catalog.num_partitions >= 1, "partition count clamp failed");
         catalog
@@ -101,6 +124,44 @@ impl Catalog {
     /// Number of partitions in the cluster.
     pub fn num_partitions(&self) -> usize {
         self.num_partitions
+    }
+
+    /// Applies a spill configuration. A disabled config (no budget) detaches
+    /// the manager — already-spilled tables keep working, their files and the
+    /// spill directory live until the last table drops. An enabled config
+    /// keeps the current manager when its knobs are identical (so repeated
+    /// driver executions reuse one directory and buffer pool) and otherwise
+    /// creates a fresh manager.
+    pub fn configure_spill(&mut self, config: SpillConfig) -> Result<()> {
+        if !config.enabled() {
+            self.spill = None;
+            return Ok(());
+        }
+        if self.spill.as_ref().map(|m| m.config()) != Some(config) {
+            let manager = SpillManager::create(config)?;
+            // Seed the budget with intermediates that are already resident
+            // (e.g. checkpoints surviving a failed run, registered under a
+            // previous manager or none), so the new manager's accounting
+            // matches the releases `drop_table` will issue later and the
+            // budget sees the true working set.
+            for table in self.tables.values() {
+                if table.is_temporary() && !table.is_spilled() {
+                    manager.retain(table.approx_bytes() as u64);
+                }
+            }
+            self.spill = Some(manager);
+        }
+        Ok(())
+    }
+
+    /// The active spill manager, if a budget is configured.
+    pub fn spill_manager(&self) -> Option<&Arc<SpillManager>> {
+        self.spill.as_ref()
+    }
+
+    /// The directory spilled intermediates are written to, if spilling is on.
+    pub fn spill_dir(&self) -> Option<PathBuf> {
+        self.spill.as_ref().map(|m| m.dir().to_path_buf())
     }
 
     /// Ingests a base dataset: partitions it, collects statistics and builds the
@@ -148,7 +209,7 @@ impl Catalog {
         partition_key: Option<&str>,
         tracked_columns: &[String],
         collect_stats: bool,
-    ) -> Result<()> {
+    ) -> Result<StoredIntermediate> {
         let name = name.into();
         if collect_stats {
             let mut builder = DatasetStatsBuilder::new(relation.schema(), tracked_columns);
@@ -163,8 +224,7 @@ impl Catalog {
         let table =
             Table::from_relation(name.clone(), relation, self.num_partitions, partition_key)?
                 .into_temporary();
-        self.tables.insert(name, Arc::new(table));
-        Ok(())
+        self.store_intermediate(name, table)
     }
 
     /// Registers a materialized intermediate result whose statistics were
@@ -178,19 +238,75 @@ impl Catalog {
         relation: Relation,
         partition_key: Option<&str>,
         stats: DatasetStats,
-    ) -> Result<()> {
+    ) -> Result<StoredIntermediate> {
         let name = name.into();
         self.stats.register(name.clone(), stats);
         let table =
             Table::from_relation(name.clone(), relation, self.num_partitions, partition_key)?
                 .into_temporary();
-        self.tables.insert(name, Arc::new(table));
-        Ok(())
+        self.store_intermediate(name, table)
+    }
+
+    /// Registers an intermediate whose data is *already* hash-partitioned on
+    /// `partition_key` with the cluster's partition count, skipping the
+    /// gather-and-rehash of the relation-based paths (the parallel Sink's fast
+    /// path). The layout is taken verbatim, which is exactly what re-hashing
+    /// would reproduce for a matching key.
+    pub fn register_intermediate_partitioned(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        partitions: Vec<Vec<Tuple>>,
+        partition_key: Option<&str>,
+        stats: DatasetStats,
+    ) -> Result<StoredIntermediate> {
+        let name = name.into();
+        if partitions.len() != self.num_partitions {
+            return Err(RdoError::Execution(format!(
+                "partitioned intermediate `{name}` has {} partitions, cluster has {}",
+                partitions.len(),
+                self.num_partitions
+            )));
+        }
+        self.stats.register(name.clone(), stats);
+        let table = Table::from_partitions(name.clone(), schema, partitions, partition_key)?
+            .into_temporary();
+        self.store_intermediate(name, table)
+    }
+
+    /// Applies the spill policy and stores a freshly built temporary table.
+    fn store_intermediate(&mut self, name: String, table: Table) -> Result<StoredIntermediate> {
+        debug_assert!(table.is_temporary(), "only intermediates go through here");
+        let outcome = match &self.spill {
+            Some(manager) if manager.wants_spill(table.approx_bytes() as u64) => {
+                let (spilled, tally) = table.into_spilled(manager)?;
+                self.tables.insert(name, Arc::new(spilled));
+                StoredIntermediate {
+                    spilled: true,
+                    pages_written: tally.pages,
+                    bytes_written: tally.bytes,
+                }
+            }
+            manager => {
+                if let Some(manager) = manager {
+                    manager.retain(table.approx_bytes() as u64);
+                }
+                self.tables.insert(name, Arc::new(table));
+                StoredIntermediate::default()
+            }
+        };
+        Ok(outcome)
     }
 
     /// Drops a temporary table (after the final result has been delivered).
     pub fn drop_table(&mut self, name: &str) {
-        self.tables.remove(name);
+        if let Some(table) = self.tables.remove(name) {
+            if table.is_temporary() && !table.is_spilled() {
+                if let Some(manager) = &self.spill {
+                    manager.release(table.approx_bytes() as u64);
+                }
+            }
+        }
         self.stats.remove(name);
         self.indexes.retain(|(t, _), _| t != name);
     }
@@ -399,6 +515,127 @@ mod tests {
         let b = cat.table_handle("orders").unwrap();
         assert!(std::sync::Arc::ptr_eq(&a, &b));
         assert!(cat.table_handle("missing").is_err());
+    }
+
+    #[test]
+    fn spill_policy_spills_over_budget_intermediates_and_cleans_up() {
+        let mut cat = Catalog::new(2);
+        cat.configure_spill(SpillConfig::default().with_budget(1).with_page_size(512))
+            .unwrap();
+        let dir = cat.spill_dir().expect("spill enabled");
+        cat.ingest(
+            "orders",
+            relation(100),
+            IngestOptions::partitioned_on("o_orderkey"),
+        )
+        .unwrap();
+        assert!(
+            !cat.table("orders").unwrap().is_spilled(),
+            "base datasets never spill"
+        );
+
+        let stored = cat
+            .register_intermediate("I_1", relation(200), Some("o_custkey"), &[], false)
+            .unwrap();
+        assert!(stored.spilled, "1-byte budget spills everything");
+        assert!(stored.pages_written > 0 && stored.bytes_written > 0);
+        let table = cat.table("I_1").unwrap();
+        assert!(table.is_spilled() && table.is_temporary());
+        assert_eq!(table.row_count(), 200);
+        assert_eq!(table.gather().sorted(), relation(200).sorted());
+        assert_eq!(cat.stats().row_count("I_1"), Some(200));
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() > 0,
+            "spill file exists while the table is registered"
+        );
+
+        cat.drop_table("I_1");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "spill file removed with the table"
+        );
+        drop(cat);
+        assert!(!dir.exists(), "spill dir removed with the manager");
+    }
+
+    #[test]
+    fn resident_intermediates_count_against_the_budget() {
+        let mut cat = Catalog::new(2);
+        let small = relation(10).approx_bytes() as u64;
+        cat.configure_spill(SpillConfig::default().with_budget(3 * small))
+            .unwrap();
+        for i in 0..3 {
+            let stored = cat
+                .register_intermediate(format!("I_{i}"), relation(10), None, &[], false)
+                .unwrap();
+            assert!(!stored.spilled, "I_{i} fits in the budget");
+        }
+        let stored = cat
+            .register_intermediate("I_over", relation(10), None, &[], false)
+            .unwrap();
+        assert!(stored.spilled, "fourth intermediate exceeds the budget");
+        // Dropping a resident intermediate frees budget for the next one.
+        cat.drop_table("I_0");
+        let stored = cat
+            .register_intermediate("I_again", relation(10), None, &[], false)
+            .unwrap();
+        assert!(!stored.spilled, "released budget is reusable");
+    }
+
+    #[test]
+    fn partitioned_registration_matches_rehash_path() {
+        let mut cat = Catalog::new(4);
+        let rel = relation(120);
+        let mut builder = DatasetStatsBuilder::new(rel.schema(), &[]);
+        builder.observe_relation(&rel);
+        cat.register_intermediate("via_rehash", rel.clone(), Some("o_custkey"), &[], false)
+            .unwrap();
+        let expected: Vec<Vec<Tuple>> = cat.table("via_rehash").unwrap().partitions().to_vec();
+
+        let stored = cat
+            .register_intermediate_partitioned(
+                "via_parts",
+                rel.schema().clone(),
+                expected.clone(),
+                Some("o_custkey"),
+                builder.build(),
+            )
+            .unwrap();
+        assert!(!stored.spilled);
+        let direct = cat.table("via_parts").unwrap();
+        assert_eq!(direct.partitions(), &expected[..]);
+        assert!(direct.is_temporary() && direct.is_partitioned_on("o_custkey"));
+        assert_eq!(cat.stats().row_count("via_parts"), Some(120));
+
+        // Wrong partition count is rejected.
+        let mut builder = DatasetStatsBuilder::new(rel.schema(), &[]);
+        builder.observe_relation(&rel);
+        assert!(cat
+            .register_intermediate_partitioned(
+                "bad",
+                rel.schema().clone(),
+                vec![Vec::new(); 3],
+                None,
+                builder.build(),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn configure_spill_is_idempotent_and_detachable() {
+        let mut cat = Catalog::new(2);
+        let config = SpillConfig::default().with_budget(1_000);
+        cat.configure_spill(config).unwrap();
+        let dir = cat.spill_dir().unwrap();
+        cat.configure_spill(config).unwrap();
+        assert_eq!(cat.spill_dir().unwrap(), dir, "same config keeps manager");
+        cat.configure_spill(SpillConfig::default().with_budget(2_000))
+            .unwrap();
+        assert_ne!(cat.spill_dir().unwrap(), dir, "new config, new manager");
+        cat.configure_spill(SpillConfig::disabled()).unwrap();
+        assert!(cat.spill_dir().is_none());
+        assert!(cat.spill_manager().is_none());
     }
 
     #[test]

@@ -1,16 +1,23 @@
-//! Partitioned in-memory storage for the simulated shared-nothing cluster.
+//! Partitioned storage for the simulated shared-nothing cluster.
 //!
 //! AsterixDB hash-partitions every dataset across the nodes of the cluster and
 //! collects statistical sketches while ingesting (its LSM load pipeline). This
-//! crate reproduces that substrate: a [`Table`] is a set of hash partitions, a
+//! crate reproduces that substrate: a [`Table`] is a set of hash partitions
+//! (memory-resident, or spilled to the paged disk store of `rdo-spill`), a
 //! [`Catalog`] owns tables, their secondary indexes and the ingestion-time
 //! [`StatsCatalog`], and intermediate results produced at re-optimization points
-//! are registered as temporary tables.
+//! are registered as temporary tables — kept resident or spilled to disk
+//! according to the catalog's memory budget ([`Catalog::configure_spill`],
+//! `RDO_SPILL_BUDGET`).
 
 pub mod catalog;
 pub mod index;
 pub mod table;
 
-pub use catalog::{Catalog, IngestOptions};
+pub use catalog::{Catalog, IngestOptions, StoredIntermediate};
 pub use index::SecondaryIndex;
 pub use table::Table;
+
+// Spill-layer types surfaced through the storage API so downstream crates
+// need no direct `rdo-spill` dependency.
+pub use rdo_spill::{PoolDiagnostics, SpillConfig, SpillManager, SpillReadTally, SPILL_BUDGET_ENV};

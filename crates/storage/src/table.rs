@@ -1,7 +1,22 @@
-//! Hash-partitioned in-memory tables.
+//! Hash-partitioned tables: memory-resident or spilled to the paged disk
+//! store of `rdo-spill`.
 
 use rdo_common::{unqualified, FieldRef, RdoError, Relation, Result, Schema, Tuple, Value};
 use rdo_sketch::hll::hash_value;
+use rdo_spill::{SpillManager, SpillReadTally, SpillWriteTally, SpilledPartitions};
+use std::sync::Arc;
+
+/// Where a table's partitions live.
+///
+/// Base datasets are always [`Backing::Memory`] (the paper keeps them in the
+/// LSM storage of the cluster nodes); materialized intermediates may be
+/// [`Backing::Spilled`] when the catalog's spill policy decides the working
+/// set exceeds the memory budget.
+#[derive(Debug, Clone)]
+enum Backing {
+    Memory(Vec<Vec<Tuple>>),
+    Spilled(Arc<SpilledPartitions>),
+}
 
 /// A dataset hash-partitioned across the simulated cluster nodes.
 ///
@@ -13,7 +28,8 @@ use rdo_sketch::hll::hash_value;
 pub struct Table {
     name: String,
     schema: Schema,
-    partitions: Vec<Vec<Tuple>>,
+    backing: Backing,
+    num_partitions: usize,
     /// Column (unqualified name) on which the table is hash-partitioned, if any.
     partition_key: Option<String>,
     /// True for materialized intermediate results (the paper's temporary files).
@@ -48,7 +64,38 @@ impl Table {
         Ok(Self {
             name,
             schema,
-            partitions,
+            backing: Backing::Memory(partitions),
+            num_partitions,
+            partition_key: partition_key.map(|k| unqualified(k).to_string()),
+            temporary: false,
+        })
+    }
+
+    /// Builds a table directly from already-partitioned data, skipping the
+    /// gather-and-rehash of [`Table::from_relation`]. The caller guarantees
+    /// the rows are hash-partitioned on `partition_key` (the parallel Sink
+    /// uses this when the materialized data's partitioning already matches).
+    pub fn from_partitions(
+        name: impl Into<String>,
+        schema: Schema,
+        partitions: Vec<Vec<Tuple>>,
+        partition_key: Option<&str>,
+    ) -> Result<Self> {
+        if partitions.is_empty() {
+            return Err(RdoError::Execution(
+                "a table needs at least one partition".to_string(),
+            ));
+        }
+        if let Some(key) = partition_key {
+            // The key must exist in the schema, same as from_relation.
+            resolve_key(&schema, key)?;
+        }
+        let num_partitions = partitions.len();
+        Ok(Self {
+            name: name.into(),
+            schema,
+            backing: Backing::Memory(partitions),
+            num_partitions,
             partition_key: partition_key.map(|k| unqualified(k).to_string()),
             temporary: false,
         })
@@ -58,6 +105,23 @@ impl Table {
     pub fn into_temporary(mut self) -> Self {
         self.temporary = true;
         self
+    }
+
+    /// Moves a memory-backed table into the paged disk store of `manager`,
+    /// returning the spilled table and the logical page-write volume. A table
+    /// that is already spilled is returned unchanged with a zero tally.
+    pub fn into_spilled(self, manager: &Arc<SpillManager>) -> Result<(Self, SpillWriteTally)> {
+        let Backing::Memory(partitions) = self.backing else {
+            return Ok((self, SpillWriteTally::default()));
+        };
+        let (store, tally) = SpilledPartitions::write(Arc::clone(manager), &partitions)?;
+        Ok((
+            Self {
+                backing: Backing::Spilled(Arc::new(store)),
+                ..self
+            },
+            tally,
+        ))
     }
 
     /// Table name.
@@ -72,17 +136,83 @@ impl Table {
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        self.num_partitions
     }
 
-    /// Rows of one partition.
+    /// True if the partitions live in the paged disk store.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.backing, Backing::Spilled(_))
+    }
+
+    /// Rows of one partition of a **memory-backed** table.
+    ///
+    /// # Panics
+    /// Panics for spilled tables, whose partitions have no borrowable slice —
+    /// use [`Table::scan_pages`] (streaming) or [`Table::partition_to_vec`]
+    /// instead. Only base datasets are required to be memory-backed (secondary
+    /// indexes and the indexed nested-loop join rely on this accessor).
     pub fn partition(&self, index: usize) -> &[Tuple] {
-        &self.partitions[index]
+        match &self.backing {
+            Backing::Memory(partitions) => &partitions[index],
+            Backing::Spilled(_) => {
+                panic!(
+                    "table `{}` is spilled; stream it with scan_pages",
+                    self.name
+                )
+            }
+        }
     }
 
-    /// All partitions.
+    /// All partitions of a **memory-backed** table.
+    ///
+    /// # Panics
+    /// Panics for spilled tables (see [`Table::partition`]).
     pub fn partitions(&self) -> &[Vec<Tuple>] {
-        &self.partitions
+        match &self.backing {
+            Backing::Memory(partitions) => partitions,
+            Backing::Spilled(_) => {
+                panic!(
+                    "table `{}` is spilled; stream it with scan_pages",
+                    self.name
+                )
+            }
+        }
+    }
+
+    /// Streams partition `index` through `f` in storage order, one page of
+    /// rows at a time. Memory-backed tables deliver the whole partition as a
+    /// single page and report a zero read tally; spilled tables fetch pages
+    /// through the buffer pool and report the logical pages/bytes fetched.
+    /// `f` returns whether to keep going (early stop charges only what was
+    /// read).
+    pub fn scan_pages<F>(&self, index: usize, mut f: F) -> Result<SpillReadTally>
+    where
+        F: FnMut(&[Tuple]) -> Result<bool>,
+    {
+        match &self.backing {
+            Backing::Memory(partitions) => {
+                f(&partitions[index])?;
+                Ok(SpillReadTally::default())
+            }
+            Backing::Spilled(store) => store.scan_pages(index, f),
+        }
+    }
+
+    /// Materializes one partition into an owned vector (works for both
+    /// backings; prefer [`Table::scan_pages`] on hot paths).
+    pub fn partition_to_vec(&self, index: usize) -> Result<Vec<Tuple>> {
+        match &self.backing {
+            Backing::Memory(partitions) => Ok(partitions[index].clone()),
+            Backing::Spilled(store) => store.read_partition(index),
+        }
+    }
+
+    /// Number of rows in one partition.
+    pub fn partition_len(&self, index: usize) -> usize {
+        match &self.backing {
+            Backing::Memory(partitions) => partitions[index].len(),
+            Backing::Spilled(store) => store.partition_rows(index),
+        }
     }
 
     /// The column on which the table is hash-partitioned, if any.
@@ -97,28 +227,58 @@ impl Table {
 
     /// Total number of rows across partitions.
     pub fn row_count(&self) -> usize {
-        self.partitions.iter().map(|p| p.len()).sum()
+        match &self.backing {
+            Backing::Memory(partitions) => partitions.iter().map(|p| p.len()).sum(),
+            Backing::Spilled(store) => store.row_count(),
+        }
     }
 
-    /// Approximate total size in bytes.
+    /// Approximate total size in bytes (tuple-model accounting, identical for
+    /// both backings so cost inputs never depend on where the table lives).
     pub fn approx_bytes(&self) -> usize {
-        self.partitions
-            .iter()
-            .flat_map(|p| p.iter())
-            .map(|t| t.approx_bytes())
-            .sum()
+        match &self.backing {
+            Backing::Memory(partitions) => partitions
+                .iter()
+                .flat_map(|p| p.iter())
+                .map(|t| t.approx_bytes())
+                .sum(),
+            Backing::Spilled(store) => store.approx_bytes(),
+        }
+    }
+
+    /// Exact serialized bytes on disk (zero for memory-backed tables).
+    pub fn spilled_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Memory(_) => 0,
+            Backing::Spilled(store) => store.serialized_bytes(),
+        }
+    }
+
+    /// Materializes all partitions back into a single relation, surfacing
+    /// spill-read errors (a spilled table's pages live on disk and the read
+    /// can fail). Memory-backed tables are infallible.
+    pub fn try_gather(&self) -> Result<Relation> {
+        let mut rel = Relation::empty(self.schema.clone());
+        for p in 0..self.num_partitions {
+            self.scan_pages(p, |rows| {
+                for row in rows {
+                    rel.push(row.clone());
+                }
+                Ok(true)
+            })?;
+        }
+        Ok(rel)
     }
 
     /// Materializes all partitions back into a single relation (coordinator-side
     /// gather; used by result delivery and tests).
+    ///
+    /// # Panics
+    /// Panics if a spilled table's pages cannot be read back; spill-capable
+    /// call sites should prefer [`Table::try_gather`].
     pub fn gather(&self) -> Relation {
-        let mut rel = Relation::empty(self.schema.clone());
-        for p in &self.partitions {
-            for row in p {
-                rel.push(row.clone());
-            }
-        }
-        rel
+        self.try_gather()
+            .expect("gather of a spilled table failed; use try_gather to handle the error")
     }
 
     /// True if the table is hash-partitioned on the given (possibly qualified)
@@ -152,6 +312,7 @@ fn resolve_key(schema: &Schema, key: &str) -> Result<usize> {
 mod tests {
     use super::*;
     use rdo_common::DataType;
+    use rdo_spill::SpillConfig;
 
     fn relation(n: i64) -> Relation {
         let schema = Schema::for_dataset("t", &[("k", DataType::Int64), ("v", DataType::Utf8)]);
@@ -228,5 +389,91 @@ mod tests {
     fn approx_bytes_positive() {
         let t = Table::from_relation("t", relation(10), 2, Some("k")).unwrap();
         assert!(t.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn from_partitions_reuses_layout_verbatim() {
+        let source = Table::from_relation("t", relation(200), 4, Some("k")).unwrap();
+        let cloned: Vec<Vec<Tuple>> = source.partitions().to_vec();
+        let direct =
+            Table::from_partitions("t2", source.schema().clone(), cloned, Some("k")).unwrap();
+        assert_eq!(direct.num_partitions(), 4);
+        assert_eq!(direct.partitions(), source.partitions());
+        assert!(direct.is_partitioned_on("k"));
+        assert!(Table::from_partitions(
+            "bad",
+            source.schema().clone(),
+            vec![Vec::new()],
+            Some("missing")
+        )
+        .is_err());
+        assert!(
+            Table::from_partitions("empty", source.schema().clone(), Vec::new(), None).is_err()
+        );
+    }
+
+    #[test]
+    fn spilled_table_is_equivalent_to_memory_table() {
+        let manager =
+            SpillManager::create(SpillConfig::default().with_budget(1).with_page_size(512))
+                .unwrap();
+        let memory = Table::from_relation("t", relation(777), 4, Some("k"))
+            .unwrap()
+            .into_temporary();
+        let expected_gather = memory.gather();
+        let expected_parts: Vec<Vec<Tuple>> = memory.partitions().to_vec();
+        let approx = memory.approx_bytes();
+
+        let (spilled, tally) = memory.into_spilled(&manager).unwrap();
+        assert!(spilled.is_spilled());
+        assert!(tally.pages > 0 && tally.bytes > 0);
+        assert_eq!(spilled.spilled_bytes(), tally.bytes);
+        assert_eq!(spilled.row_count(), 777);
+        assert_eq!(spilled.approx_bytes(), approx);
+        assert!(spilled.is_temporary() && spilled.is_partitioned_on("k"));
+        assert_eq!(spilled.gather(), expected_gather);
+        for (p, expected) in expected_parts.iter().enumerate() {
+            assert_eq!(&spilled.partition_to_vec(p).unwrap(), expected);
+            assert_eq!(spilled.partition_len(p), expected.len());
+            let mut streamed = Vec::new();
+            let read = spilled
+                .scan_pages(p, |rows| {
+                    streamed.extend_from_slice(rows);
+                    Ok(true)
+                })
+                .unwrap();
+            assert_eq!(&streamed, expected);
+            assert!(read.pages > 0 || expected.is_empty());
+        }
+        // Spilling an already-spilled table is a no-op.
+        let (again, zero) = spilled.into_spilled(&manager).unwrap();
+        assert!(again.is_spilled());
+        assert_eq!(zero, SpillWriteTally::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "spilled")]
+    fn borrowing_partitions_of_a_spilled_table_panics() {
+        let manager = SpillManager::create(SpillConfig::default().with_budget(1)).unwrap();
+        let (spilled, _) = Table::from_relation("t", relation(10), 2, Some("k"))
+            .unwrap()
+            .into_spilled(&manager)
+            .unwrap();
+        let _ = spilled.partitions();
+    }
+
+    #[test]
+    fn memory_scan_pages_reports_zero_tally() {
+        let t = Table::from_relation("t", relation(30), 2, Some("k")).unwrap();
+        let mut seen = 0usize;
+        let tally = t
+            .scan_pages(0, |rows| {
+                seen += rows.len();
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(seen, t.partition_len(0));
+        assert_eq!(tally, SpillReadTally::default());
+        assert_eq!(t.spilled_bytes(), 0);
     }
 }

@@ -9,9 +9,13 @@
 //!   statistics catalog;
 //! * [`storage`] — the partitioned in-memory storage, secondary indexes and
 //!   ingestion-time statistics of the simulated shared-nothing cluster;
+//! * [`spill`] — disk-backed materialization: the compact tuple page format,
+//!   the fixed-frame buffer pool (CLOCK eviction, pin/unpin, dirty writeback)
+//!   and the budget-driven spill policy (`RDO_SPILL_BUDGET`) that let
+//!   intermediate results exceed RAM;
 //! * [`exec`] — physical operators (hash / broadcast / indexed nested-loop
 //!   joins, Sink materialization), the executor and the cluster cost model;
-//! * [`parallel`] — the partition-parallel executor: a scoped-thread worker
+//! * [`parallel`] — the partition-parallel executor: a persistent worker
 //!   pool running one task per partition, with explicit exchange operators
 //!   (hash re-partition, broadcast, gather) between them;
 //! * [`planner`] — the query model, cardinality estimation, the greedy
@@ -57,6 +61,7 @@ pub use rdo_lsm as lsm;
 pub use rdo_parallel as parallel;
 pub use rdo_planner as planner;
 pub use rdo_sketch as sketch;
+pub use rdo_spill as spill;
 pub use rdo_sql as sql;
 pub use rdo_storage as storage;
 pub use rdo_workloads as workloads;
@@ -80,7 +85,9 @@ pub mod prelude {
     };
     pub use rdo_sketch::{ColumnStats, EquiHeightHistogram, GkSketch, HyperLogLog, StatsCatalog};
     pub use rdo_sql::{compile, BoundQuery, ParamBindings, UdfRegistry};
-    pub use rdo_storage::{Catalog, IngestOptions, SecondaryIndex, Table};
+    pub use rdo_storage::{
+        Catalog, IngestOptions, SecondaryIndex, SpillConfig, StoredIntermediate, Table,
+    };
     pub use rdo_workloads::{
         all_queries, compile_paper_query, paper_udfs, q17, q50, q8, q9, BenchmarkEnv, ScaleFactor,
     };

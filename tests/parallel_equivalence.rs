@@ -126,7 +126,7 @@ fn morsel_size_never_changes_results() {
     }
 }
 
-fn metrics_from(values: &[u64; 17]) -> ExecutionMetrics {
+fn metrics_from(values: &[u64; 21]) -> ExecutionMetrics {
     ExecutionMetrics {
         rows_scanned: values[0],
         bytes_scanned: values[1],
@@ -145,12 +145,16 @@ fn metrics_from(values: &[u64; 17]) -> ExecutionMetrics {
         bytes_materialized: values[14],
         stats_values_observed: values[15],
         result_rows: values[16],
+        spill_pages_written: values[17],
+        spill_bytes_written: values[18],
+        spill_pages_read: values[19],
+        spill_bytes_read: values[20],
     }
 }
 
-fn counter_strategy() -> impl Strategy<Value = [u64; 17]> {
-    prop::collection::vec(0u64..1_000_000, 17..18).prop_map(|v| {
-        let mut out = [0u64; 17];
+fn counter_strategy() -> impl Strategy<Value = [u64; 21]> {
+    prop::collection::vec(0u64..1_000_000, 21..22).prop_map(|v| {
+        let mut out = [0u64; 21];
         out.copy_from_slice(&v);
         out
     })

@@ -1,0 +1,153 @@
+//! Disk-backed materialization is an *optimization*, never a semantic change:
+//! with the spill budget forced below the working-set size, every evaluation
+//! query (Q8, Q9, Q17, Q50) must produce bit-identical results, plans and
+//! row-count metrics to the in-memory store at every worker count, while the
+//! spilled-bytes / page-I/O counters prove the run actually went out-of-core —
+//! and every spill file must be gone once the run's temporaries are dropped.
+
+use runtime_dynamic_optimization::prelude::*;
+
+fn env() -> BenchmarkEnv {
+    BenchmarkEnv::load(ScaleFactor::gb(2), 4, true, 42).expect("workload generation")
+}
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A budget far below any materialized intermediate of the evaluation queries,
+/// so every re-optimization point writes its intermediate to the paged store.
+const TINY_BUDGET: u64 = 1;
+
+fn scrub_spill(mut m: ExecutionMetrics) -> ExecutionMetrics {
+    m.spill_pages_written = 0;
+    m.spill_bytes_written = 0;
+    m.spill_pages_read = 0;
+    m.spill_bytes_read = 0;
+    m
+}
+
+/// The core guarantee: for all four evaluation queries and workers 1/2/4/8,
+/// the out-of-core dynamic driver matches the in-memory reference bit for bit
+/// (result relation, stage plans and every non-spill metric counter), reports
+/// nonzero spill counters, and leaves the spill directory empty.
+#[test]
+fn spilled_runs_match_in_memory_runs_on_all_evaluation_queries() {
+    let env = env();
+    for query in all_queries() {
+        let reference = {
+            let mut catalog = env.catalog.clone();
+            let config = DynamicConfig::default()
+                .with_parallel(ParallelConfig::serial())
+                .with_spill(SpillConfig::disabled());
+            DynamicDriver::new(config)
+                .execute(&query, &mut catalog)
+                .expect("in-memory execution")
+        };
+        for workers in WORKER_COUNTS {
+            let mut catalog = env.catalog.clone();
+            let config = DynamicConfig::default()
+                .with_parallel(ParallelConfig::serial().with_workers(workers))
+                .with_spill(SpillConfig::disabled().with_budget(TINY_BUDGET));
+            let outcome = DynamicDriver::new(config)
+                .execute(&query, &mut catalog)
+                .expect("out-of-core execution");
+
+            assert_eq!(
+                outcome.result, reference.result,
+                "{}: result diverged at workers={workers}",
+                query.name
+            );
+            assert_eq!(
+                outcome.stage_plans, reference.stage_plans,
+                "{}: plan choice diverged at workers={workers}",
+                query.name
+            );
+            assert_eq!(
+                scrub_spill(outcome.total),
+                scrub_spill(reference.total),
+                "{}: non-spill metrics diverged at workers={workers}",
+                query.name
+            );
+            assert_eq!(
+                reference.total.spill_bytes_written, 0,
+                "reference run must stay in memory"
+            );
+            assert!(
+                outcome.total.spill_bytes_written > 0
+                    && outcome.total.spill_pages_written > 0
+                    && outcome.total.spill_bytes_read > 0
+                    && outcome.total.spill_pages_read > 0,
+                "{}: run must go out-of-core at workers={workers}: {:?}",
+                query.name,
+                outcome.total
+            );
+            // Every temporary table was dropped, so its spill file is gone.
+            let dir = catalog.spill_dir().expect("spill was configured");
+            assert_eq!(
+                std::fs::read_dir(&dir).expect("spill dir readable").count(),
+                0,
+                "{}: spill dir not empty after the run at workers={workers}",
+                query.name
+            );
+            drop(catalog);
+            assert!(
+                !dir.exists(),
+                "{}: spill dir must vanish with the catalog",
+                query.name
+            );
+        }
+    }
+}
+
+/// Spill counters are deterministic: the same query at different worker counts
+/// reports identical spilled-bytes and page-I/O totals.
+#[test]
+fn spill_counters_are_worker_count_invariant() {
+    let env = env();
+    let query = q9();
+    let mut reference: Option<ExecutionMetrics> = None;
+    for workers in WORKER_COUNTS {
+        let mut catalog = env.catalog.clone();
+        let config = DynamicConfig::default()
+            .with_parallel(ParallelConfig::serial().with_workers(workers))
+            .with_spill(SpillConfig::disabled().with_budget(TINY_BUDGET));
+        let outcome = DynamicDriver::new(config)
+            .execute(&query, &mut catalog)
+            .expect("out-of-core execution");
+        match &reference {
+            None => reference = Some(outcome.total),
+            Some(expected) => assert_eq!(
+                &outcome.total, expected,
+                "metrics (including spill counters) diverged at workers={workers}"
+            ),
+        }
+    }
+}
+
+/// The strategy runner's report surface also reflects the spill: simulated
+/// cost of the out-of-core run exceeds the in-memory run by the measured I/O,
+/// everything else equal.
+#[test]
+fn spilled_runs_cost_more_under_the_cost_model() {
+    let env = env();
+    let query = q17();
+    let run = |spill: SpillConfig| {
+        let mut catalog = env.catalog.clone();
+        let config = DynamicConfig::default()
+            .with_parallel(ParallelConfig::serial())
+            .with_spill(spill);
+        DynamicDriver::new(config)
+            .execute(&query, &mut catalog)
+            .expect("execution")
+    };
+    let memory = run(SpillConfig::disabled());
+    let spilled = run(SpillConfig::disabled().with_budget(TINY_BUDGET));
+    let model = CostModel::default();
+    assert!(
+        spilled.total.simulated_cost(&model) > memory.total.simulated_cost(&model),
+        "measured spill I/O must surface in the simulated cost"
+    );
+    assert_eq!(
+        spilled.result, memory.result,
+        "the extra cost buys the same answer"
+    );
+}
