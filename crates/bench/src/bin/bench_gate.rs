@@ -1,0 +1,419 @@
+//! The bench-regression gate.
+//!
+//! ```text
+//! cargo run --release -p rdo-bench --bin bench_gate -- \
+//!     [--out BENCH_pr.json] [--baseline crates/bench/BENCH_baseline.json] \
+//!     [--max-regression 0.25] [--update-baseline]
+//! ```
+//!
+//! Runs the micro-benchmarks (join algorithms, the grace/hybrid spillable
+//! join, the dynamic driver on all four evaluation queries), writes the
+//! results to `--out`, and fails (exit 1) when any benchmark's **simulated
+//! cost** exceeds the checked-in baseline by more than `--max-regression`.
+//!
+//! The gated number is the deterministic simulated cluster cost (execution
+//! counters × the cost model), not wall time: it is bit-identical on every
+//! machine and worker count, so the gate cannot flake on shared CI runners,
+//! while still catching real regressions — plan changes, extra shuffles,
+//! needless spill I/O. Wall time is recorded alongside for trend analysis of
+//! the uploaded artifacts but never gated.
+//!
+//! After an *intentional* cost change (a new operator, a cost-model
+//! recalibration), refresh the baseline with `--update-baseline` and commit
+//! the diff.
+
+use rdo_common::{DataType, FieldRef, Relation, Schema, Tuple, Value};
+use rdo_core::{DynamicConfig, DynamicDriver, ParallelConfig};
+use rdo_exec::{CostModel, ExecutionMetrics, Executor, JoinAlgorithm, PhysicalPlan};
+use rdo_storage::{Catalog, IngestOptions, SpillConfig};
+use rdo_workloads::{all_queries, BenchmarkEnv, ScaleFactor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One benchmark's record in the trajectory file.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRecord {
+    name: String,
+    /// Simulated cluster cost — deterministic, the gated number.
+    cost_units: f64,
+    /// Wall-clock milliseconds — machine-dependent, recorded but never gated.
+    wall_ms: f64,
+    /// Result rows, as a sanity anchor for the cost.
+    result_rows: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let records = run_benchmarks();
+
+    let json = serde_json::to_string_pretty(&records).expect("serialize records");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("wrote {} benchmarks to {}", records.len(), args.out);
+
+    if args.update_baseline {
+        std::fs::write(&args.baseline, &json)
+            .unwrap_or_else(|e| panic!("write {}: {e}", args.baseline));
+        println!("baseline {} refreshed", args.baseline);
+        return;
+    }
+
+    let baseline_json = std::fs::read_to_string(&args.baseline).unwrap_or_else(|e| {
+        panic!(
+            "baseline {} unreadable ({e}); seed it with --update-baseline",
+            args.baseline
+        )
+    });
+    let baseline = parse_records(&baseline_json)
+        .unwrap_or_else(|e| panic!("baseline {} malformed: {e}", args.baseline));
+
+    let mut failures = Vec::new();
+    for base in &baseline {
+        let Some(current) = records.iter().find(|r| r.name == base.name) else {
+            failures.push(format!("{}: benchmark disappeared from the run", base.name));
+            continue;
+        };
+        let allowed = base.cost_units * (1.0 + args.max_regression) + 1e-9;
+        let delta = if base.cost_units > 0.0 {
+            (current.cost_units - base.cost_units) / base.cost_units * 100.0
+        } else {
+            0.0
+        };
+        if current.cost_units > allowed {
+            failures.push(format!(
+                "{}: cost {:.1} vs baseline {:.1} ({:+.1}%, limit +{:.0}%)",
+                base.name,
+                current.cost_units,
+                base.cost_units,
+                delta,
+                args.max_regression * 100.0
+            ));
+        } else {
+            println!(
+                "ok   {}: cost {:.1} vs baseline {:.1} ({:+.1}%)  wall {:.1} ms",
+                base.name, current.cost_units, base.cost_units, delta, current.wall_ms
+            );
+        }
+    }
+    for record in &records {
+        if !baseline.iter().any(|b| b.name == record.name) {
+            println!(
+                "new  {}: cost {:.1} (not in baseline yet; refresh with --update-baseline)",
+                record.name, record.cost_units
+            );
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("bench regression gate FAILED:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "bench regression gate passed ({} benchmarks)",
+        baseline.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks. Everything here is pinned — explicit configs, fixed seeds, no
+// environment-variable influence — so the gated costs are reproducible on any
+// machine.
+// ---------------------------------------------------------------------------
+
+fn run_benchmarks() -> Vec<BenchRecord> {
+    let model = CostModel::with_partitions(8);
+    let mut records = Vec::new();
+
+    // Micro joins: the three algorithms on a key/foreign-key join.
+    let catalog = join_catalog(50_000, 10_000);
+    for (label, algorithm) in [
+        ("join/hash", JoinAlgorithm::Hash),
+        ("join/broadcast", JoinAlgorithm::Broadcast),
+        ("join/inl", JoinAlgorithm::IndexedNestedLoop),
+    ] {
+        records.push(run_join(label, &catalog, algorithm, &model));
+    }
+
+    // The grace/hybrid spillable join: the same hash join with a build-side
+    // budget far below the per-partition build size, so every partition
+    // partitions through the spill store.
+    let mut grace_catalog = join_catalog(50_000, 10_000);
+    grace_catalog
+        .configure_spill(SpillConfig::default().with_join_budget(4_096))
+        .expect("configure join budget");
+    records.push(run_join(
+        "join/grace",
+        &grace_catalog,
+        JoinAlgorithm::Hash,
+        &model,
+    ));
+
+    // The dynamic driver end to end on the four evaluation queries.
+    let env = BenchmarkEnv::load(ScaleFactor::gb(2), 8, true, 42).expect("workload generation");
+    for query in all_queries() {
+        let mut catalog = env.catalog.clone();
+        let config = DynamicConfig::default()
+            .with_parallel(ParallelConfig::serial())
+            .with_spill(SpillConfig::disabled());
+        let start = Instant::now();
+        let outcome = DynamicDriver::new(config)
+            .execute(&query, &mut catalog)
+            .expect("dynamic execution");
+        records.push(BenchRecord {
+            name: format!("dynamic/{}", query.name.to_lowercase()),
+            cost_units: outcome.total.simulated_cost(&model),
+            wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+            result_rows: outcome.result.len() as u64,
+        });
+    }
+
+    records
+}
+
+fn run_join(
+    label: &str,
+    catalog: &Catalog,
+    algorithm: JoinAlgorithm,
+    model: &CostModel,
+) -> BenchRecord {
+    let plan = PhysicalPlan::join(
+        PhysicalPlan::scan("fact"),
+        PhysicalPlan::scan("dim"),
+        FieldRef::new("fact", "f_dim"),
+        FieldRef::new("dim", "d_id"),
+        algorithm,
+    );
+    let executor = Executor::new(catalog);
+    let mut metrics = ExecutionMetrics::new();
+    let start = Instant::now();
+    let data = executor
+        .execute(&plan, &mut metrics)
+        .expect("join execution");
+    BenchRecord {
+        name: label.to_string(),
+        cost_units: metrics.simulated_cost(model),
+        wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+        result_rows: data.row_count() as u64,
+    }
+}
+
+fn join_catalog(fact_rows: i64, dim_rows: i64) -> Catalog {
+    let mut catalog = Catalog::new(8);
+    let fact_schema = Schema::for_dataset(
+        "fact",
+        &[("f_id", DataType::Int64), ("f_dim", DataType::Int64)],
+    );
+    let fact: Vec<Tuple> = (0..fact_rows)
+        .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % dim_rows)]))
+        .collect();
+    catalog
+        .ingest(
+            "fact",
+            Relation::new(fact_schema, fact).expect("fact relation"),
+            IngestOptions::partitioned_on("f_id").with_index("f_dim"),
+        )
+        .expect("ingest fact");
+    let dim_schema = Schema::for_dataset(
+        "dim",
+        &[("d_id", DataType::Int64), ("d_val", DataType::Int64)],
+    );
+    let dim: Vec<Tuple> = (0..dim_rows)
+        .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 17)]))
+        .collect();
+    catalog
+        .ingest(
+            "dim",
+            Relation::new(dim_schema, dim).expect("dim relation"),
+            IngestOptions::partitioned_on("d_id"),
+        )
+        .expect("ingest dim");
+    catalog
+}
+
+// ---------------------------------------------------------------------------
+// CLI and baseline parsing. The offline serde_json shim only serializes, so
+// the gate carries a minimal reader for the exact shape it writes: an array
+// of flat objects with string keys and string/number values.
+// ---------------------------------------------------------------------------
+
+struct Args {
+    out: String,
+    baseline: String,
+    max_regression: f64,
+    update_baseline: bool,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Self {
+            out: "BENCH_pr.json".to_string(),
+            baseline: "crates/bench/BENCH_baseline.json".to_string(),
+            max_regression: 0.25,
+            update_baseline: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--out" => {
+                    i += 1;
+                    args.out = argv.get(i).expect("--out requires a path").clone();
+                }
+                "--baseline" => {
+                    i += 1;
+                    args.baseline = argv.get(i).expect("--baseline requires a path").clone();
+                }
+                "--max-regression" => {
+                    i += 1;
+                    args.max_regression = argv
+                        .get(i)
+                        .expect("--max-regression requires a fraction")
+                        .parse()
+                        .expect("fraction like 0.25");
+                }
+                "--update-baseline" => args.update_baseline = true,
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        args
+    }
+}
+
+fn parse_records(json: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut parser = Parser {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    parser.expect(b'[')?;
+    let mut records = Vec::new();
+    parser.skip_ws();
+    if parser.peek() == Some(b']') {
+        return Ok(records);
+    }
+    loop {
+        records.push(parser.object()?);
+        parser.skip_ws();
+        match parser.next() {
+            Some(b',') => parser.skip_ws(),
+            Some(b']') => return Ok(records),
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, expected: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == expected => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", expected as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        // Accumulate raw UTF-8 bytes and decode once, so multi-byte
+        // characters in benchmark names survive the roundtrip.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return String::from_utf8(out).map_err(|e| format!("bad UTF-8: {e}")),
+                Some(b'\\') => match self.next() {
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        let c = char::from_u32(code).ok_or("bad \\u code point")?;
+                        out.extend_from_slice(c.to_string().as_bytes());
+                    }
+                    // \" \\ \/ and anything else: the character itself.
+                    Some(c) => out.push(c),
+                    None => return Err("unterminated escape".to_string()),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    /// One flat `{"name": ..., "cost_units": ..., ...}` object.
+    fn object(&mut self) -> Result<BenchRecord, String> {
+        self.expect(b'{')?;
+        let mut record = BenchRecord {
+            name: String::new(),
+            cost_units: f64::NAN,
+            wall_ms: 0.0,
+            result_rows: 0,
+        };
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "name" => record.name = self.string()?,
+                "cost_units" => record.cost_units = self.number()?,
+                "wall_ms" => record.wall_ms = self.number()?,
+                "result_rows" => record.result_rows = self.number()? as u64,
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        if record.name.is_empty() || record.cost_units.is_nan() {
+            return Err("record missing name or cost_units".to_string());
+        }
+        Ok(record)
+    }
+}

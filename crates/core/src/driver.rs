@@ -41,8 +41,10 @@ pub struct DynamicConfig {
     /// Disk-backed materialization knobs: when a budget is set, intermediates
     /// that would push the resident working set past it are spilled to the
     /// paged disk store and read back page by page, with real spilled-bytes /
-    /// page-I/O counters in the metrics. Results and (non-spill) metrics are
-    /// bit-identical to the in-memory store.
+    /// page-I/O counters in the metrics. A join budget additionally runs
+    /// over-budget build sides as grace/hybrid hash joins through the same
+    /// store. Results and (non-spill) metrics are bit-identical to the
+    /// in-memory paths.
     pub spill: SpillConfig,
 }
 
@@ -55,9 +57,9 @@ impl Default for DynamicConfig {
             push_down_predicates: true,
             reopt_budget: None,
             parallel: ParallelConfig::default(),
-            // Reads RDO_SPILL_BUDGET so an exported budget drives every
-            // driver-based code path (including the whole test suite)
-            // out-of-core without code changes.
+            // Reads RDO_SPILL_BUDGET and RDO_JOIN_BUDGET so an exported
+            // budget drives every driver-based code path (including the
+            // whole test suite) out-of-core without code changes.
             spill: SpillConfig::from_env(),
         }
     }
@@ -115,6 +117,14 @@ impl DynamicConfig {
     /// Sets a spill budget in bytes (builder style).
     pub fn with_spill_budget(mut self, bytes: u64) -> Self {
         self.spill = self.spill.with_budget(bytes);
+        self
+    }
+
+    /// Sets a join build-side budget in bytes (builder style): joins whose
+    /// per-partition build side exceeds it run as grace/hybrid hash joins
+    /// through the spill store.
+    pub fn with_join_budget(mut self, bytes: u64) -> Self {
+        self.spill = self.spill.with_join_budget(bytes);
         self
     }
 }
@@ -628,6 +638,46 @@ mod tests {
         assert_eq!(scrubbed, reference.total, "non-spill metrics unchanged");
         // Temp tables dropped => spill dir is empty again.
         let dir = cat.spill_dir().expect("spill configured");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn grace_join_execution_matches_in_memory_execution_exactly() {
+        let reference = {
+            let mut cat = catalog();
+            DynamicDriver::new(DynamicConfig::default().with_spill(SpillConfig::disabled()))
+                .execute(&spec(), &mut cat)
+                .unwrap()
+        };
+        let mut cat = catalog();
+        // A 1-byte join budget drives every join's build side through the
+        // grace path (recursion down to the nested-loop fallback included).
+        let config = DynamicConfig::default()
+            .with_spill(SpillConfig::disabled().with_page_size(4096))
+            .with_join_budget(1);
+        let outcome = DynamicDriver::new(config)
+            .execute(&spec(), &mut cat)
+            .unwrap();
+        assert!(
+            outcome.total.grace_bytes_written > 0
+                && outcome.total.grace_pages_read > 0
+                && outcome.total.grace_partitions_spilled > 0,
+            "the joins actually went out-of-core: {:?}",
+            outcome.total
+        );
+        assert_eq!(outcome.result, reference.result, "bit-identical result");
+        assert_eq!(outcome.stage_plans, reference.stage_plans);
+        let mut scrubbed = outcome.total;
+        scrubbed.grace_partitions_spilled = 0;
+        scrubbed.grace_pages_written = 0;
+        scrubbed.grace_bytes_written = 0;
+        scrubbed.grace_pages_read = 0;
+        scrubbed.grace_bytes_read = 0;
+        scrubbed.grace_recursions = 0;
+        scrubbed.grace_fallbacks = 0;
+        assert_eq!(scrubbed, reference.total, "non-grace metrics unchanged");
+        // Grace partition files live only inside a join call.
+        let dir = cat.spill_dir().expect("join budget configured");
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
     }
 

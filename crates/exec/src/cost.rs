@@ -57,6 +57,23 @@ pub struct ExecutionMetrics {
     pub spill_pages_read: u64,
     /// Serialized bytes read back from the spill store.
     pub spill_bytes_read: u64,
+    /// Build-side grace buckets written to spill files by memory-budgeted
+    /// joins (`RDO_JOIN_BUDGET`). Like the spill counters, all grace counters
+    /// are logical tallies — pure functions of the joined rows, independent of
+    /// worker count and buffer-pool state.
+    pub grace_partitions_spilled: u64,
+    /// Pages written to grace spill files (build and probe sides).
+    pub grace_pages_written: u64,
+    /// Serialized bytes written to grace spill files.
+    pub grace_bytes_written: u64,
+    /// Pages read back from grace spill files.
+    pub grace_pages_read: u64,
+    /// Serialized bytes read back from grace spill files.
+    pub grace_bytes_read: u64,
+    /// Recursive re-partitioning rounds (a grace bucket still over budget).
+    pub grace_recursions: u64,
+    /// Nested-loop fallback leaves (skew past the grace recursion bound).
+    pub grace_fallbacks: u64,
 }
 
 impl ExecutionMetrics {
@@ -88,6 +105,13 @@ impl ExecutionMetrics {
         self.spill_bytes_written += other.spill_bytes_written;
         self.spill_pages_read += other.spill_pages_read;
         self.spill_bytes_read += other.spill_bytes_read;
+        self.grace_partitions_spilled += other.grace_partitions_spilled;
+        self.grace_pages_written += other.grace_pages_written;
+        self.grace_bytes_written += other.grace_bytes_written;
+        self.grace_pages_read += other.grace_pages_read;
+        self.grace_bytes_read += other.grace_bytes_read;
+        self.grace_recursions += other.grace_recursions;
+        self.grace_fallbacks += other.grace_fallbacks;
     }
 
     /// Returns the sum of two metrics objects.
@@ -231,9 +255,18 @@ impl CostModel {
             + m.rows_broadcast as f64 * self.broadcast_row
             + m.bytes_broadcast as f64 * self.broadcast_byte;
         let random_io = m.index_lookups as f64 * self.index_lookup;
-        let spill_io = m.spill_bytes_written as f64 * self.spill_write_byte
-            + m.spill_bytes_read as f64 * self.spill_read_byte
-            + (m.spill_pages_written + m.spill_pages_read) as f64 * self.spill_page_io;
+        // Grace-join partition files share the spill store's weights: the
+        // measured I/O of a spilling join lands in the same simulated-time
+        // ledger, so the pilot-run optimizer (which scores measured metrics)
+        // sees the true cost of running a join past its memory budget.
+        let spill_io = (m.spill_bytes_written + m.grace_bytes_written) as f64
+            * self.spill_write_byte
+            + (m.spill_bytes_read + m.grace_bytes_read) as f64 * self.spill_read_byte
+            + (m.spill_pages_written
+                + m.spill_pages_read
+                + m.grace_pages_written
+                + m.grace_pages_read) as f64
+                * self.spill_page_io;
         cpu / p + network / p + random_io / p + spill_io / p
     }
 }
@@ -278,6 +311,13 @@ mod tests {
             spill_bytes_written: 19,
             spill_pages_read: 20,
             spill_bytes_read: 21,
+            grace_partitions_spilled: 22,
+            grace_pages_written: 23,
+            grace_bytes_written: 24,
+            grace_pages_read: 25,
+            grace_bytes_read: 26,
+            grace_recursions: 27,
+            grace_fallbacks: 28,
         };
         a.add(&b);
         assert_eq!(a.rows_scanned, 1_001);
@@ -291,6 +331,13 @@ mod tests {
         assert_eq!(a.spill_bytes_written, 19);
         assert_eq!(a.spill_pages_read, 20);
         assert_eq!(a.spill_bytes_read, 21);
+        assert_eq!(a.grace_partitions_spilled, 22);
+        assert_eq!(a.grace_pages_written, 23);
+        assert_eq!(a.grace_bytes_written, 24);
+        assert_eq!(a.grace_pages_read, 25);
+        assert_eq!(a.grace_bytes_read, 26);
+        assert_eq!(a.grace_recursions, 27);
+        assert_eq!(a.grace_fallbacks, 28);
     }
 
     #[test]
@@ -311,6 +358,30 @@ mod tests {
         assert!(
             spilled.simulated_cost(&model) > resident.simulated_cost(&model),
             "measured spill I/O adds real cost on top of the modeled charge"
+        );
+    }
+
+    #[test]
+    fn grace_joins_cost_more_than_in_memory_joins() {
+        let model = CostModel::default();
+        let in_memory = ExecutionMetrics {
+            build_rows: 10_000,
+            probe_rows: 50_000,
+            output_rows: 50_000,
+            ..Default::default()
+        };
+        let grace = ExecutionMetrics {
+            grace_partitions_spilled: 6,
+            grace_pages_written: 32,
+            grace_bytes_written: 2_000_000,
+            grace_pages_read: 32,
+            grace_bytes_read: 2_000_000,
+            grace_recursions: 1,
+            ..in_memory
+        };
+        assert!(
+            grace.simulated_cost(&model) > in_memory.simulated_cost(&model),
+            "measured grace-partition I/O adds real cost on top of the CPU charge"
         );
     }
 

@@ -4,10 +4,8 @@
 use crate::cost::ExecutionMetrics;
 use crate::data::PartitionedData;
 use crate::expr::Predicate;
-use crate::partition::{
-    hash_join_partition, indexed_join_partition, scan_partition, IndexJoinTally, JoinTally,
-    ScanTally,
-};
+use crate::grace::{joined_partition, GraceContext, GraceTally};
+use crate::partition::{indexed_join_partition, scan_partition, IndexJoinTally, ScanTally};
 use crate::plan::{JoinAlgorithm, PhysicalPlan};
 use crate::setup::{prepare_indexed_join, prepare_scan, resolve_keys};
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
@@ -125,16 +123,17 @@ impl<'a> Executor<'a> {
         if keys.is_empty() {
             return Err(RdoError::Execution("join without key pairs".to_string()));
         }
+        let grace = GraceContext::from_catalog(self.catalog);
         match algorithm {
             JoinAlgorithm::Hash => {
                 let left_data = self.execute(left, metrics)?;
                 let right_data = self.execute(right, metrics)?;
-                hash_join(left_data, right_data, keys, metrics)
+                hash_join(left_data, right_data, keys, grace.as_ref(), metrics)
             }
             JoinAlgorithm::Broadcast => {
                 let left_data = self.execute(left, metrics)?;
                 let right_data = self.execute(right, metrics)?;
-                broadcast_join(left_data, right_data, keys, metrics)
+                broadcast_join(left_data, right_data, keys, grace.as_ref(), metrics)
             }
             JoinAlgorithm::IndexedNestedLoop => {
                 let right_data = self.execute(right, metrics)?;
@@ -221,11 +220,14 @@ impl<'a> Executor<'a> {
     }
 }
 
-/// Partitioned (re-shuffling) hash join on a conjunction of key pairs.
+/// Partitioned (re-shuffling) hash join on a conjunction of key pairs. With a
+/// grace context, partitions whose build side exceeds the join budget go
+/// through the spillable grace/hybrid path (bit-identical results).
 pub fn hash_join(
     left: PartitionedData,
     right: PartitionedData,
     keys: &[(FieldRef, FieldRef)],
+    grace: Option<&GraceContext>,
     metrics: &mut ExecutionMetrics,
 ) -> Result<PartitionedData> {
     let (left_key_indexes, right_key_indexes) = resolve_keys(&left, &right, keys)?;
@@ -256,23 +258,22 @@ pub fn hash_join(
     let out_schema = left.schema().join(right.schema());
     let num_partitions = left.num_partitions().max(right.num_partitions());
     let mut out_partitions: Vec<Vec<Tuple>> = Vec::with_capacity(num_partitions);
-    let mut tally = JoinTally::default();
+    let mut tally = GraceTally::default();
     let empty: Vec<Tuple> = Vec::new();
     for p in 0..num_partitions {
         let build_rows = right.partitions().get(p).unwrap_or(&empty);
         let probe_rows = left.partitions().get(p).unwrap_or(&empty);
-        let (out, partial) = hash_join_partition(
+        let (out, partial) = joined_partition(
             probe_rows,
             build_rows,
             &left_key_indexes,
             &right_key_indexes,
-        );
+            grace,
+        )?;
         tally.add(&partial);
         out_partitions.push(out);
     }
-    metrics.build_rows += tally.build_rows;
-    metrics.probe_rows += tally.probe_rows;
-    metrics.output_rows += tally.output_rows;
+    tally.record(metrics);
 
     let key_name = rdo_common::unqualified(&first_left_key.field).to_string();
     Ok(PartitionedData::new(
@@ -283,11 +284,14 @@ pub fn hash_join(
 }
 
 /// Broadcast join: the right input is replicated to every partition of the left
-/// input and used as the build side.
+/// input and used as the build side. The join budget applies here too — an
+/// over-budget replicated build side goes through the grace path per
+/// partition.
 pub fn broadcast_join(
     left: PartitionedData,
     right: PartitionedData,
     keys: &[(FieldRef, FieldRef)],
+    grace: Option<&GraceContext>,
     metrics: &mut ExecutionMetrics,
 ) -> Result<PartitionedData> {
     let (left_key_indexes, right_key_indexes) = resolve_keys(&left, &right, keys)?;
@@ -303,21 +307,20 @@ pub fn broadcast_join(
 
     let out_schema = left.schema().join(right.schema());
     let mut out_partitions: Vec<Vec<Tuple>> = Vec::with_capacity(partitions_count);
-    let mut tally = JoinTally::default();
+    let mut tally = GraceTally::default();
     for probe_rows in left.partitions() {
         // Each partition builds its own copy of the broadcast hash table.
-        let (out, partial) = hash_join_partition(
+        let (out, partial) = joined_partition(
             probe_rows,
             &broadcast_rows,
             &left_key_indexes,
             &right_key_indexes,
-        );
+            grace,
+        )?;
         tally.add(&partial);
         out_partitions.push(out);
     }
-    metrics.build_rows += tally.build_rows;
-    metrics.probe_rows += tally.probe_rows;
-    metrics.output_rows += tally.output_rows;
+    tally.record(metrics);
 
     // The probe side never moved, so its partitioning is preserved.
     let partition_key = left.partition_key().map(|s| s.to_string());
@@ -562,6 +565,50 @@ mod tests {
         let rel = exec.execute_to_relation(&plan, &mut m).unwrap();
         assert_eq!(rel.len(), 200);
         assert!(rel.schema().fields().iter().any(|f| f.name.dataset == "c2"));
+    }
+
+    #[test]
+    fn join_budget_runs_grace_join_with_identical_results() {
+        let reference = {
+            let cat = catalog();
+            let exec = Executor::new(&cat);
+            let mut m = ExecutionMetrics::new();
+            let rel = exec
+                .execute_to_relation(&join_plan(JoinAlgorithm::Hash), &mut m)
+                .unwrap();
+            (rel, m)
+        };
+        let mut cat = catalog();
+        // A 1-byte join budget forces every partition's build side out of core.
+        cat.configure_spill(
+            rdo_storage::SpillConfig::default()
+                .with_join_budget(1)
+                .with_page_size(512),
+        )
+        .unwrap();
+        let exec = Executor::new(&cat);
+        for algorithm in [JoinAlgorithm::Hash, JoinAlgorithm::Broadcast] {
+            let mut m = ExecutionMetrics::new();
+            let rel = exec
+                .execute_to_relation(&join_plan(algorithm), &mut m)
+                .unwrap();
+            assert!(
+                m.grace_bytes_written > 0
+                    && m.grace_pages_read > 0
+                    && m.grace_partitions_spilled > 0,
+                "{algorithm:?} must go out-of-core: {m:?}"
+            );
+            if algorithm == JoinAlgorithm::Hash {
+                assert_eq!(rel, reference.0, "bit-identical to the in-memory join");
+                assert_eq!(m.build_rows, reference.1.build_rows);
+                assert_eq!(m.probe_rows, reference.1.probe_rows);
+                assert_eq!(m.output_rows, reference.1.output_rows);
+                assert_eq!(m.rows_shuffled, reference.1.rows_shuffled);
+            }
+        }
+        // Every grace partition file was dropped with its join.
+        let dir = cat.spill_dir().expect("join budget configured");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
     }
 
     #[test]

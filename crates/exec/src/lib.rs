@@ -13,7 +13,9 @@
 //!
 //! * **Hash join** — both inputs are re-partitioned on the join key (skipped for
 //!   an input already partitioned on it), then joined with a per-partition
-//!   dynamic hash join.
+//!   dynamic hash join. With a join memory budget configured
+//!   (`RDO_JOIN_BUDGET`), partitions whose build side exceeds the budget run
+//!   as grace/hybrid hash joins through the spill store ([`grace`]).
 //! * **Broadcast join** — the (small) build input is replicated to every
 //!   partition of the probe input.
 //! * **Indexed nested-loop join** — the build input is broadcast and used to
@@ -25,6 +27,7 @@ pub mod cost;
 pub mod data;
 pub mod executor;
 pub mod expr;
+pub mod grace;
 pub mod partition;
 pub mod plan;
 pub mod post;
@@ -35,6 +38,7 @@ pub use cost::{CostModel, ExecutionMetrics};
 pub use data::PartitionedData;
 pub use executor::Executor;
 pub use expr::{CmpOp, Predicate, PredicateExpr, UdfFn};
+pub use grace::{GraceContext, GraceTally};
 pub use plan::{JoinAlgorithm, PhysicalPlan};
 pub use post::{AggregateExpr, AggregateFunc, PostProcess, SortKey};
 pub use sink::{materialize, MaterializeOutcome};

@@ -54,13 +54,36 @@ impl ParallelConfig {
     /// any machine by pinning the worker count.
     pub fn from_env() -> Self {
         let config = Self::default();
-        match std::env::var("RDO_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(workers) if workers >= 1 => config.with_workers(workers),
-            _ => config,
+        match std::env::var(WORKERS_ENV) {
+            Ok(raw) => match parse_workers(&raw) {
+                Ok(workers) => config.with_workers(workers),
+                // A set-but-invalid worker count silently falling back to the
+                // machine default would make a pinned CI leg test something
+                // else entirely; warn loudly instead (matching the
+                // RDO_SPILL_BUDGET / RDO_JOIN_BUDGET parsers).
+                Err(warning) => {
+                    eprintln!("{warning}");
+                    config
+                }
+            },
+            Err(_) => config,
         }
+    }
+}
+
+/// Environment variable pinning the worker count of the partition-parallel
+/// executor.
+pub const WORKERS_ENV: &str = "RDO_WORKERS";
+
+/// Parses an `RDO_WORKERS` value. Returns the warning to print when the value
+/// is not a positive integer (`from_env` keeps the default in that case).
+pub fn parse_workers(raw: &str) -> std::result::Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(workers) if workers >= 1 => Ok(workers),
+        _ => Err(format!(
+            "warning: {WORKERS_ENV}={raw:?} is not a worker count \
+             (plain integer >= 1 expected); using the machine default"
+        )),
     }
 }
 
@@ -85,5 +108,18 @@ mod tests {
         let config = ParallelConfig::serial().with_workers(0).with_morsel_size(0);
         assert_eq!(config.workers, 1);
         assert_eq!(config.morsel_size, 1);
+    }
+
+    #[test]
+    fn worker_env_values_parse_or_warn() {
+        assert_eq!(parse_workers("4"), Ok(4));
+        assert_eq!(parse_workers(" 8 "), Ok(8), "whitespace is tolerated");
+        for invalid in ["", "0", "-2", "two", "1.5", "4 workers"] {
+            let warning = parse_workers(invalid).expect_err(invalid);
+            assert!(
+                warning.contains("RDO_WORKERS") && warning.contains("warning"),
+                "warning names the variable: {warning}"
+            );
+        }
     }
 }

@@ -11,10 +11,8 @@ use crate::config::ParallelConfig;
 use crate::exchange::{Broadcast, Gather, HashRepartition};
 use crate::pool::WorkerPool;
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
-use rdo_exec::partition::{
-    hash_join_partition, indexed_join_partition, scan_partition, IndexJoinTally, JoinTally,
-    ScanTally,
-};
+use rdo_exec::grace::{joined_partition, GraceContext, GraceTally};
+use rdo_exec::partition::{indexed_join_partition, scan_partition, IndexJoinTally, ScanTally};
 use rdo_exec::setup::{prepare_indexed_join, prepare_scan, resolve_keys};
 use rdo_exec::{ExecutionMetrics, JoinAlgorithm, PartitionedData, PhysicalPlan, Predicate};
 use rdo_storage::{Catalog, SpillReadTally};
@@ -238,25 +236,25 @@ impl<'a> ParallelExecutor<'a> {
         let out_schema = left.schema().join(right.schema());
         let num_partitions = left.num_partitions().max(right.num_partitions());
         let empty: Vec<Tuple> = Vec::new();
+        let grace = GraceContext::from_catalog(self.catalog);
         let results = self.map_partitions(num_partitions, |p| {
             let build_rows = right.partitions().get(p).unwrap_or(&empty);
             let probe_rows = left.partitions().get(p).unwrap_or(&empty);
-            Ok(hash_join_partition(
+            joined_partition(
                 probe_rows,
                 build_rows,
                 &left_key_indexes,
                 &right_key_indexes,
-            ))
+                grace.as_ref(),
+            )
         })?;
         let mut out_partitions: Vec<Vec<Tuple>> = Vec::with_capacity(num_partitions);
-        let mut tally = JoinTally::default();
+        let mut tally = GraceTally::default();
         for (rows, partial) in results {
             tally.add(&partial);
             out_partitions.push(rows);
         }
-        metrics.build_rows += tally.build_rows;
-        metrics.probe_rows += tally.probe_rows;
-        metrics.output_rows += tally.output_rows;
+        tally.record(metrics);
 
         let key_name = rdo_common::unqualified(&first_left_key.field).to_string();
         Ok(PartitionedData::new(
@@ -286,23 +284,23 @@ impl<'a> ParallelExecutor<'a> {
         metrics.bytes_broadcast += replicated_bytes;
 
         let out_schema = left.schema().join(right.schema());
+        let grace = GraceContext::from_catalog(self.catalog);
         let results = self.map_partitions(partitions_count, |p| {
-            Ok(hash_join_partition(
+            joined_partition(
                 &left.partitions()[p],
                 &broadcast_rows,
                 &left_key_indexes,
                 &right_key_indexes,
-            ))
+                grace.as_ref(),
+            )
         })?;
         let mut out_partitions: Vec<Vec<Tuple>> = Vec::with_capacity(partitions_count);
-        let mut tally = JoinTally::default();
+        let mut tally = GraceTally::default();
         for (rows, partial) in results {
             tally.add(&partial);
             out_partitions.push(rows);
         }
-        metrics.build_rows += tally.build_rows;
-        metrics.probe_rows += tally.probe_rows;
-        metrics.output_rows += tally.output_rows;
+        tally.record(metrics);
 
         let partition_key = left.partition_key().map(|s| s.to_string());
         Ok(PartitionedData::new(
@@ -489,6 +487,40 @@ mod tests {
             assert_eq!(actual, expected);
             assert_eq!(pm, sm);
         }
+    }
+
+    /// The grace path is worker-count invariant too: with a tiny join budget
+    /// every partition's build side spills, and results, partitions and every
+    /// metric counter (including the grace counters) still match the serial
+    /// executor exactly.
+    #[test]
+    fn grace_join_matches_serial_executor_exactly() {
+        let mut cat = catalog();
+        cat.configure_spill(
+            rdo_storage::SpillConfig::default()
+                .with_join_budget(1)
+                .with_page_size(512),
+        )
+        .unwrap();
+        let serial = Executor::new(&cat);
+        for plan in plans() {
+            let mut serial_metrics = ExecutionMetrics::new();
+            let expected = serial.execute(&plan, &mut serial_metrics).unwrap();
+            for workers in [1, 2, 4, 8] {
+                let config = ParallelConfig::serial().with_workers(workers);
+                let parallel = ParallelExecutor::new(&cat, config);
+                let mut metrics = ExecutionMetrics::new();
+                let data = parallel.execute(&plan, &mut metrics).unwrap();
+                assert_eq!(data.partitions(), expected.partitions());
+                assert_eq!(metrics, serial_metrics, "workers={workers}");
+            }
+        }
+        let dir = cat.spill_dir().expect("join budget configured");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "grace partition files are gone after the joins"
+        );
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod executor;
 pub mod pool;
 pub mod sink;
 
-pub use config::ParallelConfig;
+pub use config::{parse_workers, ParallelConfig, WORKERS_ENV};
 pub use exchange::{Broadcast, Gather, HashRepartition};
 pub use executor::ParallelExecutor;
 pub use pool::WorkerPool;

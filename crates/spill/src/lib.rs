@@ -46,6 +46,7 @@ pub mod store;
 
 pub use buffer::{BufferPool, PoolDiagnostics, SpillFile};
 pub use manager::{
-    SpillConfig, SpillManager, SpillReadTally, SpillWriteTally, DEFAULT_PAGE_SIZE, SPILL_BUDGET_ENV,
+    SpillConfig, SpillManager, SpillReadTally, SpillWriteTally, DEFAULT_PAGE_SIZE, JOIN_BUDGET_ENV,
+    SPILL_BUDGET_ENV,
 };
 pub use store::SpilledPartitions;

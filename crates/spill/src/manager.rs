@@ -12,6 +12,13 @@ use std::sync::Arc;
 /// the resident working set past the budget are spilled to disk.
 pub const SPILL_BUDGET_ENV: &str = "RDO_SPILL_BUDGET";
 
+/// Environment variable naming the per-partition memory budget (bytes) for
+/// join build sides. When set, any hash/broadcast join whose build side
+/// exceeds the budget runs as a grace/hybrid hash join: both sides are
+/// partitioned into spill files, as many build partitions as fit stay
+/// resident, and spilled partition pairs are joined recursively.
+pub const JOIN_BUDGET_ENV: &str = "RDO_JOIN_BUDGET";
+
 /// Default page size of the spill store (64 KiB, AsterixDB's frame default).
 pub const DEFAULT_PAGE_SIZE: usize = 64 * 1024;
 
@@ -23,6 +30,11 @@ pub struct SpillConfig {
     /// intermediates. `None` disables spilling entirely — every intermediate
     /// stays in RAM, the pre-spill behaviour.
     pub budget_bytes: Option<u64>,
+    /// Memory budget in bytes for the build side of one join partition.
+    /// `None` keeps every build hash table fully in memory; `Some(b)` makes
+    /// joins whose build side exceeds `b` bytes run as grace/hybrid hash
+    /// joins through the spill store.
+    pub join_budget_bytes: Option<u64>,
     /// Target page size in bytes. A page holds at least one row, so oversized
     /// rows produce oversized pages rather than errors.
     pub page_size: usize,
@@ -35,6 +47,7 @@ impl Default for SpillConfig {
     fn default() -> Self {
         Self {
             budget_bytes: None,
+            join_budget_bytes: None,
             page_size: DEFAULT_PAGE_SIZE,
             frames: 0,
         }
@@ -47,30 +60,28 @@ impl SpillConfig {
         Self::default()
     }
 
-    /// The default configuration with the `RDO_SPILL_BUDGET` environment
-    /// variable applied — `DynamicConfig::default()` uses this, so exporting
-    /// the variable drives the whole driver (and the tier-1 test suite)
-    /// through the out-of-core path without code changes.
+    /// The default configuration with the `RDO_SPILL_BUDGET` and
+    /// `RDO_JOIN_BUDGET` environment variables applied —
+    /// `DynamicConfig::default()` uses this, so exporting either variable
+    /// drives the whole driver (and the tier-1 test suite) through the
+    /// out-of-core path without code changes.
     pub fn from_env() -> Self {
-        let mut config = Self::default();
-        if let Ok(raw) = std::env::var(SPILL_BUDGET_ENV) {
-            match raw.trim().parse::<u64>() {
-                Ok(budget) => config.budget_bytes = Some(budget),
-                // A set-but-invalid budget silently disabling the out-of-core
-                // path would make a spill-exercising CI job test nothing;
-                // warn loudly instead.
-                Err(_) => eprintln!(
-                    "warning: {SPILL_BUDGET_ENV}={raw:?} is not a byte count \
-                     (plain integer expected); spilling stays disabled"
-                ),
-            }
+        Self {
+            budget_bytes: parse_budget_env(SPILL_BUDGET_ENV, "spilling"),
+            join_budget_bytes: parse_budget_env(JOIN_BUDGET_ENV, "the grace hash join"),
+            ..Self::default()
         }
-        config
     }
 
     /// Builder-style budget override.
     pub fn with_budget(mut self, bytes: u64) -> Self {
         self.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder-style join-build-side budget override.
+    pub fn with_join_budget(mut self, bytes: u64) -> Self {
+        self.join_budget_bytes = Some(bytes);
         self
     }
 
@@ -80,9 +91,10 @@ impl SpillConfig {
         self
     }
 
-    /// True if a budget is set (spilling can happen).
+    /// True if any budget is set (a spill directory and buffer pool are
+    /// needed, either for materialized intermediates or for grace joins).
     pub fn enabled(&self) -> bool {
-        self.budget_bytes.is_some()
+        self.budget_bytes.is_some() || self.join_budget_bytes.is_some()
     }
 
     /// The buffer-pool frame count this configuration implies.
@@ -90,8 +102,28 @@ impl SpillConfig {
         if self.frames > 0 {
             return self.frames;
         }
-        let budget = self.budget_bytes.unwrap_or(0) as usize;
+        let budget = self
+            .budget_bytes
+            .unwrap_or(0)
+            .max(self.join_budget_bytes.unwrap_or(0)) as usize;
         (budget / self.page_size.max(1)).clamp(16, 1024)
+    }
+}
+
+/// Parses one budget environment variable. A set-but-invalid budget silently
+/// disabling the out-of-core path would make a spill-exercising CI job test
+/// nothing; warn loudly instead.
+fn parse_budget_env(var: &str, what: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(budget) => Some(budget),
+        Err(_) => {
+            eprintln!(
+                "warning: {var}={raw:?} is not a byte count \
+                 (plain integer expected); {what} stays disabled"
+            );
+            None
+        }
     }
 }
 
@@ -259,6 +291,28 @@ mod tests {
         assert!(!mgr.wants_spill(u64::MAX));
         assert!(!SpillConfig::disabled().enabled());
         assert!(SpillConfig::default().with_budget(1).enabled());
+    }
+
+    #[test]
+    fn join_budget_enables_the_subsystem_but_not_intermediate_spilling() {
+        let config = SpillConfig::default().with_join_budget(4096);
+        assert!(config.enabled(), "a join budget needs a spill dir and pool");
+        assert_eq!(config.join_budget_bytes, Some(4096));
+        let mgr = SpillManager::create(config).unwrap();
+        assert!(
+            !mgr.wants_spill(u64::MAX),
+            "intermediates spill only under RDO_SPILL_BUDGET"
+        );
+    }
+
+    #[test]
+    fn effective_frames_consider_the_join_budget() {
+        let config = SpillConfig::default().with_join_budget(64 * DEFAULT_PAGE_SIZE as u64);
+        assert_eq!(config.effective_frames(), 64);
+        let both = SpillConfig::default()
+            .with_budget(32 * DEFAULT_PAGE_SIZE as u64)
+            .with_join_budget(128 * DEFAULT_PAGE_SIZE as u64);
+        assert_eq!(both.effective_frames(), 128, "larger budget wins");
     }
 
     #[test]

@@ -176,14 +176,20 @@ impl SpilledPartitions {
         Ok(tally)
     }
 
-    /// Materializes one partition back into memory.
-    pub fn read_partition(&self, p: usize) -> Result<Vec<Tuple>> {
+    /// Materializes one partition back into memory, returning the logical
+    /// read volume alongside (the grace join charges it to its metrics).
+    pub fn read_partition_tallied(&self, p: usize) -> Result<(Vec<Tuple>, SpillReadTally)> {
         let mut out = Vec::with_capacity(self.parts[p].rows);
-        self.scan_pages(p, |rows| {
+        let tally = self.scan_pages(p, |rows| {
             out.extend_from_slice(rows);
             Ok(true)
         })?;
-        Ok(out)
+        Ok((out, tally))
+    }
+
+    /// Materializes one partition back into memory.
+    pub fn read_partition(&self, p: usize) -> Result<Vec<Tuple>> {
+        Ok(self.read_partition_tallied(p)?.0)
     }
 }
 

@@ -14,7 +14,8 @@
 //!   and the budget-driven spill policy (`RDO_SPILL_BUDGET`) that let
 //!   intermediate results exceed RAM;
 //! * [`exec`] — physical operators (hash / broadcast / indexed nested-loop
-//!   joins, Sink materialization), the executor and the cluster cost model;
+//!   joins, Sink materialization), the memory-budgeted grace/hybrid hash join
+//!   (`RDO_JOIN_BUDGET`), the executor and the cluster cost model;
 //! * [`parallel`] — the partition-parallel executor: a persistent worker
 //!   pool running one task per partition, with explicit exchange operators
 //!   (hash re-partition, broadcast, gather) between them;

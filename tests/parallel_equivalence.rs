@@ -126,7 +126,7 @@ fn morsel_size_never_changes_results() {
     }
 }
 
-fn metrics_from(values: &[u64; 21]) -> ExecutionMetrics {
+fn metrics_from(values: &[u64; 28]) -> ExecutionMetrics {
     ExecutionMetrics {
         rows_scanned: values[0],
         bytes_scanned: values[1],
@@ -149,12 +149,19 @@ fn metrics_from(values: &[u64; 21]) -> ExecutionMetrics {
         spill_bytes_written: values[18],
         spill_pages_read: values[19],
         spill_bytes_read: values[20],
+        grace_partitions_spilled: values[21],
+        grace_pages_written: values[22],
+        grace_bytes_written: values[23],
+        grace_pages_read: values[24],
+        grace_bytes_read: values[25],
+        grace_recursions: values[26],
+        grace_fallbacks: values[27],
     }
 }
 
-fn counter_strategy() -> impl Strategy<Value = [u64; 21]> {
-    prop::collection::vec(0u64..1_000_000, 21..22).prop_map(|v| {
-        let mut out = [0u64; 21];
+fn counter_strategy() -> impl Strategy<Value = [u64; 28]> {
+    prop::collection::vec(0u64..1_000_000, 28..29).prop_map(|v| {
+        let mut out = [0u64; 28];
         out.copy_from_slice(&v);
         out
     })
