@@ -150,6 +150,15 @@ fn run_benchmarks() -> Vec<BenchRecord> {
         &model,
     ));
 
+    // The spill I/O fast path: one oversized intermediate through the paged
+    // store (1-byte budget forces the spill) and a scan back, with page
+    // compression off vs on. The gated cost is the measured page I/O — the
+    // compressed leg must stay cheaper than the raw leg or the fast path has
+    // regressed.
+    for (label, compress) in [("spill/raw", false), ("spill/compressed", true)] {
+        records.push(run_spill(label, compress, &model));
+    }
+
     // The dynamic driver end to end on the four evaluation queries.
     let env = BenchmarkEnv::load(ScaleFactor::gb(2), 8, true, 42).expect("workload generation");
     for query in all_queries() {
@@ -191,6 +200,54 @@ fn run_join(
     let data = executor
         .execute(&plan, &mut metrics)
         .expect("join execution");
+    BenchRecord {
+        name: label.to_string(),
+        cost_units: metrics.simulated_cost(model),
+        wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+        result_rows: data.row_count() as u64,
+    }
+}
+
+fn run_spill(label: &str, compress: bool, model: &CostModel) -> BenchRecord {
+    let mut catalog = Catalog::new(8);
+    catalog
+        .configure_spill(
+            SpillConfig::default()
+                .with_budget(1)
+                .with_compression(compress),
+        )
+        .expect("configure spill budget");
+    let schema = Schema::for_dataset(
+        "temp",
+        &[
+            ("k", DataType::Int64),
+            ("payload", DataType::Utf8),
+            ("v", DataType::Float64),
+        ],
+    );
+    let rows: Vec<Tuple> = (0..40_000)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i),
+                Value::Utf8(format!("payload-{:06}", i % 1_000)),
+                Value::Float64(i as f64 / 7.0),
+            ])
+        })
+        .collect();
+    let relation = Relation::new(schema, rows).expect("temp relation");
+
+    let mut metrics = ExecutionMetrics::new();
+    let start = Instant::now();
+    let stored = catalog
+        .register_intermediate("temp", relation, Some("k"), &[], false)
+        .expect("register intermediate");
+    assert!(stored.spilled, "the 1-byte budget must spill");
+    metrics.spill_pages_written += stored.pages_written;
+    metrics.spill_bytes_written += stored.bytes_written;
+    metrics.spill_logical_bytes_written += stored.logical_bytes_written;
+    let data = Executor::new(&catalog)
+        .execute(&PhysicalPlan::scan("temp"), &mut metrics)
+        .expect("scan spilled intermediate");
     BenchRecord {
         name: label.to_string(),
         cost_units: metrics.simulated_cost(model),

@@ -5,6 +5,7 @@
 //! a [`Schema`] and rows of [`Value`]s — which is sufficient for the join-centric
 //! workloads evaluated in the paper (TPC-H Q8/Q9, TPC-DS Q17/Q50).
 
+pub mod env;
 pub mod error;
 pub mod schema;
 pub mod tuple;

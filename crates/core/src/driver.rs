@@ -127,6 +127,22 @@ impl DynamicConfig {
         self.spill = self.spill.with_join_budget(bytes);
         self
     }
+
+    /// Switches spill-page compression on or off (builder style; on by
+    /// default, `RDO_SPILL_COMPRESS` overrides the default). Physical only:
+    /// results and all logical metrics are identical either way, the stored
+    /// `spill_bytes_*` / `grace_bytes_*` counters shrink.
+    pub fn with_spill_compression(mut self, compress: bool) -> Self {
+        self.spill = self.spill.with_compression(compress);
+        self
+    }
+
+    /// Sets the spill-scan read-ahead in pages (builder style; `0` disables
+    /// prefetching, `RDO_SPILL_PREFETCH` overrides the default).
+    pub fn with_spill_prefetch(mut self, pages: usize) -> Self {
+        self.spill = self.spill.with_prefetch_pages(pages);
+        self
+    }
 }
 
 /// What one dynamic execution did.
@@ -635,6 +651,8 @@ mod tests {
         scrubbed.spill_bytes_written = 0;
         scrubbed.spill_pages_read = 0;
         scrubbed.spill_bytes_read = 0;
+        scrubbed.spill_logical_bytes_written = 0;
+        scrubbed.spill_logical_bytes_read = 0;
         assert_eq!(scrubbed, reference.total, "non-spill metrics unchanged");
         // Temp tables dropped => spill dir is empty again.
         let dir = cat.spill_dir().expect("spill configured");
@@ -673,8 +691,11 @@ mod tests {
         scrubbed.grace_bytes_written = 0;
         scrubbed.grace_pages_read = 0;
         scrubbed.grace_bytes_read = 0;
+        scrubbed.grace_logical_bytes_written = 0;
+        scrubbed.grace_logical_bytes_read = 0;
         scrubbed.grace_recursions = 0;
         scrubbed.grace_fallbacks = 0;
+        scrubbed.grace_peak_transient_bytes = 0;
         assert_eq!(scrubbed, reference.total, "non-grace metrics unchanged");
         // Grace partition files live only inside a join call.
         let dir = cat.spill_dir().expect("join budget configured");

@@ -50,13 +50,20 @@ pub struct ExecutionMetrics {
     /// intermediates). Logical page traffic: deterministic for a given query,
     /// independent of worker count and buffer-pool state.
     pub spill_pages_written: u64,
-    /// Serialized bytes written to the spill store — the *measured* size of
-    /// spilled intermediates, as opposed to the modeled `bytes_materialized`.
+    /// Stored bytes written to the spill store — the *measured* on-disk size
+    /// of spilled intermediates (compressed when `RDO_SPILL_COMPRESS` is on),
+    /// as opposed to the modeled `bytes_materialized`.
     pub spill_bytes_written: u64,
     /// Pages read back from the spill store.
     pub spill_pages_read: u64,
-    /// Serialized bytes read back from the spill store.
+    /// Stored bytes read back from the spill store.
     pub spill_bytes_read: u64,
+    /// Uncompressed serialized bytes behind `spill_bytes_written`; the
+    /// written/logical ratio is the measured page-compression ratio (they are
+    /// equal with compression off).
+    pub spill_logical_bytes_written: u64,
+    /// Uncompressed serialized bytes behind `spill_bytes_read`.
+    pub spill_logical_bytes_read: u64,
     /// Build-side grace buckets written to spill files by memory-budgeted
     /// joins (`RDO_JOIN_BUDGET`). Like the spill counters, all grace counters
     /// are logical tallies — pure functions of the joined rows, independent of
@@ -64,16 +71,28 @@ pub struct ExecutionMetrics {
     pub grace_partitions_spilled: u64,
     /// Pages written to grace spill files (build and probe sides).
     pub grace_pages_written: u64,
-    /// Serialized bytes written to grace spill files.
+    /// Stored bytes written to grace spill files (compressed when page
+    /// compression is on).
     pub grace_bytes_written: u64,
     /// Pages read back from grace spill files.
     pub grace_pages_read: u64,
-    /// Serialized bytes read back from grace spill files.
+    /// Stored bytes read back from grace spill files.
     pub grace_bytes_read: u64,
+    /// Uncompressed serialized bytes behind `grace_bytes_written`.
+    pub grace_logical_bytes_written: u64,
+    /// Uncompressed serialized bytes behind `grace_bytes_read`.
+    pub grace_logical_bytes_read: u64,
     /// Recursive re-partitioning rounds (a grace bucket still over budget).
     pub grace_recursions: u64,
     /// Nested-loop fallback leaves (skew past the grace recursion bound).
     pub grace_fallbacks: u64,
+    /// High-water mark of bytes buffered by the streaming grace partitioner —
+    /// the transient footprint of routing one over-budget join partition,
+    /// bounded by fanout × page size (plus at most one oversized row per
+    /// bucket buffer). The only **max-merged** counter: folding partials
+    /// keeps the largest observed peak, which is still associative,
+    /// commutative and worker-count invariant.
+    pub grace_peak_transient_bytes: u64,
 }
 
 impl ExecutionMetrics {
@@ -105,13 +124,23 @@ impl ExecutionMetrics {
         self.spill_bytes_written += other.spill_bytes_written;
         self.spill_pages_read += other.spill_pages_read;
         self.spill_bytes_read += other.spill_bytes_read;
+        self.spill_logical_bytes_written += other.spill_logical_bytes_written;
+        self.spill_logical_bytes_read += other.spill_logical_bytes_read;
         self.grace_partitions_spilled += other.grace_partitions_spilled;
         self.grace_pages_written += other.grace_pages_written;
         self.grace_bytes_written += other.grace_bytes_written;
         self.grace_pages_read += other.grace_pages_read;
         self.grace_bytes_read += other.grace_bytes_read;
+        self.grace_logical_bytes_written += other.grace_logical_bytes_written;
+        self.grace_logical_bytes_read += other.grace_logical_bytes_read;
         self.grace_recursions += other.grace_recursions;
         self.grace_fallbacks += other.grace_fallbacks;
+        // A peak is a high-water mark, not a volume: folding partials keeps
+        // the largest one (max is associative and commutative, so partition-
+        // order folds stay worker-count invariant).
+        self.grace_peak_transient_bytes = self
+            .grace_peak_transient_bytes
+            .max(other.grace_peak_transient_bytes);
     }
 
     /// Returns the sum of two metrics objects.
@@ -122,10 +151,11 @@ impl ExecutionMetrics {
     }
 
     /// Merges two per-partition metric partials into one. Every counter is a
-    /// plain sum, so the operation is associative and commutative — the
-    /// partition-parallel executor folds worker partials in partition order
-    /// and gets the same totals the serial executor accumulates, regardless of
-    /// which worker ran which partition.
+    /// plain sum (except `grace_peak_transient_bytes`, a max-merged
+    /// high-water mark), so the operation is associative and commutative —
+    /// the partition-parallel executor folds worker partials in partition
+    /// order and gets the same totals the serial executor accumulates,
+    /// regardless of which worker ran which partition.
     #[must_use]
     pub fn merge(mut self, other: ExecutionMetrics) -> ExecutionMetrics {
         self.add(&other);
@@ -180,13 +210,20 @@ pub struct CostModel {
     pub materialize_byte: f64,
     /// Cost per value observed by online statistics collection.
     pub stats_value: f64,
-    /// Cost per serialized byte written to the spill store (sequential disk
-    /// write). Charged on *measured* bytes — when an intermediate actually
-    /// went out-of-core — on top of the modeled materialization cost, so
-    /// re-optimization decisions see the real size of spilled intermediates.
+    /// Cost per *stored* byte written to the spill store (sequential disk
+    /// write; compressed size when page compression is on). Charged on
+    /// measured bytes — when an intermediate actually went out-of-core — on
+    /// top of the modeled materialization cost, so re-optimization decisions
+    /// see the real size of spilled intermediates.
     pub spill_write_byte: f64,
-    /// Cost per serialized byte read back from the spill store.
+    /// Cost per stored byte read back from the spill store.
     pub spill_read_byte: f64,
+    /// CPU cost per byte the page codec squeezed out (the logical−stored
+    /// gap, summed over writes and reads): compression is not free, so the
+    /// model charges its work alongside the I/O it saves. Calibrated well
+    /// below `spill_write_byte`/`spill_read_byte` — on the modeled cluster's
+    /// disks, saving a byte of I/O always beats the CPU spent saving it.
+    pub spill_codec_byte: f64,
     /// Fixed cost per spill page touched (write or read) — the per-request
     /// overhead of the paged store and buffer pool.
     pub spill_page_io: f64,
@@ -218,6 +255,7 @@ impl Default for CostModel {
             stats_value: 0.06,
             spill_write_byte: 0.002,
             spill_read_byte: 0.002,
+            spill_codec_byte: 0.0004,
             spill_page_io: 0.5,
             planner_invocation: 40.0,
             partitions: 40,
@@ -267,7 +305,16 @@ impl CostModel {
                 + m.grace_pages_written
                 + m.grace_pages_read) as f64
                 * self.spill_page_io;
-        cpu / p + network / p + random_io / p + spill_io / p
+        // Codec CPU, measured by how many bytes compression removed (zero
+        // with compression off: raw pages store slightly MORE than logical —
+        // the frame flag — and the subtraction saturates).
+        let codec_cpu = ((m.spill_logical_bytes_written + m.grace_logical_bytes_written)
+            .saturating_sub(m.spill_bytes_written + m.grace_bytes_written)
+            + (m.spill_logical_bytes_read + m.grace_logical_bytes_read)
+                .saturating_sub(m.spill_bytes_read + m.grace_bytes_read))
+            as f64
+            * self.spill_codec_byte;
+        cpu / p + network / p + random_io / p + spill_io / p + codec_cpu / p
     }
 }
 
@@ -311,13 +358,18 @@ mod tests {
             spill_bytes_written: 19,
             spill_pages_read: 20,
             spill_bytes_read: 21,
+            spill_logical_bytes_written: 29,
+            spill_logical_bytes_read: 30,
             grace_partitions_spilled: 22,
             grace_pages_written: 23,
             grace_bytes_written: 24,
             grace_pages_read: 25,
             grace_bytes_read: 26,
+            grace_logical_bytes_written: 31,
+            grace_logical_bytes_read: 32,
             grace_recursions: 27,
             grace_fallbacks: 28,
+            grace_peak_transient_bytes: 33,
         };
         a.add(&b);
         assert_eq!(a.rows_scanned, 1_001);
@@ -331,13 +383,74 @@ mod tests {
         assert_eq!(a.spill_bytes_written, 19);
         assert_eq!(a.spill_pages_read, 20);
         assert_eq!(a.spill_bytes_read, 21);
+        assert_eq!(a.spill_logical_bytes_written, 29);
+        assert_eq!(a.spill_logical_bytes_read, 30);
         assert_eq!(a.grace_partitions_spilled, 22);
         assert_eq!(a.grace_pages_written, 23);
         assert_eq!(a.grace_bytes_written, 24);
         assert_eq!(a.grace_pages_read, 25);
         assert_eq!(a.grace_bytes_read, 26);
+        assert_eq!(a.grace_logical_bytes_written, 31);
+        assert_eq!(a.grace_logical_bytes_read, 32);
         assert_eq!(a.grace_recursions, 27);
         assert_eq!(a.grace_fallbacks, 28);
+        assert_eq!(a.grace_peak_transient_bytes, 33);
+    }
+
+    /// The peak counter merges by max, not sum: two stages with peaks 40 and
+    /// 70 saw at most 70 bytes buffered at once, never 110.
+    #[test]
+    fn peak_transient_bytes_merge_by_max() {
+        let mut a = ExecutionMetrics {
+            grace_peak_transient_bytes: 40,
+            ..Default::default()
+        };
+        let b = ExecutionMetrics {
+            grace_peak_transient_bytes: 70,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.grace_peak_transient_bytes, 70);
+        let mut c = ExecutionMetrics {
+            grace_peak_transient_bytes: 70,
+            ..Default::default()
+        };
+        c.add(&ExecutionMetrics {
+            grace_peak_transient_bytes: 40,
+            ..Default::default()
+        });
+        assert_eq!(c.grace_peak_transient_bytes, 70, "max is commutative");
+    }
+
+    /// Compression shows up in the gap between stored and logical spill
+    /// bytes, and the cost model charges the *stored* volume — so a pilot run
+    /// over compressed spill files sees the cheaper I/O.
+    #[test]
+    fn compressed_spill_io_costs_less_than_raw() {
+        let model = CostModel::default();
+        let raw = ExecutionMetrics {
+            spill_pages_written: 16,
+            spill_bytes_written: 1_000_000,
+            spill_logical_bytes_written: 1_000_000,
+            ..Default::default()
+        };
+        let compressed = ExecutionMetrics {
+            spill_bytes_written: 400_000,
+            ..raw
+        };
+        assert!(compressed.simulated_cost(&model) < raw.simulated_cost(&model));
+        // The codec's CPU is charged (on the logical−stored gap), it just
+        // never outweighs the I/O it saves.
+        let free_codec = CostModel {
+            spill_codec_byte: 0.0,
+            ..model
+        };
+        assert!(compressed.simulated_cost(&model) > compressed.simulated_cost(&free_codec));
+        assert_eq!(
+            raw.simulated_cost(&model),
+            raw.simulated_cost(&free_codec),
+            "no compression gap, no codec charge"
+        );
     }
 
     #[test]

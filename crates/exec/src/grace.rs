@@ -7,13 +7,19 @@
 //!
 //! 1. Both sides of the partition are hashed into `fanout` grace buckets
 //!    (a *different* hash than the partition-level exchange, so co-partitioned
-//!    inputs still split).
+//!    inputs still split). The fanout is adaptive by default — 4/8/16-way,
+//!    the smallest that covers the build-side byte estimate within the
+//!    remaining recursion depth.
 //! 2. As many build buckets as fit in the budget stay resident (the *hybrid*
 //!    part); their probe rows join immediately.
-//! 3. The remaining bucket pairs are written to spill files through the
-//!    `rdo-spill` page codec and buffer pool, then read back and joined one
-//!    pair at a time — recursively re-bucketed with a depth-salted hash when a
-//!    bucket still exceeds the budget, up to a bounded recursion depth.
+//! 3. The remaining buckets **stream** to spill files page by page: a first
+//!    pass sizes the buckets, a second routes each row either into a resident
+//!    bucket or through one page-sized write buffer per spilled bucket
+//!    ([`rdo_storage::SpillPartitionWriter`]), so the partitioner's transient
+//!    footprint is O(fanout × page size) — it never materializes full
+//!    buckets. Spilled pairs are read back and joined one at a time —
+//!    recursively re-bucketed with a depth-salted hash when a bucket still
+//!    exceeds the budget, up to a bounded recursion depth.
 //! 4. Past the depth bound (pathological skew: one key carrying more rows than
 //!    the budget can hold) the bucket falls back to a block nested-loop join,
 //!    which needs no hash table.
@@ -31,14 +37,18 @@ use crate::cost::ExecutionMetrics;
 use crate::partition::{composite_key, hash_join_partition, JoinTally};
 use rdo_common::{Result, Tuple, Value};
 use rdo_sketch::hll::hash_value;
-use rdo_storage::{Catalog, SpillManager, SpilledPartitions};
+use rdo_storage::{Catalog, SpillManager, SpillPartitionWriter, SpilledPartitions};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Grace buckets per recursion level. Eight buckets cut a build side to ~1/8
-/// per level, so three levels cover a build side 512× the budget before the
-/// nested-loop fallback kicks in.
-pub const DEFAULT_FANOUT: usize = 8;
+/// The fanout tiers the adaptive partitioner picks from, smallest first.
+pub const FANOUT_TIERS: [usize; 3] = [4, 8, 16];
+
+/// The middle tier of the adaptive grace fanout (and the fixed fanout of
+/// earlier revisions). Eight buckets cut a build side to ~1/8 per level, so
+/// three levels cover a build side 512× the budget before the nested-loop
+/// fallback kicks in.
+pub const DEFAULT_FANOUT: usize = FANOUT_TIERS[1];
 
 /// Maximum recursive re-partitioning depth before the nested-loop fallback.
 pub const DEFAULT_MAX_DEPTH: usize = 3;
@@ -51,7 +61,10 @@ pub struct GraceContext {
     manager: Arc<SpillManager>,
     /// Build-side budget in bytes for one partition's hash table.
     pub budget_bytes: u64,
-    /// Grace buckets per recursion level.
+    /// Grace buckets per recursion level. `0` (the default) picks the fanout
+    /// adaptively per level — the smallest of [`FANOUT_TIERS`] whose
+    /// `fanout ^ remaining_depth` covers the build-side byte estimate — so
+    /// small overflows pay 4 write buffers, not 16.
     pub fanout: usize,
     /// Maximum recursion depth before the nested-loop fallback.
     pub max_depth: usize,
@@ -67,7 +80,7 @@ impl GraceContext {
         Some(Self {
             manager: Arc::clone(manager),
             budget_bytes,
-            fanout: DEFAULT_FANOUT,
+            fanout: 0,
             max_depth: DEFAULT_MAX_DEPTH,
         })
     }
@@ -77,14 +90,15 @@ impl GraceContext {
         Self {
             manager,
             budget_bytes,
-            fanout: DEFAULT_FANOUT,
+            fanout: 0,
             max_depth: DEFAULT_MAX_DEPTH,
         }
     }
 
-    /// Builder-style fanout override (clamped to at least 2).
+    /// Builder-style fixed-fanout override (clamped to `[2, 1024]`),
+    /// disabling the adaptive choice.
     pub fn with_fanout(mut self, fanout: usize) -> Self {
-        self.fanout = fanout.max(2);
+        self.fanout = fanout.clamp(2, 1024);
         self
     }
 
@@ -93,6 +107,39 @@ impl GraceContext {
         self.max_depth = max_depth;
         self
     }
+
+    /// The fanout one recursion level uses: the fixed override when set,
+    /// otherwise the adaptive tier for this build size and remaining depth.
+    /// Re-clamped here because the `fanout` field is public — a value past
+    /// 1024 would overflow the partitioner's u16 bucket cache.
+    fn level_fanout(&self, build_bytes: u64, depth: usize) -> usize {
+        if self.fanout > 0 {
+            return self.fanout.clamp(2, 1024);
+        }
+        adaptive_fanout(
+            build_bytes,
+            self.budget_bytes,
+            self.max_depth.saturating_sub(depth),
+        )
+    }
+}
+
+/// Picks the grace fanout from the build-side byte estimate: the smallest
+/// tier whose `fanout ^ levels_remaining` covers `build_bytes / budget` —
+/// i.e. the smallest fanout that can still split the build side down to the
+/// budget within the remaining recursion depth (assuming even splits). A
+/// build side too big even for the largest tier gets the largest tier and
+/// relies on the nested-loop fallback past the depth bound. Deterministic,
+/// so grace counters stay worker-count invariant.
+pub fn adaptive_fanout(build_bytes: u64, budget_bytes: u64, levels_remaining: usize) -> usize {
+    let ratio = build_bytes.div_ceil(budget_bytes.max(1)).max(1);
+    let levels = levels_remaining.max(1) as u32;
+    for fanout in FANOUT_TIERS {
+        if (fanout as u64).saturating_pow(levels) >= ratio {
+            return fanout;
+        }
+    }
+    FANOUT_TIERS[FANOUT_TIERS.len() - 1]
 }
 
 /// Counters produced by one partition of a (possibly spilling) join. The
@@ -106,20 +153,31 @@ pub struct GraceTally {
     pub partitions_spilled: u64,
     /// Pages written to grace spill files (both sides).
     pub pages_written: u64,
-    /// Serialized bytes written to grace spill files.
+    /// Stored bytes written to grace spill files (compressed when page
+    /// compression is on).
     pub bytes_written: u64,
     /// Pages read back from grace spill files.
     pub pages_read: u64,
-    /// Serialized bytes read back.
+    /// Stored bytes read back.
     pub bytes_read: u64,
+    /// Uncompressed serialized bytes behind `bytes_written`.
+    pub logical_bytes_written: u64,
+    /// Uncompressed serialized bytes behind `bytes_read`.
+    pub logical_bytes_read: u64,
     /// Recursive re-partitioning rounds (bucket still over budget).
     pub recursions: u64,
     /// Nested-loop fallback leaves (skew past the recursion bound).
     pub fallbacks: u64,
+    /// High-water mark of the streaming partitioner's write buffers — the
+    /// transient footprint of routing this partition, bounded by fanout ×
+    /// page size plus at most one oversized row per bucket. Max-merged.
+    pub peak_transient_bytes: u64,
 }
 
 impl GraceTally {
-    /// Adds another tally into this one (partition-order fold).
+    /// Adds another tally into this one (partition-order fold). Every counter
+    /// is a plain sum except `peak_transient_bytes`, a max-merged high-water
+    /// mark.
     pub fn add(&mut self, other: &GraceTally) {
         self.join.add(&other.join);
         self.partitions_spilled += other.partitions_spilled;
@@ -127,8 +185,11 @@ impl GraceTally {
         self.bytes_written += other.bytes_written;
         self.pages_read += other.pages_read;
         self.bytes_read += other.bytes_read;
+        self.logical_bytes_written += other.logical_bytes_written;
+        self.logical_bytes_read += other.logical_bytes_read;
         self.recursions += other.recursions;
         self.fallbacks += other.fallbacks;
+        self.peak_transient_bytes = self.peak_transient_bytes.max(other.peak_transient_bytes);
     }
 
     /// Folds this partition tally into the stage metrics.
@@ -141,8 +202,13 @@ impl GraceTally {
         metrics.grace_bytes_written += self.bytes_written;
         metrics.grace_pages_read += self.pages_read;
         metrics.grace_bytes_read += self.bytes_read;
+        metrics.grace_logical_bytes_written += self.logical_bytes_written;
+        metrics.grace_logical_bytes_read += self.logical_bytes_read;
         metrics.grace_recursions += self.recursions;
         metrics.grace_fallbacks += self.fallbacks;
+        metrics.grace_peak_transient_bytes = metrics
+            .grace_peak_transient_bytes
+            .max(self.peak_transient_bytes);
     }
 }
 
@@ -265,19 +331,24 @@ fn recurse(
         return Ok(());
     }
     tally.recursions += 1;
-    let fanout = ctx.fanout;
+    let fanout = ctx.level_fanout(build_bytes, depth);
 
-    // ---- Bucket the build side. NULL-keyed rows never match; count them the
-    // way the in-memory kernel counts its insert attempts and drop them. ----
-    let mut build_buckets: Vec<Vec<Tuple>> = vec![Vec::new(); fanout];
+    // ---- Pass 1: size the buckets without materializing them — O(fanout)
+    // state plus one cached bucket id per row, so pass 2 never re-hashes.
+    // NULL-keyed rows never match; they are marked here and counted in
+    // pass 2. ----
+    const NULL_BUCKET: u16 = u16::MAX; // fanout is clamped to <= 1024
     let mut bucket_bytes = vec![0u64; fanout];
+    let mut bucket_rows = vec![0u64; fanout];
+    let mut row_buckets: Vec<u16> = Vec::with_capacity(build.len());
     for row in build {
         match composite_key(row, build_keys) {
-            None => tally.join.build_rows += 1,
+            None => row_buckets.push(NULL_BUCKET),
             Some(key) => {
                 let b = grace_bucket(&key, depth, fanout);
                 bucket_bytes[b] += row.approx_bytes() as u64;
-                build_buckets[b].push(row.clone());
+                bucket_rows[b] += 1;
+                row_buckets.push(b as u16);
             }
         }
     }
@@ -287,26 +358,44 @@ fn recurse(
     let mut resident = vec![false; fanout];
     let mut resident_bytes = 0u64;
     for b in 0..fanout {
-        if !build_buckets[b].is_empty() && resident_bytes + bucket_bytes[b] <= ctx.budget_bytes {
+        if bucket_rows[b] > 0 && resident_bytes + bucket_bytes[b] <= ctx.budget_bytes {
             resident[b] = true;
             resident_bytes += bucket_bytes[b];
         }
     }
+    let spilled_nonempty: Vec<bool> = (0..fanout)
+        .map(|b| !resident[b] && bucket_rows[b] > 0)
+        .collect();
+    tally.partitions_spilled += spilled_nonempty.iter().filter(|s| **s).count() as u64;
 
-    // ---- Spill the non-resident build buckets and free their memory. ----
-    let mut spill_build: Vec<Vec<Tuple>> = vec![Vec::new(); fanout];
-    for b in 0..fanout {
-        if !resident[b] {
-            spill_build[b] = std::mem::take(&mut build_buckets[b]);
+    // ---- Pass 2: route the build side. Resident buckets materialize (they
+    // fit the budget by construction); spilled buckets stream page by page
+    // through one write buffer each, so the transient footprint of the
+    // overflow is fanout × page size — not the overflow's own size. NULL-
+    // keyed rows are counted the way the in-memory kernel counts its insert
+    // attempts and dropped. ----
+    let mut build_buckets: Vec<Vec<Tuple>> = vec![Vec::new(); fanout];
+    let mut build_writer = SpillPartitionWriter::new(Arc::clone(&ctx.manager), fanout)?;
+    for (row, &bucket) in build.iter().zip(&row_buckets) {
+        if bucket == NULL_BUCKET {
+            tally.join.build_rows += 1;
+            continue;
+        }
+        let b = bucket as usize;
+        if resident[b] {
+            build_buckets[b].push(row.clone());
+        } else {
+            build_writer.append(b, row)?;
         }
     }
-    tally.partitions_spilled += spill_build.iter().filter(|b| !b.is_empty()).count() as u64;
-    let (build_store, build_written) =
-        SpilledPartitions::write(Arc::clone(&ctx.manager), &spill_build)?;
+    drop(row_buckets);
+    tally.peak_transient_bytes = tally
+        .peak_transient_bytes
+        .max(build_writer.peak_buffered_bytes());
+    let (build_store, build_written) = build_writer.finish()?;
     tally.pages_written += build_written.pages;
     tally.bytes_written += build_written.bytes;
-    let spilled_nonempty: Vec<bool> = spill_build.iter().map(|b| !b.is_empty()).collect();
-    drop(spill_build);
+    tally.logical_bytes_written += build_written.logical_bytes;
 
     // ---- One hash table over all resident buckets: a key's matches live in a
     // single bucket and keep their build-order positions, so combining the
@@ -323,10 +412,11 @@ fn recurse(
     }
 
     // ---- Stream the probe side: resident buckets join now, buckets with a
-    // spilled build partner spill too (rows to disk, original positions in
-    // memory), and buckets whose build side is empty can't match anything. ----
-    let mut probe_spill: Vec<Vec<Tuple>> = vec![Vec::new(); fanout];
+    // spilled build partner stream to disk through per-bucket page buffers
+    // (original positions stay in memory), and buckets whose build side is
+    // empty can't match anything. ----
     let mut probe_spill_idx: Vec<Vec<u64>> = vec![Vec::new(); fanout];
+    let mut probe_writer = SpillPartitionWriter::new(Arc::clone(&ctx.manager), fanout)?;
     for (row, &i) in probe.iter().zip(idx) {
         let Some(key) = composite_key(row, probe_keys) else {
             tally.join.probe_rows += 1;
@@ -341,7 +431,7 @@ fn recurse(
                 emitted.push((i, rows));
             }
         } else if spilled_nonempty[b] {
-            probe_spill[b].push(row.clone());
+            probe_writer.append(b, row)?;
             probe_spill_idx[b].push(i);
         } else {
             tally.join.probe_rows += 1;
@@ -349,11 +439,13 @@ fn recurse(
     }
     drop(table);
     drop(build_buckets);
-    let (probe_store, probe_written) =
-        SpilledPartitions::write(Arc::clone(&ctx.manager), &probe_spill)?;
+    tally.peak_transient_bytes = tally
+        .peak_transient_bytes
+        .max(probe_writer.peak_buffered_bytes());
+    let (probe_store, probe_written) = probe_writer.finish()?;
     tally.pages_written += probe_written.pages;
     tally.bytes_written += probe_written.bytes;
-    drop(probe_spill);
+    tally.logical_bytes_written += probe_written.logical_bytes;
 
     // ---- Read back and join each spilled pair, one at a time. ----
     for b in 0..fanout {
@@ -387,6 +479,7 @@ fn read_partition(
     let (rows, read) = store.read_partition_tallied(bucket)?;
     tally.pages_read += read.pages;
     tally.bytes_read += read.bytes;
+    tally.logical_bytes_read += read.logical_bytes;
     Ok(rows)
 }
 
@@ -597,8 +690,11 @@ mod tests {
             bytes_written: 6,
             pages_read: 7,
             bytes_read: 8,
+            logical_bytes_written: 11,
+            logical_bytes_read: 12,
             recursions: 9,
             fallbacks: 10,
+            peak_transient_bytes: 40,
         };
         let b = GraceTally {
             join: JoinTally {
@@ -606,6 +702,7 @@ mod tests {
                 probe_rows: 20,
                 output_rows: 30,
             },
+            peak_transient_bytes: 25,
             ..a
         };
         let mut left = a;
@@ -624,8 +721,65 @@ mod tests {
         assert_eq!(metrics.grace_bytes_written, 12);
         assert_eq!(metrics.grace_pages_read, 14);
         assert_eq!(metrics.grace_bytes_read, 16);
+        assert_eq!(metrics.grace_logical_bytes_written, 22);
+        assert_eq!(metrics.grace_logical_bytes_read, 24);
         assert_eq!(metrics.grace_recursions, 18);
         assert_eq!(metrics.grace_fallbacks, 20);
+        assert_eq!(
+            metrics.grace_peak_transient_bytes, 40,
+            "peaks max-merge: the larger partial wins"
+        );
+    }
+
+    /// The adaptive fanout picks the smallest tier that can still split the
+    /// build side down to the budget within the remaining depth.
+    #[test]
+    fn adaptive_fanout_scales_with_the_build_estimate() {
+        // One level remaining: the ratio alone decides the tier.
+        assert_eq!(adaptive_fanout(100, 100, 1), 4, "at budget: smallest tier");
+        assert_eq!(adaptive_fanout(400, 100, 1), 4, "4× fits 4-way");
+        assert_eq!(adaptive_fanout(401, 100, 1), 8);
+        assert_eq!(adaptive_fanout(800, 100, 1), 8);
+        assert_eq!(adaptive_fanout(1_600, 100, 1), 16);
+        assert_eq!(adaptive_fanout(1_000_000, 100, 1), 16, "capped at 16");
+        // More remaining levels tolerate bigger ratios at small fanouts:
+        // 4^3 = 64 covers a 64× build side.
+        assert_eq!(adaptive_fanout(6_400, 100, 3), 4);
+        assert_eq!(adaptive_fanout(6_500, 100, 3), 8);
+        // Degenerate budgets don't panic.
+        assert_eq!(adaptive_fanout(u64::MAX, 0, 3), 16);
+        assert_eq!(adaptive_fanout(0, 0, 0), 4);
+    }
+
+    /// The streaming partitioner's transient footprint stays O(fanout × page)
+    /// even when the spilled build side is orders of magnitude larger, and
+    /// the kernel still matches the in-memory join bit for bit.
+    #[test]
+    fn streaming_partitioner_bounds_transient_footprint() {
+        let probe = rows(4_000, 997);
+        let build = rows(4_000, 997);
+        let (expected, expected_tally) = hash_join_partition(&probe, &build, &[0], &[0]);
+        let ctx = GraceContext::new(manager(), 2_048); // 512-byte pages
+        let (out, tally) = grace_join_partition(&probe, &build, &[0], &[0], &ctx).unwrap();
+        assert_eq!(out, expected);
+        assert_eq!(tally.join, expected_tally);
+        assert!(tally.peak_transient_bytes > 0);
+        // Largest tier × (page + one row of overshoot) bounds the buffers;
+        // the spilled volume is far larger than what was ever buffered.
+        let bound = 16 * (512 + 64);
+        assert!(
+            tally.peak_transient_bytes <= bound,
+            "peak {} exceeds fanout × page bound {bound}",
+            tally.peak_transient_bytes
+        );
+        assert!(
+            tally.logical_bytes_written > 4 * tally.peak_transient_bytes,
+            "spilled volume dwarfs the transient footprint: {tally:?}"
+        );
+        assert!(
+            tally.bytes_written < tally.logical_bytes_written,
+            "grace pages compress: {tally:?}"
+        );
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub fn materialize(
     metrics.stats_values_observed += stats_values;
     metrics.spill_pages_written += stored.pages_written;
     metrics.spill_bytes_written += stored.bytes_written;
+    metrics.spill_logical_bytes_written += stored.logical_bytes_written;
 
     Ok(MaterializeOutcome {
         table: name.to_string(),

@@ -51,22 +51,20 @@ impl ParallelConfig {
 
     /// The default configuration with the `RDO_WORKERS` environment variable
     /// applied — the bench harness uses this so figures are reproducible on
-    /// any machine by pinning the worker count.
+    /// any machine by pinning the worker count. A set-but-invalid worker
+    /// count silently falling back to the machine default would make a
+    /// pinned CI leg test something else entirely; the shared
+    /// [`rdo_common::env`] reader warns loudly instead (matching the
+    /// RDO_SPILL_* parsers).
     pub fn from_env() -> Self {
         let config = Self::default();
-        match std::env::var(WORKERS_ENV) {
-            Ok(raw) => match parse_workers(&raw) {
-                Ok(workers) => config.with_workers(workers),
-                // A set-but-invalid worker count silently falling back to the
-                // machine default would make a pinned CI leg test something
-                // else entirely; warn loudly instead (matching the
-                // RDO_SPILL_BUDGET / RDO_JOIN_BUDGET parsers).
-                Err(warning) => {
-                    eprintln!("{warning}");
-                    config
-                }
-            },
-            Err(_) => config,
+        match rdo_common::env::read_env(
+            WORKERS_ENV,
+            "using the machine default",
+            rdo_common::env::parse_env_positive_usize,
+        ) {
+            Some(workers) => config.with_workers(workers),
+            None => config,
         }
     }
 }
@@ -75,16 +73,11 @@ impl ParallelConfig {
 /// executor.
 pub const WORKERS_ENV: &str = "RDO_WORKERS";
 
-/// Parses an `RDO_WORKERS` value. Returns the warning to print when the value
-/// is not a positive integer (`from_env` keeps the default in that case).
+/// Parses an `RDO_WORKERS` value through the shared warn-on-invalid helper of
+/// [`rdo_common::env`]. Returns the warning to print when the value is not a
+/// positive integer (`from_env` keeps the default in that case).
 pub fn parse_workers(raw: &str) -> std::result::Result<usize, String> {
-    match raw.trim().parse::<usize>() {
-        Ok(workers) if workers >= 1 => Ok(workers),
-        _ => Err(format!(
-            "warning: {WORKERS_ENV}={raw:?} is not a worker count \
-             (plain integer >= 1 expected); using the machine default"
-        )),
-    }
+    rdo_common::env::parse_env_positive_usize(WORKERS_ENV, raw, "using the machine default")
 }
 
 #[cfg(test)]

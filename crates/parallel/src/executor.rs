@@ -155,6 +155,7 @@ impl<'a> ParallelExecutor<'a> {
         }
         metrics.spill_pages_read += spill_read.pages;
         metrics.spill_bytes_read += spill_read.bytes;
+        metrics.spill_logical_bytes_read += spill_read.logical_bytes;
 
         if table.is_temporary() {
             metrics.rows_intermediate_read += tally.scanned_rows;

@@ -70,6 +70,7 @@ struct PoolCounters {
     evictions: u64,
     writebacks: u64,
     bypasses: u64,
+    prefetches: u64,
 }
 
 #[derive(Debug)]
@@ -95,6 +96,8 @@ pub struct PoolDiagnostics {
     pub writebacks: u64,
     /// Requests served with direct file I/O because every frame was pinned.
     pub bypasses: u64,
+    /// Pages pulled in ahead of a scan by the read-ahead prefetcher.
+    pub prefetches: u64,
     /// Frames currently holding a page.
     pub frames_in_use: usize,
     /// Total frame capacity.
@@ -251,6 +254,50 @@ impl BufferPool {
         Ok(f(&data))
     }
 
+    /// Pulls a page into the pool ahead of a scan, so the following
+    /// [`BufferPool::with_page`] hits a resident frame instead of blocking on
+    /// the file. Already-resident pages are left untouched (their reference
+    /// bit is *not* set — prefetching must not distort the scanner's own CLOCK
+    /// recency signal, and a dirty frame keeps serving the freshest data). The
+    /// file read runs outside the pool lock, exactly like a miss; when every
+    /// frame is pinned the prefetch is simply dropped.
+    pub fn prefetch_page(&self, file_id: u64, page_no: u32, offset: u64, len: usize) -> Result<()> {
+        let key = (file_id, page_no);
+        let file = {
+            let state = self.state.lock().expect("buffer pool lock");
+            if state.map.contains_key(&key) {
+                return Ok(());
+            }
+            Self::file_of(&state, file_id)?
+        };
+
+        let mut buf = vec![0u8; len];
+        file.read_exact_at(offset, &mut buf)?;
+
+        let mut state = self.state.lock().expect("buffer pool lock");
+        if state.map.contains_key(&key) {
+            return Ok(()); // a concurrent reader installed it first
+        }
+        if let Some(slot) = self.find_victim(&mut state)? {
+            let frame = Frame {
+                key,
+                offset,
+                data: Arc::new(buf),
+                dirty: false,
+                pins: 0,
+                referenced: true,
+            };
+            if slot == state.frames.len() {
+                state.frames.push(frame);
+            } else {
+                state.frames[slot] = frame;
+            }
+            state.map.insert(key, slot);
+            state.counters.prefetches += 1;
+        }
+        Ok(())
+    }
+
     /// Pins a resident page, shielding its frame from eviction. Returns false
     /// if the page is not resident. Exposed for tests and diagnostics;
     /// [`BufferPool::with_page`] pins internally.
@@ -290,6 +337,16 @@ impl BufferPool {
         state.map.contains_key(&(file_id, page_no))
     }
 
+    /// True if *every* listed page occupies a frame — one lock acquisition,
+    /// used by scans to skip the read-ahead thread when there is nothing to
+    /// read.
+    pub fn all_resident(&self, file_id: u64, pages: impl IntoIterator<Item = u32>) -> bool {
+        let state = self.state.lock().expect("buffer pool lock");
+        pages
+            .into_iter()
+            .all(|page_no| state.map.contains_key(&(file_id, page_no)))
+    }
+
     /// Replacement-activity snapshot.
     pub fn diagnostics(&self) -> PoolDiagnostics {
         let state = self.state.lock().expect("buffer pool lock");
@@ -299,6 +356,7 @@ impl BufferPool {
             evictions: state.counters.evictions,
             writebacks: state.counters.writebacks,
             bypasses: state.counters.bypasses,
+            prefetches: state.counters.prefetches,
             frames_in_use: state.map.len(),
             capacity: self.capacity,
         }
@@ -462,6 +520,43 @@ mod tests {
         .unwrap();
         assert_eq!(pool.pin_count(fid, 0), Some(0), "unpinned afterwards");
         assert_eq!(pool.diagnostics().hits, 1);
+
+        drop(pool);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn prefetch_installs_clean_frames_and_skips_resident_pages() {
+        let (pool, fid, path) = pool_with_file(4);
+        // Page 0 lives only in the file (as after a writeback); page 1 is a
+        // resident dirty frame.
+        let side_channel = SpillFile::new(
+            std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap(),
+        );
+        side_channel.write_all_at(0, &page(0xAB, 8)).unwrap();
+        pool.put_page(fid, 1, 8, page(0xCD, 8)).unwrap();
+
+        // Prefetching the on-disk page installs a clean frame; the next
+        // with_page is a pool hit, not a file read.
+        pool.prefetch_page(fid, 0, 0, 8).unwrap();
+        assert!(pool.is_resident(fid, 0));
+        let d = pool.diagnostics();
+        assert_eq!(d.prefetches, 1);
+        assert_eq!(d.misses, 0);
+        let bytes = pool.with_page(fid, 0, 0, 8, |b| b.to_vec()).unwrap();
+        assert_eq!(bytes, page(0xAB, 8));
+        assert_eq!(pool.diagnostics().hits, 1, "prefetched page served warm");
+
+        // Prefetching a resident (dirty) page is a no-op — the frame keeps
+        // serving the freshest data and the counter does not move.
+        pool.prefetch_page(fid, 1, 8, 8).unwrap();
+        assert_eq!(pool.diagnostics().prefetches, 1);
+        let bytes = pool.with_page(fid, 1, 8, 8, |b| b.to_vec()).unwrap();
+        assert_eq!(bytes, page(0xCD, 8), "dirty frame data survives prefetch");
 
         drop(pool);
         let _ = std::fs::remove_file(path);

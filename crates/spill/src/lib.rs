@@ -26,27 +26,36 @@
 //!
 //! * [`codec`] — exact binary roundtrip for `Value`/`Tuple` (NULLs, NaN bit
 //!   patterns, strings of any length).
+//! * [`compress`] — the dependency-free LZ page codec (`RDO_SPILL_COMPRESS`,
+//!   on by default): pages that shrink are stored compressed, the rest raw,
+//!   with both stored and logical byte volumes reported.
 //! * [`buffer`] — the fixed-frame [`BufferPool`]: CLOCK eviction, pin/unpin,
-//!   dirty-page writeback, graceful bypass when every frame is pinned.
+//!   dirty-page writeback, graceful bypass when every frame is pinned, and
+//!   `prefetch_page` for the scan read-ahead.
 //! * [`store`] — [`SpilledPartitions`], the paged per-partition store with a
 //!   streaming `scan_pages` API the executors feed through the existing
-//!   per-partition kernels.
+//!   per-partition kernels (read-ahead prefetch under `RDO_SPILL_PREFETCH`),
+//!   and [`SpillPartitionWriter`], the page-at-a-time partition router whose
+//!   transient footprint is bounded by partitions × page size.
 //! * [`manager`] — [`SpillManager`] (budget accounting, temp-dir ownership,
 //!   the shared pool) and [`SpillConfig`] (`RDO_SPILL_BUDGET`).
 //!
 //! The counters the subsystem reports ([`SpillWriteTally`] /
 //! [`SpillReadTally`]) are *logical* page traffic — a pure function of the
-//! spilled rows — so execution metrics stay bit-identical for every worker
-//! count even though the buffer pool's physical hit/miss behaviour varies.
+//! spilled rows and the compression switch — so execution metrics stay
+//! bit-identical for every worker count even though the buffer pool's
+//! physical hit/miss/prefetch behaviour varies.
 
 pub mod buffer;
 pub mod codec;
+pub mod compress;
 pub mod manager;
 pub mod store;
 
 pub use buffer::{BufferPool, PoolDiagnostics, SpillFile};
 pub use manager::{
-    SpillConfig, SpillManager, SpillReadTally, SpillWriteTally, DEFAULT_PAGE_SIZE, JOIN_BUDGET_ENV,
-    SPILL_BUDGET_ENV,
+    SpillConfig, SpillManager, SpillReadTally, SpillWriteTally, DEFAULT_PAGE_SIZE,
+    DEFAULT_PREFETCH_PAGES, JOIN_BUDGET_ENV, SPILL_BUDGET_ENV, SPILL_COMPRESS_ENV,
+    SPILL_PREFETCH_ENV,
 };
-pub use store::SpilledPartitions;
+pub use store::{SpillPartitionWriter, SpilledPartitions};

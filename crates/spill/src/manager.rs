@@ -2,7 +2,7 @@
 //! buffer pool.
 
 use crate::buffer::{BufferPool, PoolDiagnostics, SpillFile};
-use rdo_common::Result;
+use rdo_common::{env, Result};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,8 +19,21 @@ pub const SPILL_BUDGET_ENV: &str = "RDO_SPILL_BUDGET";
 /// resident, and spilled partition pairs are joined recursively.
 pub const JOIN_BUDGET_ENV: &str = "RDO_JOIN_BUDGET";
 
+/// Environment variable switching spill-page compression on or off
+/// (`0`/`1`, `true`/`false`, `on`/`off`). Compression is **on by default**;
+/// exporting `RDO_SPILL_COMPRESS=0` restores raw pages.
+pub const SPILL_COMPRESS_ENV: &str = "RDO_SPILL_COMPRESS";
+
+/// Environment variable setting the read-ahead lookahead, in pages, for scans
+/// of spill files (`0` disables prefetching).
+pub const SPILL_PREFETCH_ENV: &str = "RDO_SPILL_PREFETCH";
+
 /// Default page size of the spill store (64 KiB, AsterixDB's frame default).
 pub const DEFAULT_PAGE_SIZE: usize = 64 * 1024;
+
+/// Default read-ahead lookahead in pages: double-buffered — the prefetcher
+/// reads up to two pages ahead while the scanner decodes the current one.
+pub const DEFAULT_PREFETCH_PAGES: usize = 2;
 
 /// Knobs of the disk-backed materialization subsystem. `Copy` so it threads
 /// through `DynamicConfig` like the parallel knobs.
@@ -41,6 +54,17 @@ pub struct SpillConfig {
     /// Buffer-pool frame count. `0` derives it from the budget
     /// (`budget / page_size`, clamped to `[16, 1024]`).
     pub frames: usize,
+    /// Page compression (the LZ block codec of [`crate::compress`]). On by
+    /// default: pages that actually shrink are stored compressed, the rest
+    /// stay raw at the cost of one flag byte. Purely physical — decoded rows,
+    /// page boundaries and all logical byte counters are identical either
+    /// way.
+    pub compress: bool,
+    /// Read-ahead lookahead in pages for scans of spill files: a prefetch
+    /// thread keeps up to this many pages ahead of the scanner resident in
+    /// the buffer pool, overlapping disk reads with page decoding. `0`
+    /// disables prefetching (fully synchronous reads).
+    pub prefetch_pages: usize,
 }
 
 impl Default for SpillConfig {
@@ -50,6 +74,8 @@ impl Default for SpillConfig {
             join_budget_bytes: None,
             page_size: DEFAULT_PAGE_SIZE,
             frames: 0,
+            compress: true,
+            prefetch_pages: DEFAULT_PREFETCH_PAGES,
         }
     }
 }
@@ -60,16 +86,58 @@ impl SpillConfig {
         Self::default()
     }
 
-    /// The default configuration with the `RDO_SPILL_BUDGET` and
-    /// `RDO_JOIN_BUDGET` environment variables applied —
-    /// `DynamicConfig::default()` uses this, so exporting either variable
-    /// drives the whole driver (and the tier-1 test suite) through the
-    /// out-of-core path without code changes.
+    /// The default configuration with the `RDO_SPILL_BUDGET`,
+    /// `RDO_JOIN_BUDGET`, `RDO_SPILL_COMPRESS` and `RDO_SPILL_PREFETCH`
+    /// environment variables applied — `DynamicConfig::default()` uses this,
+    /// so exporting any of them drives the whole driver (and the tier-1 test
+    /// suite) through the corresponding out-of-core path without code
+    /// changes. All four parse through the shared warn-on-invalid helpers of
+    /// [`rdo_common::env`].
     pub fn from_env() -> Self {
+        Self::from_env_with(|var| std::env::var(var).ok())
+    }
+
+    /// [`SpillConfig::from_env`] over an injectable variable lookup, so the
+    /// override logic is testable without mutating the process environment
+    /// (concurrent `setenv`/`getenv` is undefined behaviour on glibc).
+    fn from_env_with(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        fn get<T>(
+            lookup: &impl Fn(&str) -> Option<String>,
+            var: &str,
+            fallback: &str,
+            parser: fn(&str, &str, &str) -> std::result::Result<T, String>,
+        ) -> Option<T> {
+            lookup(var).and_then(|raw| env::parse_or_warn(var, &raw, fallback, parser))
+        }
+        let defaults = Self::default();
         Self {
-            budget_bytes: parse_budget_env(SPILL_BUDGET_ENV, "spilling"),
-            join_budget_bytes: parse_budget_env(JOIN_BUDGET_ENV, "the grace hash join"),
-            ..Self::default()
+            budget_bytes: get(
+                &lookup,
+                SPILL_BUDGET_ENV,
+                "spilling stays disabled",
+                env::parse_env_u64,
+            ),
+            join_budget_bytes: get(
+                &lookup,
+                JOIN_BUDGET_ENV,
+                "the grace hash join stays disabled",
+                env::parse_env_u64,
+            ),
+            compress: get(
+                &lookup,
+                SPILL_COMPRESS_ENV,
+                "spill-page compression stays on",
+                env::parse_env_bool,
+            )
+            .unwrap_or(defaults.compress),
+            prefetch_pages: get(
+                &lookup,
+                SPILL_PREFETCH_ENV,
+                "the default read-ahead stays in effect",
+                env::parse_env_usize,
+            )
+            .unwrap_or(defaults.prefetch_pages),
+            ..defaults
         }
     }
 
@@ -88,6 +156,18 @@ impl SpillConfig {
     /// Builder-style page-size override (clamped to at least 512 bytes).
     pub fn with_page_size(mut self, bytes: usize) -> Self {
         self.page_size = bytes.max(512);
+        self
+    }
+
+    /// Builder-style compression switch.
+    pub fn with_compression(mut self, compress: bool) -> Self {
+        self.compress = compress;
+        self
+    }
+
+    /// Builder-style read-ahead override (`0` disables prefetching).
+    pub fn with_prefetch_pages(mut self, pages: usize) -> Self {
+        self.prefetch_pages = pages;
         self
     }
 
@@ -110,32 +190,19 @@ impl SpillConfig {
     }
 }
 
-/// Parses one budget environment variable. A set-but-invalid budget silently
-/// disabling the out-of-core path would make a spill-exercising CI job test
-/// nothing; warn loudly instead.
-fn parse_budget_env(var: &str, what: &str) -> Option<u64> {
-    let raw = std::env::var(var).ok()?;
-    match raw.trim().parse::<u64>() {
-        Ok(budget) => Some(budget),
-        Err(_) => {
-            eprintln!(
-                "warning: {var}={raw:?} is not a byte count \
-                 (plain integer expected); {what} stays disabled"
-            );
-            None
-        }
-    }
-}
-
 /// Logical page-write volume of one spill operation. Deterministic (a pure
-/// function of the spilled rows), unlike the buffer pool's physical
-/// hit/miss/writeback activity.
+/// function of the spilled rows and the compression switch), unlike the
+/// buffer pool's physical hit/miss/writeback activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpillWriteTally {
     /// Pages appended to the store.
     pub pages: u64,
-    /// Serialized bytes appended.
+    /// Stored bytes appended — compressed size when page compression is on.
     pub bytes: u64,
+    /// Uncompressed serialized bytes the pages decode back to. Equal to
+    /// `bytes` when compression is off; the `bytes / logical_bytes` ratio is
+    /// the measured compression ratio.
+    pub logical_bytes: u64,
 }
 
 /// Logical page-read volume of one scan over a spilled table. Zero for
@@ -144,8 +211,10 @@ pub struct SpillWriteTally {
 pub struct SpillReadTally {
     /// Pages fetched (through the buffer pool).
     pub pages: u64,
-    /// Serialized bytes fetched.
+    /// Stored bytes fetched — compressed size when page compression is on.
     pub bytes: u64,
+    /// Uncompressed serialized bytes the fetched pages decoded back to.
+    pub logical_bytes: u64,
 }
 
 impl SpillReadTally {
@@ -153,6 +222,7 @@ impl SpillReadTally {
     pub fn add(&mut self, other: &SpillReadTally) {
         self.pages += other.pages;
         self.bytes += other.bytes;
+        self.logical_bytes += other.logical_bytes;
     }
 }
 
@@ -331,6 +401,51 @@ mod tests {
             ..SpillConfig::default()
         };
         assert_eq!(explicit.effective_frames(), 7);
+    }
+
+    #[test]
+    fn compression_and_prefetch_knobs_default_on_and_thread_through_builders() {
+        let config = SpillConfig::default();
+        assert!(config.compress, "page compression is on by default");
+        assert_eq!(config.prefetch_pages, DEFAULT_PREFETCH_PAGES);
+        let off = config.with_compression(false).with_prefetch_pages(0);
+        assert!(!off.compress);
+        assert_eq!(off.prefetch_pages, 0);
+        let tuned = SpillConfig::default().with_prefetch_pages(8);
+        assert_eq!(tuned.prefetch_pages, 8);
+    }
+
+    /// The env overrides parse through the shared warn-on-invalid helpers: a
+    /// garbage value keeps the default instead of silently flipping the
+    /// knob. Exercised through the injectable lookup — never `set_var`, which
+    /// is unsound next to concurrent `getenv` callers like
+    /// `std::env::temp_dir`.
+    #[test]
+    fn fast_path_env_overrides_apply_and_garbage_keeps_defaults() {
+        let config = SpillConfig::from_env_with(|var| match var {
+            SPILL_COMPRESS_ENV => Some("0".to_string()),
+            SPILL_PREFETCH_ENV => Some("6".to_string()),
+            SPILL_BUDGET_ENV => Some("1048576".to_string()),
+            _ => None,
+        });
+        assert!(
+            !config.compress,
+            "RDO_SPILL_COMPRESS=0 turns compression off"
+        );
+        assert_eq!(config.prefetch_pages, 6);
+        assert_eq!(config.budget_bytes, Some(1_048_576));
+        assert_eq!(config.join_budget_bytes, None);
+
+        let config = SpillConfig::from_env_with(|var| match var {
+            SPILL_COMPRESS_ENV => Some("sideways".to_string()),
+            SPILL_PREFETCH_ENV => Some("-3".to_string()),
+            _ => None,
+        });
+        assert!(config.compress, "invalid switch warns and stays on");
+        assert_eq!(
+            config.prefetch_pages, DEFAULT_PREFETCH_PAGES,
+            "invalid lookahead warns and keeps the default"
+        );
     }
 
     #[test]

@@ -6,19 +6,38 @@
 //! through the manager's buffer pool, so a freshly spilled table that still
 //! fits in the pool is served from memory while larger ones do real I/O.
 //! Dropping the store invalidates its pool pages and deletes its file.
+//!
+//! Two pieces make up the I/O fast path:
+//!
+//! * **Streaming writes** — [`SpillPartitionWriter`] routes rows into the
+//!   store one at a time through a single page-sized write buffer per
+//!   partition, so a producer that *routes* rows (the grace partitioner)
+//!   never materializes whole partitions first: its transient footprint is
+//!   O(partitions × page size), tracked by
+//!   [`SpillPartitionWriter::peak_buffered_bytes`]. Pages are compressed at
+//!   flush time when the manager's config says so.
+//! * **Read-ahead scans** — [`SpilledPartitions::scan_pages`] overlaps page
+//!   decode with disk reads: a prefetch thread keeps the next
+//!   `SpillConfig::prefetch_pages` pages resident in the buffer pool while
+//!   the scanner decompresses and decodes the current one.
 
 use crate::codec::{decode_rows, encode_tuple};
+use crate::compress::{decode_page, encode_page_with, LzScratch};
 use crate::manager::{SpillManager, SpillReadTally, SpillWriteTally};
 use rdo_common::{Result, Tuple};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Location of one page inside the spill file.
 #[derive(Debug, Clone, Copy)]
 struct PageMeta {
     page_no: u32,
     offset: u64,
-    len: u32,
+    /// Bytes the page occupies in the file (compressed size when the page
+    /// compressed).
+    stored_len: u32,
+    /// Bytes of row data the page decodes back to.
+    logical_len: u32,
     rows: u32,
 }
 
@@ -26,6 +45,147 @@ struct PageMeta {
 struct PartitionPages {
     pages: Vec<PageMeta>,
     rows: usize,
+}
+
+/// Streams rows into a fresh spill file, one write buffer per partition.
+///
+/// `append` encodes the row into its partition's buffer and flushes the
+/// buffer as a page whenever it reaches the target page size, so only
+/// `partitions × page_size` bytes (plus at most one oversized row) are ever
+/// buffered — the writer is what lets the grace partitioner route an
+/// arbitrarily large build side with a bounded transient footprint.
+/// [`SpillPartitionWriter::finish`] flushes the tails and returns the
+/// completed store; dropping an unfinished writer deletes the file.
+#[derive(Debug)]
+pub struct SpillPartitionWriter {
+    manager: Arc<SpillManager>,
+    file_id: u64,
+    path: PathBuf,
+    parts: Vec<PartitionPages>,
+    bufs: Vec<Vec<u8>>,
+    rows_in_buf: Vec<u32>,
+    offset: u64,
+    page_no: u32,
+    tally: SpillWriteTally,
+    total_rows: usize,
+    approx_bytes: usize,
+    buffered_bytes: u64,
+    peak_buffered_bytes: u64,
+    page_size: usize,
+    compress: bool,
+    scratch: LzScratch,
+    finished: bool,
+}
+
+impl SpillPartitionWriter {
+    /// Opens a writer over a fresh spill file with `partitions` partitions.
+    pub fn new(manager: Arc<SpillManager>, partitions: usize) -> Result<Self> {
+        let page_size = manager.config().page_size.max(512);
+        let compress = manager.config().compress;
+        let (file_id, path) = manager.create_file()?;
+        Ok(Self {
+            manager,
+            file_id,
+            path,
+            parts: (0..partitions).map(|_| PartitionPages::default()).collect(),
+            bufs: vec![Vec::new(); partitions],
+            rows_in_buf: vec![0; partitions],
+            offset: 0,
+            page_no: 0,
+            tally: SpillWriteTally::default(),
+            total_rows: 0,
+            approx_bytes: 0,
+            buffered_bytes: 0,
+            peak_buffered_bytes: 0,
+            page_size,
+            compress,
+            scratch: LzScratch::new(),
+            finished: false,
+        })
+    }
+
+    /// Appends one row to partition `p`, flushing a page when the partition's
+    /// buffer reaches the page size (a page holds at least one row, so an
+    /// oversized row becomes an oversized page rather than an error).
+    pub fn append(&mut self, p: usize, row: &Tuple) -> Result<()> {
+        let before = self.bufs[p].len();
+        encode_tuple(&mut self.bufs[p], row);
+        self.buffered_bytes += (self.bufs[p].len() - before) as u64;
+        self.peak_buffered_bytes = self.peak_buffered_bytes.max(self.buffered_bytes);
+        self.rows_in_buf[p] += 1;
+        self.parts[p].rows += 1;
+        self.total_rows += 1;
+        self.approx_bytes += row.approx_bytes();
+        if self.bufs[p].len() >= self.page_size {
+            self.flush_partition(p)?;
+        }
+        Ok(())
+    }
+
+    /// High-water mark of bytes sitting in the per-partition write buffers —
+    /// the writer's transient footprint, bounded by
+    /// `partitions × page_size` plus at most one oversized row.
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        self.peak_buffered_bytes
+    }
+
+    fn flush_partition(&mut self, p: usize) -> Result<()> {
+        let body = std::mem::take(&mut self.bufs[p]);
+        let rows = std::mem::replace(&mut self.rows_in_buf[p], 0);
+        self.buffered_bytes -= body.len() as u64;
+        let blob = encode_page_with(&mut self.scratch, &body, self.compress);
+        let meta = PageMeta {
+            page_no: self.page_no,
+            offset: self.offset,
+            stored_len: blob.len() as u32,
+            logical_len: body.len() as u32,
+            rows,
+        };
+        self.offset += blob.len() as u64;
+        self.page_no += 1;
+        self.tally.pages += 1;
+        self.tally.bytes += blob.len() as u64;
+        self.tally.logical_bytes += body.len() as u64;
+        self.manager
+            .pool()
+            .put_page(self.file_id, meta.page_no, meta.offset, blob)?;
+        self.parts[p].pages.push(meta);
+        Ok(())
+    }
+
+    /// Flushes every partition's tail page and seals the store. Returns the
+    /// store and the logical write volume.
+    pub fn finish(mut self) -> Result<(SpilledPartitions, SpillWriteTally)> {
+        for p in 0..self.parts.len() {
+            if !self.bufs[p].is_empty() {
+                self.flush_partition(p)?;
+            }
+        }
+        self.finished = true;
+        let store = SpilledPartitions {
+            manager: Arc::clone(&self.manager),
+            file_id: self.file_id,
+            path: std::mem::take(&mut self.path),
+            parts: std::mem::take(&mut self.parts),
+            total_rows: self.total_rows,
+            approx_bytes: self.approx_bytes,
+            serialized_bytes: self.tally.bytes,
+            logical_bytes: self.tally.logical_bytes,
+            pages: self.tally.pages,
+        };
+        Ok((store, self.tally))
+    }
+}
+
+impl Drop for SpillPartitionWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abandoned mid-write (an error unwound the producer): release
+            // the pool frames and delete the partial file.
+            self.manager.pool().drop_file(self.file_id);
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
 }
 
 /// A materialized intermediate result spilled to disk, page by page.
@@ -40,8 +200,11 @@ pub struct SpilledPartitions {
     /// in-memory accounting so cost-model inputs do not depend on where a
     /// table lives.
     approx_bytes: usize,
-    /// Exact serialized page bytes — the *measured* size of the intermediate.
+    /// Exact stored page bytes — the *measured* on-disk size of the
+    /// intermediate (compressed when page compression is on).
     serialized_bytes: u64,
+    /// Uncompressed serialized bytes the pages decode back to.
+    logical_bytes: u64,
     pages: u64,
 }
 
@@ -53,71 +216,13 @@ impl SpilledPartitions {
         manager: Arc<SpillManager>,
         partitions: &[Vec<Tuple>],
     ) -> Result<(Self, SpillWriteTally)> {
-        let page_size = manager.config().page_size.max(512);
-        let (file_id, path) = manager.create_file()?;
-        let mut parts = Vec::with_capacity(partitions.len());
-        let mut tally = SpillWriteTally::default();
-        let mut offset = 0u64;
-        let mut page_no = 0u32;
-        let mut total_rows = 0usize;
-        let mut approx_bytes = 0usize;
-
-        let mut flush =
-            |buf: &mut Vec<u8>, rows_in_page: &mut u32, pages: &mut Vec<PageMeta>| -> Result<()> {
-                let data = std::mem::take(buf);
-                let meta = PageMeta {
-                    page_no,
-                    offset,
-                    len: data.len() as u32,
-                    rows: *rows_in_page,
-                };
-                offset += data.len() as u64;
-                tally.pages += 1;
-                tally.bytes += data.len() as u64;
-                manager
-                    .pool()
-                    .put_page(file_id, page_no, meta.offset, data)?;
-                page_no += 1;
-                *rows_in_page = 0;
-                pages.push(meta);
-                Ok(())
-            };
-
-        for partition in partitions {
-            let mut pages = Vec::new();
-            let mut buf: Vec<u8> = Vec::with_capacity(page_size.min(1 << 20));
-            let mut rows_in_page = 0u32;
+        let mut writer = SpillPartitionWriter::new(manager, partitions.len())?;
+        for (p, partition) in partitions.iter().enumerate() {
             for row in partition {
-                encode_tuple(&mut buf, row);
-                rows_in_page += 1;
-                approx_bytes += row.approx_bytes();
-                if buf.len() >= page_size {
-                    flush(&mut buf, &mut rows_in_page, &mut pages)?;
-                }
+                writer.append(p, row)?;
             }
-            if rows_in_page > 0 {
-                flush(&mut buf, &mut rows_in_page, &mut pages)?;
-            }
-            total_rows += partition.len();
-            parts.push(PartitionPages {
-                pages,
-                rows: partition.len(),
-            });
         }
-
-        Ok((
-            Self {
-                manager,
-                file_id,
-                path,
-                parts,
-                total_rows,
-                approx_bytes,
-                serialized_bytes: tally.bytes,
-                pages: tally.pages,
-            },
-            tally,
-        ))
+        writer.finish()
     }
 
     /// Number of partitions.
@@ -140,9 +245,15 @@ impl SpilledPartitions {
         self.approx_bytes
     }
 
-    /// Exact serialized bytes on disk.
+    /// Exact stored bytes on disk (compressed when compression is on).
     pub fn serialized_bytes(&self) -> u64 {
         self.serialized_bytes
+    }
+
+    /// Uncompressed serialized bytes (equals [`Self::serialized_bytes`] when
+    /// compression is off or never helped).
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
     }
 
     /// Total pages in the store.
@@ -150,30 +261,102 @@ impl SpilledPartitions {
         self.pages
     }
 
+    /// Fetches, decompresses and decodes one page, folding it into `tally`
+    /// and handing the rows to `f`.
+    fn visit_page<F>(&self, meta: &PageMeta, tally: &mut SpillReadTally, f: &mut F) -> Result<bool>
+    where
+        F: FnMut(&[Tuple]) -> Result<bool>,
+    {
+        let rows = self.manager.pool().with_page(
+            self.file_id,
+            meta.page_no,
+            meta.offset,
+            meta.stored_len as usize,
+            |blob| -> Result<Vec<Tuple>> {
+                let body = decode_page(blob)?;
+                decode_rows(&body, meta.rows as usize)
+            },
+        )??;
+        tally.pages += 1;
+        tally.bytes += meta.stored_len as u64;
+        tally.logical_bytes += meta.logical_len as u64;
+        f(&rows)
+    }
+
     /// Streams partition `p` page by page: `f` receives each page's decoded
     /// rows in storage order and returns whether to keep going. The returned
     /// tally counts the pages actually fetched, so an early stop charges only
     /// what was read.
+    ///
+    /// With `SpillConfig::prefetch_pages > 0` a read-ahead thread keeps the
+    /// next pages resident in the buffer pool while `f` and the row decoder
+    /// run, overlapping disk I/O with decode work. Prefetching touches only
+    /// the physical pool state — the logical tally and the delivered rows are
+    /// identical with and without it.
     pub fn scan_pages<F>(&self, p: usize, mut f: F) -> Result<SpillReadTally>
     where
         F: FnMut(&[Tuple]) -> Result<bool>,
     {
-        let mut tally = SpillReadTally::default();
-        for meta in &self.parts[p].pages {
-            let rows = self.manager.pool().with_page(
-                self.file_id,
-                meta.page_no,
-                meta.offset,
-                meta.len as usize,
-                |bytes| decode_rows(bytes, meta.rows as usize),
-            )??;
-            tally.pages += 1;
-            tally.bytes += meta.len as u64;
-            if !f(&rows)? {
-                break;
+        let metas = &self.parts[p].pages;
+        let lookahead = self.manager.config().prefetch_pages;
+        let pool = self.manager.pool();
+        // No read-ahead thread when there is nothing to read ahead: single
+        // pages, prefetching disabled, or every page already resident in the
+        // pool (the common case for small grace buckets scanned right after
+        // being written) — a thread spawn would cost more than it overlaps.
+        // More pages than frames can never be all-resident, so skip the
+        // under-lock residency probe entirely then.
+        if lookahead == 0
+            || metas.len() <= 1
+            || (metas.len() <= pool.capacity()
+                && pool.all_resident(self.file_id, metas.iter().map(|m| m.page_no)))
+        {
+            let mut tally = SpillReadTally::default();
+            for meta in metas {
+                if !self.visit_page(meta, &mut tally, &mut f)? {
+                    break;
+                }
             }
+            return Ok(tally);
         }
-        Ok(tally)
+
+        let gate = PrefetchGate::new(lookahead);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // The scanner fetches page 0 itself; read ahead from page 1,
+                // staying at most `lookahead` pages in front of it and
+                // skipping pages the scanner has already reached (fetching
+                // those would double-read them from disk). Prefetch errors
+                // are ignored — the scanner's own read will surface anything
+                // real.
+                for (i, meta) in metas.iter().enumerate().skip(1) {
+                    match gate.wait_for_slot(i) {
+                        Slot::Closed => return,
+                        Slot::Skip => continue,
+                        Slot::Fetch => {
+                            let _ = pool.prefetch_page(
+                                self.file_id,
+                                meta.page_no,
+                                meta.offset,
+                                meta.stored_len as usize,
+                            );
+                        }
+                    }
+                }
+            });
+            // Release the prefetcher on every exit path — early stops,
+            // errors AND panics unwinding out of `f` — or the scope would
+            // never join the parked thread.
+            let _close_guard = CloseOnDrop(&gate);
+            let mut tally = SpillReadTally::default();
+            for meta in metas {
+                if !self.visit_page(meta, &mut tally, &mut f)? {
+                    break;
+                }
+                gate.advance();
+            }
+            Ok(tally)
+        })
     }
 
     /// Materializes one partition back into memory, returning the logical
@@ -200,6 +383,97 @@ impl Drop for SpilledPartitions {
     }
 }
 
+/// Coordination between one scan and its read-ahead thread: the prefetcher
+/// waits whenever it would run more than `lookahead` pages in front of the
+/// scanner, and `close` releases it unconditionally (end of scan, early stop
+/// or error).
+struct PrefetchGate {
+    lookahead: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    /// Pages the scanner has fully processed.
+    consumed: usize,
+    closed: bool,
+}
+
+/// What the prefetcher should do with the page it asked about.
+enum Slot {
+    /// Read the page into the pool — it is ahead of the scanner, inside the
+    /// lookahead window.
+    Fetch,
+    /// Leave the page alone — the scanner already reached it.
+    Skip,
+    /// Stop — the scan is over.
+    Closed,
+}
+
+impl PrefetchGate {
+    fn new(lookahead: usize) -> Self {
+        Self {
+            lookahead,
+            state: Mutex::new(GateState {
+                consumed: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until page `i` enters the lookahead window in front of the page
+    /// the scanner is currently processing. Pages the scanner has already
+    /// reached come back as [`Slot::Skip`] — prefetching them would race the
+    /// scanner's own fetch and read the page from disk twice.
+    fn wait_for_slot(&self, i: usize) -> Slot {
+        let mut state = self.state.lock().expect("prefetch gate lock");
+        loop {
+            if state.closed {
+                return Slot::Closed;
+            }
+            // The scanner is processing page `consumed` right now.
+            if i <= state.consumed {
+                return Slot::Skip;
+            }
+            if i <= state.consumed + self.lookahead {
+                return Slot::Fetch;
+            }
+            state = self.cv.wait(state).expect("prefetch gate wait");
+        }
+    }
+
+    fn advance(&self) {
+        let mut state = self.state.lock().expect("prefetch gate lock");
+        state.consumed += 1;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        // Runs during panic unwinds (via `CloseOnDrop`): recover from a
+        // poisoned lock instead of double-panicking into an abort.
+        let mut state = match self.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.closed = true;
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+/// Closes its gate when dropped, so a panic unwinding out of the scan
+/// callback still releases the read-ahead thread before `thread::scope`
+/// joins it.
+struct CloseOnDrop<'a>(&'a PrefetchGate);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,13 +496,16 @@ mod tests {
             .collect()
     }
 
+    fn manager_with(config: SpillConfig) -> Arc<SpillManager> {
+        SpillManager::create(config).unwrap()
+    }
+
     fn manager(budget: u64, page_size: usize) -> Arc<SpillManager> {
-        SpillManager::create(
+        manager_with(
             SpillConfig::default()
                 .with_budget(budget)
                 .with_page_size(page_size),
         )
-        .unwrap()
     }
 
     #[test]
@@ -240,6 +517,11 @@ mod tests {
         assert_eq!(store.row_count(), 137);
         assert!(tally.pages > 1, "small page size forces multiple pages");
         assert_eq!(tally.bytes, store.serialized_bytes());
+        assert_eq!(tally.logical_bytes, store.logical_bytes());
+        assert!(
+            tally.bytes < tally.logical_bytes,
+            "row pages compress: {tally:?}"
+        );
         for (p, expected) in partitions.iter().enumerate() {
             assert_eq!(&store.read_partition(p).unwrap(), expected);
             assert_eq!(store.partition_rows(p), expected.len());
@@ -256,6 +538,7 @@ mod tests {
         let full = store.scan_pages(0, |_| Ok(true)).unwrap();
         assert_eq!(full.pages, write.pages);
         assert_eq!(full.bytes, write.bytes);
+        assert_eq!(full.logical_bytes, write.logical_bytes);
         let first_only = store.scan_pages(0, |_| Ok(false)).unwrap();
         assert_eq!(first_only.pages, 1, "early stop reads one page");
         assert!(first_only.bytes < full.bytes);
@@ -265,7 +548,13 @@ mod tests {
     fn pages_survive_pool_pressure() {
         // A 16-frame pool (minimum) with 512-byte pages and ~60 pages of data:
         // most reads must miss the pool and hit the file (after writeback).
-        let mgr = manager(1, 512);
+        // Prefetching off so the miss counter reflects the scanner's reads.
+        let mgr = manager_with(
+            SpillConfig::default()
+                .with_budget(1)
+                .with_page_size(512)
+                .with_prefetch_pages(0),
+        );
         let partitions = vec![rows(400, "pressure"), rows(400, "more")];
         let (store, _) = SpilledPartitions::write(Arc::clone(&mgr), &partitions).unwrap();
         for (p, expected) in partitions.iter().enumerate() {
@@ -274,6 +563,149 @@ mod tests {
         let d = mgr.pool_diagnostics();
         assert!(d.writebacks > 0, "evictions flushed dirty pages: {d:?}");
         assert!(d.misses > 0, "reads went to the file: {d:?}");
+    }
+
+    #[test]
+    fn prefetched_scans_deliver_identical_rows_and_tallies() {
+        let data = vec![rows(700, "pf"), rows(123, "pf2")];
+        let reference = {
+            let mgr = manager_with(
+                SpillConfig::default()
+                    .with_budget(1)
+                    .with_page_size(512)
+                    .with_prefetch_pages(0),
+            );
+            let (store, _) = SpilledPartitions::write(Arc::clone(&mgr), &data).unwrap();
+            (0..data.len())
+                .map(|p| store.read_partition_tallied(p).unwrap())
+                .collect::<Vec<_>>()
+        };
+        for lookahead in [1, 2, 8] {
+            let mgr = manager_with(
+                SpillConfig::default()
+                    .with_budget(1)
+                    .with_page_size(512)
+                    .with_prefetch_pages(lookahead),
+            );
+            let (store, _) = SpilledPartitions::write(Arc::clone(&mgr), &data).unwrap();
+            for (p, expected) in reference.iter().enumerate() {
+                let got = store.read_partition_tallied(p).unwrap();
+                assert_eq!(got.0, expected.0, "lookahead={lookahead}");
+                assert_eq!(got.1, expected.1, "tallies are prefetch-invariant");
+            }
+        }
+    }
+
+    /// With the scanner throttled (so the read-ahead thread is guaranteed CPU
+    /// time) the prefetcher really does pull pages in ahead of it. Retried a
+    /// few times because scheduling is the OS's call — one pass is normally
+    /// enough.
+    #[test]
+    fn read_ahead_thread_installs_pages_before_the_scanner() {
+        let mgr = manager_with(
+            SpillConfig::default()
+                .with_budget(1)
+                .with_page_size(512)
+                .with_prefetch_pages(8),
+        );
+        let data = vec![rows(700, "ahead")];
+        let (store, _) = SpilledPartitions::write(Arc::clone(&mgr), &data).unwrap();
+        for _ in 0..50 {
+            store
+                .scan_pages(0, |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    Ok(true)
+                })
+                .unwrap();
+            if mgr.pool_diagnostics().prefetches > 0 {
+                return;
+            }
+        }
+        panic!(
+            "read-ahead never installed a page: {:?}",
+            mgr.pool_diagnostics()
+        );
+    }
+
+    #[test]
+    fn compression_off_stores_raw_pages_and_roundtrips() {
+        let data = vec![rows(300, "raw")];
+        let raw_mgr = manager_with(
+            SpillConfig::default()
+                .with_budget(1)
+                .with_page_size(512)
+                .with_compression(false),
+        );
+        let (raw_store, raw_tally) = SpilledPartitions::write(Arc::clone(&raw_mgr), &data).unwrap();
+        // Raw pages cost one flag byte each on top of the row encoding.
+        assert_eq!(
+            raw_tally.bytes,
+            raw_tally.logical_bytes + raw_tally.pages,
+            "{raw_tally:?}"
+        );
+        assert_eq!(&raw_store.read_partition(0).unwrap(), &data[0]);
+
+        let packed_mgr = manager(1, 512);
+        let (packed_store, packed_tally) =
+            SpilledPartitions::write(Arc::clone(&packed_mgr), &data).unwrap();
+        assert_eq!(
+            packed_tally.logical_bytes, raw_tally.logical_bytes,
+            "compression never changes the logical volume"
+        );
+        assert_eq!(packed_tally.pages, raw_tally.pages, "same page boundaries");
+        assert!(
+            packed_tally.bytes < raw_tally.bytes,
+            "compressed pages are smaller: {packed_tally:?} vs {raw_tally:?}"
+        );
+        assert_eq!(
+            packed_store.read_partition(0).unwrap(),
+            raw_store.read_partition(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_writer_bounds_its_transient_footprint() {
+        let mgr = manager(1, 512);
+        let fanout = 4;
+        let mut writer = SpillPartitionWriter::new(Arc::clone(&mgr), fanout).unwrap();
+        let data = rows(2_000, "stream");
+        for (i, row) in data.iter().enumerate() {
+            writer.append(i % fanout, row).unwrap();
+        }
+        let peak = writer.peak_buffered_bytes();
+        let (store, tally) = writer.finish().unwrap();
+        assert!(peak > 0);
+        // One page-sized buffer per partition, plus at most one row of
+        // overshoot per buffer (a page holds at least one row).
+        let max_row = 64u64;
+        assert!(
+            peak <= fanout as u64 * (512 + max_row),
+            "peak {peak} exceeds fanout × page"
+        );
+        assert!(
+            tally.logical_bytes > 4 * peak,
+            "the spilled volume dwarfs the buffered footprint: {tally:?} vs {peak}"
+        );
+        // Round-robin routing: partition p holds every 4th row, in order.
+        for p in 0..fanout {
+            let expected: Vec<Tuple> = data.iter().skip(p).step_by(fanout).cloned().collect();
+            assert_eq!(store.read_partition(p).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn abandoned_writer_deletes_its_file() {
+        let mgr = manager(1, 512);
+        let mut writer = SpillPartitionWriter::new(Arc::clone(&mgr), 2).unwrap();
+        for row in rows(200, "abandon") {
+            writer.append(0, &row).unwrap();
+        }
+        drop(writer);
+        assert_eq!(
+            std::fs::read_dir(mgr.dir()).unwrap().count(),
+            0,
+            "unfinished writer cleans up its spill file"
+        );
     }
 
     #[test]

@@ -65,8 +65,11 @@ pub struct StoredIntermediate {
     pub spilled: bool,
     /// Pages written to the spill store (zero when resident).
     pub pages_written: u64,
-    /// Serialized bytes written to the spill store (zero when resident).
+    /// Stored bytes written to the spill store (zero when resident;
+    /// compressed size when page compression is on).
     pub bytes_written: u64,
+    /// Uncompressed serialized bytes behind `bytes_written`.
+    pub logical_bytes_written: u64,
 }
 
 /// The catalog of the simulated cluster: every node sees the same metadata, the
@@ -285,6 +288,7 @@ impl Catalog {
                     spilled: true,
                     pages_written: tally.pages,
                     bytes_written: tally.bytes,
+                    logical_bytes_written: tally.logical_bytes,
                 }
             }
             manager => {

@@ -21,6 +21,7 @@ pub use table::Table;
 // Spill-layer types surfaced through the storage API so downstream crates
 // need no direct `rdo-spill` dependency.
 pub use rdo_spill::{
-    PoolDiagnostics, SpillConfig, SpillManager, SpillReadTally, SpillWriteTally, SpilledPartitions,
-    JOIN_BUDGET_ENV, SPILL_BUDGET_ENV,
+    PoolDiagnostics, SpillConfig, SpillManager, SpillPartitionWriter, SpillReadTally,
+    SpillWriteTally, SpilledPartitions, JOIN_BUDGET_ENV, SPILL_BUDGET_ENV, SPILL_COMPRESS_ENV,
+    SPILL_PREFETCH_ENV,
 };

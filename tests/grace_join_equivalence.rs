@@ -23,8 +23,11 @@ fn scrub_grace(mut m: ExecutionMetrics) -> ExecutionMetrics {
     m.grace_bytes_written = 0;
     m.grace_pages_read = 0;
     m.grace_bytes_read = 0;
+    m.grace_logical_bytes_written = 0;
+    m.grace_logical_bytes_read = 0;
     m.grace_recursions = 0;
     m.grace_fallbacks = 0;
+    m.grace_peak_transient_bytes = 0;
     m
 }
 
@@ -88,6 +91,17 @@ fn grace_runs_match_in_memory_runs_on_all_evaluation_queries() {
             assert!(
                 outcome.total.grace_recursions > 0,
                 "{}: a 1-byte budget must force recursive partitioning: {:?}",
+                query.name,
+                outcome.total
+            );
+            // The streaming partitioner's transient footprint stays bounded
+            // by the largest fanout tier × page size (plus one row of
+            // overshoot per bucket buffer) — never the build side's size.
+            let page = rdo_spill::DEFAULT_PAGE_SIZE as u64;
+            assert!(
+                outcome.total.grace_peak_transient_bytes > 0
+                    && outcome.total.grace_peak_transient_bytes <= 16 * 2 * page,
+                "{}: partitioner footprint out of bounds: {:?}",
                 query.name,
                 outcome.total
             );
@@ -166,6 +180,64 @@ fn hybrid_budget_keeps_resident_buckets_and_matches() {
                 .total
                 .grace_bytes_written,
         "resident buckets reduce the spilled volume"
+    );
+}
+
+/// The I/O fast-path knobs are physical-only: with page compression and
+/// read-ahead prefetch in any combination, every grace run computes the same
+/// answer, the same plans and the same logical metrics; only the *stored*
+/// byte counters shrink when compression is on.
+#[test]
+fn compression_and_prefetch_axes_are_bit_identical() {
+    let env = env();
+    let query = q9();
+    let run = |compress: bool, prefetch: usize| {
+        let mut catalog = env.catalog.clone();
+        let config = DynamicConfig::default()
+            .with_parallel(ParallelConfig::serial().with_workers(2))
+            .with_spill(
+                SpillConfig::disabled()
+                    .with_join_budget(TINY_JOIN_BUDGET)
+                    .with_compression(compress)
+                    .with_prefetch_pages(prefetch),
+            );
+        DynamicDriver::new(config)
+            .execute(&query, &mut catalog)
+            .expect("grace execution")
+    };
+    let raw = run(false, 0);
+    for (compress, prefetch) in [(false, 4), (true, 0), (true, 4)] {
+        let outcome = run(compress, prefetch);
+        assert_eq!(
+            outcome.result, raw.result,
+            "result diverged at compress={compress} prefetch={prefetch}"
+        );
+        assert_eq!(outcome.stage_plans, raw.stage_plans);
+        let mut scrubbed = outcome.total;
+        scrubbed.grace_bytes_written = raw.total.grace_bytes_written;
+        scrubbed.grace_bytes_read = raw.total.grace_bytes_read;
+        assert_eq!(
+            scrubbed, raw.total,
+            "only stored bytes may differ at compress={compress} prefetch={prefetch}"
+        );
+        if compress {
+            assert!(
+                outcome.total.grace_bytes_written < raw.total.grace_bytes_written,
+                "compression shrinks grace spill files: {} vs {}",
+                outcome.total.grace_bytes_written,
+                raw.total.grace_bytes_written
+            );
+        } else {
+            assert_eq!(
+                outcome.total.grace_bytes_written,
+                raw.total.grace_bytes_written
+            );
+        }
+    }
+    // Raw pages cost exactly one frame-flag byte each over the row encoding.
+    assert_eq!(
+        raw.total.grace_bytes_written,
+        raw.total.grace_logical_bytes_written + raw.total.grace_pages_written
     );
 }
 

@@ -126,7 +126,7 @@ fn morsel_size_never_changes_results() {
     }
 }
 
-fn metrics_from(values: &[u64; 28]) -> ExecutionMetrics {
+fn metrics_from(values: &[u64; 33]) -> ExecutionMetrics {
     ExecutionMetrics {
         rows_scanned: values[0],
         bytes_scanned: values[1],
@@ -149,19 +149,26 @@ fn metrics_from(values: &[u64; 28]) -> ExecutionMetrics {
         spill_bytes_written: values[18],
         spill_pages_read: values[19],
         spill_bytes_read: values[20],
+        spill_logical_bytes_written: values[28],
+        spill_logical_bytes_read: values[29],
         grace_partitions_spilled: values[21],
         grace_pages_written: values[22],
         grace_bytes_written: values[23],
         grace_pages_read: values[24],
         grace_bytes_read: values[25],
+        grace_logical_bytes_written: values[30],
+        grace_logical_bytes_read: values[31],
         grace_recursions: values[26],
         grace_fallbacks: values[27],
+        // Max-merged high-water mark; max is commutative and associative
+        // with identity 0, so the merge laws below still hold.
+        grace_peak_transient_bytes: values[32],
     }
 }
 
-fn counter_strategy() -> impl Strategy<Value = [u64; 28]> {
-    prop::collection::vec(0u64..1_000_000, 28..29).prop_map(|v| {
-        let mut out = [0u64; 28];
+fn counter_strategy() -> impl Strategy<Value = [u64; 33]> {
+    prop::collection::vec(0u64..1_000_000, 33..34).prop_map(|v| {
+        let mut out = [0u64; 33];
         out.copy_from_slice(&v);
         out
     })

@@ -22,6 +22,8 @@ fn scrub_spill(mut m: ExecutionMetrics) -> ExecutionMetrics {
     m.spill_bytes_written = 0;
     m.spill_pages_read = 0;
     m.spill_bytes_read = 0;
+    m.spill_logical_bytes_written = 0;
+    m.spill_logical_bytes_read = 0;
     m
 }
 
@@ -121,6 +123,94 @@ fn spill_counters_are_worker_count_invariant() {
             ),
         }
     }
+}
+
+/// The I/O fast-path knobs are physical-only: page compression and read-ahead
+/// prefetch, in any combination, change neither results nor plans nor any
+/// logical metric — only the *stored* spill byte counters shrink when
+/// compression is on, and by a real margin.
+#[test]
+fn compression_and_prefetch_axes_are_bit_identical() {
+    let env = env();
+    let run = |query: &QuerySpec, compress: bool, prefetch: usize| {
+        let mut catalog = env.catalog.clone();
+        let config = DynamicConfig::default()
+            .with_parallel(ParallelConfig::serial().with_workers(2))
+            .with_spill(
+                SpillConfig::disabled()
+                    .with_budget(TINY_BUDGET)
+                    .with_compression(compress)
+                    .with_prefetch_pages(prefetch),
+            );
+        DynamicDriver::new(config)
+            .execute(query, &mut catalog)
+            .expect("out-of-core execution")
+    };
+
+    // Compression reduces the measured spill volume on every evaluation
+    // query, and the answer never moves.
+    for query in all_queries() {
+        let raw = run(&query, false, 0);
+        let packed = run(&query, true, 0);
+        assert_eq!(packed.result, raw.result, "{}", query.name);
+        assert_eq!(packed.stage_plans, raw.stage_plans, "{}", query.name);
+        assert!(
+            packed.total.spill_bytes_written < raw.total.spill_bytes_written
+                && packed.total.spill_bytes_read < raw.total.spill_bytes_read,
+            "{}: compressed pages must reduce spill_bytes_written: {} vs {}",
+            query.name,
+            packed.total.spill_bytes_written,
+            raw.total.spill_bytes_written
+        );
+        assert_eq!(
+            packed.total.spill_logical_bytes_written, raw.total.spill_logical_bytes_written,
+            "{}: the logical volume is compression-invariant",
+            query.name
+        );
+    }
+
+    // The full knob matrix on one query: everything but stored bytes is
+    // bit-identical.
+    let query = q17();
+    let run = |compress: bool, prefetch: usize| run(&query, compress, prefetch);
+    let raw = run(false, 0);
+    assert!(raw.total.spill_bytes_written > 0);
+    for (compress, prefetch) in [(false, 4), (true, 0), (true, 4)] {
+        let outcome = run(compress, prefetch);
+        assert_eq!(
+            outcome.result, raw.result,
+            "result diverged at compress={compress} prefetch={prefetch}"
+        );
+        assert_eq!(outcome.stage_plans, raw.stage_plans);
+        // Everything but the stored byte counters must match the raw run —
+        // including the logical spill volumes, which compression never moves.
+        let mut scrubbed = outcome.total;
+        scrubbed.spill_bytes_written = raw.total.spill_bytes_written;
+        scrubbed.spill_bytes_read = raw.total.spill_bytes_read;
+        assert_eq!(
+            scrubbed, raw.total,
+            "only stored bytes may differ at compress={compress} prefetch={prefetch}"
+        );
+        if compress {
+            assert!(
+                outcome.total.spill_bytes_written < raw.total.spill_bytes_written
+                    && outcome.total.spill_bytes_read < raw.total.spill_bytes_read,
+                "compressed pages reduce the measured spill I/O: {:?} vs {:?}",
+                outcome.total.spill_bytes_written,
+                raw.total.spill_bytes_written
+            );
+        } else {
+            assert_eq!(
+                outcome.total.spill_bytes_written,
+                raw.total.spill_bytes_written
+            );
+        }
+    }
+    // Raw pages cost exactly one frame-flag byte each over the row encoding.
+    assert_eq!(
+        raw.total.spill_bytes_written,
+        raw.total.spill_logical_bytes_written + raw.total.spill_pages_written
+    );
 }
 
 /// The strategy runner's report surface also reflects the spill: simulated
