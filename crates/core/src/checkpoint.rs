@@ -155,6 +155,7 @@ impl CheckpointedDriver {
         // unchanged configuration.
         catalog.configure_spill(self.config.spill)?;
         let pool = WorkerPool::new(self.config.parallel.workers);
+        let transport = rdo_net::transport_from_config(&self.config.parallel)?;
         let planner = GreedyPlanner::new(self.config.policy, self.config.rule);
         let mut metrics = ExecutionMetrics::new();
         let mut stage_plans = Vec::new();
@@ -192,7 +193,8 @@ impl CheckpointedDriver {
                 let description = format!("pushdown {}", plan.signature());
                 let data = {
                     let executor =
-                        ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
+                        ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone())
+                            .with_transport(std::sync::Arc::clone(&transport));
                     executor.execute(&plan, &mut stage_metrics)?
                 };
                 let table = format!("{}__ckpt_{}_filtered", sanitize(&spec.name), alias);
@@ -243,7 +245,8 @@ impl CheckpointedDriver {
             let mut stage_metrics = ExecutionMetrics::new();
             let data = {
                 let executor =
-                    ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
+                    ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone())
+                        .with_transport(std::sync::Arc::clone(&transport));
                 executor.execute(&plan, &mut stage_metrics)?
             };
             intermediate_counter += 1;
@@ -288,7 +291,8 @@ impl CheckpointedDriver {
         stage_plans.push(final_plan.signature());
         let mut stage_metrics = ExecutionMetrics::new();
         let relation = {
-            let executor = ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
+            let executor = ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone())
+                .with_transport(std::sync::Arc::clone(&transport));
             executor.execute_to_relation(&final_plan, &mut stage_metrics)?
         };
         metrics.add(&stage_metrics);

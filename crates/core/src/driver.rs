@@ -2,7 +2,9 @@
 
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
 use rdo_exec::{ExecutionMetrics, PhysicalPlan};
-use rdo_parallel::{materialize, ParallelConfig, ParallelExecutor, WorkerPool};
+use rdo_parallel::{
+    materialize, ParallelConfig, ParallelExecutor, Transport, TransportKind, WorkerPool,
+};
 use rdo_planner::greedy::join_edges;
 use rdo_planner::{
     reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, GreedyPlanner,
@@ -10,6 +12,7 @@ use rdo_planner::{
 };
 use rdo_storage::Catalog;
 use rdo_storage::SpillConfig;
+use std::sync::Arc;
 
 /// Configuration of the dynamic driver. The paper's approach and the
 /// INGRES-like baseline share the same driver and differ only in these knobs.
@@ -56,7 +59,11 @@ impl Default for DynamicConfig {
             collect_online_stats: true,
             push_down_predicates: true,
             reopt_budget: None,
-            parallel: ParallelConfig::default(),
+            // Reads RDO_TRANSPORT (but not RDO_WORKERS — worker counts stay
+            // explicit or machine-default here) so an exported transport
+            // selection routes every driver-based code path through the
+            // distributed exchanges without code changes.
+            parallel: ParallelConfig::default().with_transport(TransportKind::from_env()),
             // Reads RDO_SPILL_BUDGET and RDO_JOIN_BUDGET so an exported
             // budget drives every driver-based code path (including the
             // whole test suite) out-of-core without code changes.
@@ -185,7 +192,26 @@ impl DynamicDriver {
     /// Executes the query with runtime dynamic optimization. The catalog is
     /// mutated while the query runs (temporary tables for intermediate results)
     /// but restored before returning.
+    ///
+    /// The exchange transport is resolved from
+    /// [`ParallelConfig::transport`] (`RDO_TRANSPORT`, plus `RDO_NET_WORKERS`
+    /// for the TCP backend); use [`DynamicDriver::execute_with_transport`] to
+    /// pass an explicit transport object instead.
     pub fn execute(&self, spec: &QuerySpec, catalog: &mut Catalog) -> Result<DynamicOutcome> {
+        let transport = rdo_net::transport_from_config(&self.config.parallel)?;
+        self.execute_with_transport(spec, catalog, transport)
+    }
+
+    /// [`DynamicDriver::execute`] with an explicit exchange transport —
+    /// results, plans and logical metrics are transport-invariant, so the
+    /// distributed harnesses run the same query through an in-process and a
+    /// TCP transport and compare outcomes bit for bit.
+    pub fn execute_with_transport(
+        &self,
+        spec: &QuerySpec,
+        catalog: &mut Catalog,
+        transport: Arc<dyn Transport>,
+    ) -> Result<DynamicOutcome> {
         spec.validate()?;
         // One persistent worker pool per execution, shared by every stage's
         // executor and Sink barrier (threads spawn once, not per stage), and
@@ -215,7 +241,8 @@ impl DynamicDriver {
                             catalog,
                             self.config.parallel,
                             pool.clone(),
-                        );
+                        )
+                        .with_transport(Arc::clone(&transport));
                         executor.execute(&plan, &mut stage_metrics)?
                     };
                     let table_name = format!("{}__{}_filtered", sanitize(&spec.name), alias);
@@ -258,7 +285,8 @@ impl DynamicDriver {
                 let mut stage_metrics = ExecutionMetrics::new();
                 let data = {
                     let executor =
-                        ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
+                        ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone())
+                            .with_transport(Arc::clone(&transport));
                     executor.execute(&plan, &mut stage_metrics)?
                 };
 
@@ -306,7 +334,8 @@ impl DynamicDriver {
             let mut stage_metrics = ExecutionMetrics::new();
             let relation = {
                 let executor =
-                    ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone());
+                    ParallelExecutor::with_pool(catalog, self.config.parallel, pool.clone())
+                        .with_transport(Arc::clone(&transport));
                 executor.execute_to_relation(&final_plan, &mut stage_metrics)?
             };
             total.add(&stage_metrics);

@@ -119,7 +119,10 @@ impl Default for QueryRunner {
             cost_model: CostModel::default(),
             rule: JoinAlgorithmRule::default(),
             pilot_sample_limit: 2_000,
-            parallel: ParallelConfig::default(),
+            // RDO_TRANSPORT applies to every strategy the runner executes;
+            // worker counts stay explicit or machine-default.
+            parallel: ParallelConfig::default()
+                .with_transport(rdo_parallel::TransportKind::from_env()),
         }
     }
 }
@@ -255,10 +258,15 @@ impl QueryRunner {
         optimizer: &dyn Optimizer,
         pool: WorkerPool,
     ) -> Result<RunReport> {
+        // Static strategies route their exchanges through the configured
+        // transport too, so RDO_TRANSPORT=tcp distributes all six Figure 7
+        // strategies, not just the dynamic ones.
+        let transport = rdo_net::transport_from_config(&self.parallel)?;
         let start = Instant::now();
         let (plan, mut metrics) = optimizer.plan_with_overhead(spec, catalog, catalog.stats())?;
         let relation = {
-            let executor = ParallelExecutor::with_pool(catalog, self.parallel, pool);
+            let executor =
+                ParallelExecutor::with_pool(catalog, self.parallel, pool).with_transport(transport);
             executor.execute_to_relation(&plan, &mut metrics)?
         };
         let result = project_result(relation, &spec.projection)?;

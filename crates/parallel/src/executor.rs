@@ -8,20 +8,23 @@
 //! docs for why.
 
 use crate::config::ParallelConfig;
-use crate::exchange::{Broadcast, Gather, HashRepartition};
+use crate::exchange::{Broadcast, HashRepartition};
 use crate::pool::WorkerPool;
+use crate::transport::{default_transport, Transport};
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
 use rdo_exec::grace::{joined_partition, GraceContext, GraceTally};
 use rdo_exec::partition::{indexed_join_partition, scan_partition, IndexJoinTally, ScanTally};
 use rdo_exec::setup::{prepare_indexed_join, prepare_scan, resolve_keys};
 use rdo_exec::{ExecutionMetrics, JoinAlgorithm, PartitionedData, PhysicalPlan, Predicate};
 use rdo_storage::{Catalog, SpillReadTally};
+use std::sync::Arc;
 
 /// Executes physical plans against a catalog with one task per partition.
 pub struct ParallelExecutor<'a> {
     catalog: &'a Catalog,
     config: ParallelConfig,
     pool: WorkerPool,
+    transport: Arc<dyn Transport>,
 }
 
 impl<'a> ParallelExecutor<'a> {
@@ -39,7 +42,18 @@ impl<'a> ParallelExecutor<'a> {
             catalog,
             config,
             pool,
+            transport: default_transport(),
         }
+    }
+
+    /// Routes the exchange operators through `transport` (builder style).
+    /// The default is the in-process transport; note that
+    /// [`ParallelConfig::transport`] is only a *selection* — resolving it
+    /// into a concrete object is the caller's job (the `rdo-core` driver
+    /// resolves it through `rdo-net`).
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// The executor's configuration.
@@ -50,6 +64,11 @@ impl<'a> ParallelExecutor<'a> {
     /// The executor's worker pool.
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// The transport routing the executor's exchanges.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Executes a plan, returning the partitioned output.
@@ -81,7 +100,7 @@ impl<'a> ParallelExecutor<'a> {
         metrics: &mut ExecutionMetrics,
     ) -> Result<Relation> {
         let data = self.execute(plan, metrics)?;
-        let relation = Gather.apply(&data);
+        let relation = self.transport.gather(&data)?;
         metrics.result_rows += relation.len() as u64;
         Ok(relation)
     }
@@ -219,7 +238,8 @@ impl<'a> ParallelExecutor<'a> {
             left
         } else {
             let exchange = HashRepartition::new(left_key_indexes[0], &first_left_key.field);
-            let (data, moved_rows, moved_bytes) = exchange.apply(&left, &self.pool);
+            let (data, moved_rows, moved_bytes) =
+                self.transport.repartition(&exchange, &left, &self.pool)?;
             metrics.rows_shuffled += moved_rows;
             metrics.bytes_shuffled += moved_bytes;
             data
@@ -228,7 +248,8 @@ impl<'a> ParallelExecutor<'a> {
             right
         } else {
             let exchange = HashRepartition::new(right_key_indexes[0], &first_right_key.field);
-            let (data, moved_rows, moved_bytes) = exchange.apply(&right, &self.pool);
+            let (data, moved_rows, moved_bytes) =
+                self.transport.repartition(&exchange, &right, &self.pool)?;
             metrics.rows_shuffled += moved_rows;
             metrics.bytes_shuffled += moved_bytes;
             data
@@ -279,8 +300,9 @@ impl<'a> ParallelExecutor<'a> {
         let (left_key_indexes, right_key_indexes) = resolve_keys(&left, &right, keys)?;
 
         let partitions_count = left.num_partitions();
-        let (broadcast_rows, replicated_rows, replicated_bytes) =
-            Broadcast::new(partitions_count).apply(&right);
+        let (broadcast_rows, replicated_rows, replicated_bytes) = self
+            .transport
+            .broadcast(&Broadcast::new(partitions_count), &right)?;
         metrics.rows_broadcast += replicated_rows;
         metrics.bytes_broadcast += replicated_bytes;
 
@@ -348,8 +370,9 @@ impl<'a> ParallelExecutor<'a> {
             prepare_indexed_join(&table, dataset, projection.as_deref(), right.schema(), keys)?;
 
         let partitions_count = table.num_partitions();
-        let (broadcast_rows, replicated_rows, replicated_bytes) =
-            Broadcast::new(partitions_count).apply(&right);
+        let (broadcast_rows, replicated_rows, replicated_bytes) = self
+            .transport
+            .broadcast(&Broadcast::new(partitions_count), &right)?;
         metrics.rows_broadcast += replicated_rows;
         metrics.bytes_broadcast += replicated_bytes;
 

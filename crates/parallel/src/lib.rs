@@ -55,18 +55,72 @@
 //!   partition and the coordinator merges the partials before registering the
 //!   intermediate, mirroring the paper's per-partition Sink statistics.
 //!
+//! * **Transport seam** — each exchange routes through a [`Transport`]
+//!   ([`transport`] module): [`InProcessTransport`] (the default) performs the
+//!   movement as an in-process memory move, while the `rdo-net` crate's TCP
+//!   backend ships the same tuples across worker processes as framed page
+//!   batches. Both are bit-identical by contract; `RDO_TRANSPORT` selects
+//!   the kind (see [`TransportKind`]).
+//!
 //! [`ParallelConfig::workers`] defaults to the machine's available
 //! parallelism; `RDO_WORKERS` overrides it (see [`ParallelConfig::from_env`]),
 //! which keeps benchmark figures reproducible on any core count.
+//!
+//! # Example
+//!
+//! Execute a tiny join plan partition-parallel and check it against the
+//! serial executor:
+//!
+//! ```
+//! use rdo_common::{DataType, FieldRef, Relation, Schema, Tuple, Value};
+//! use rdo_exec::{ExecutionMetrics, Executor, JoinAlgorithm, PhysicalPlan};
+//! use rdo_parallel::{ParallelConfig, ParallelExecutor};
+//! use rdo_storage::{Catalog, IngestOptions};
+//!
+//! let mut catalog = Catalog::new(4);
+//! for (name, rows) in [("orders", 60i64), ("customer", 12)] {
+//!     let schema = Schema::for_dataset(name, &[("id", DataType::Int64)]);
+//!     let data = (0..rows).map(|i| Tuple::new(vec![Value::Int64(i % 12)])).collect();
+//!     catalog
+//!         .ingest(name, Relation::new(schema, data).unwrap(), IngestOptions::default())
+//!         .unwrap();
+//! }
+//! let plan = PhysicalPlan::join(
+//!     PhysicalPlan::scan("orders"),
+//!     PhysicalPlan::scan("customer"),
+//!     FieldRef::new("orders", "id"),
+//!     FieldRef::new("customer", "id"),
+//!     JoinAlgorithm::Hash,
+//! );
+//!
+//! let mut serial_metrics = ExecutionMetrics::new();
+//! let expected = Executor::new(&catalog)
+//!     .execute_to_relation(&plan, &mut serial_metrics)
+//!     .unwrap();
+//!
+//! let executor = ParallelExecutor::new(&catalog, ParallelConfig::serial().with_workers(4));
+//! let mut metrics = ExecutionMetrics::new();
+//! let actual = executor.execute_to_relation(&plan, &mut metrics).unwrap();
+//!
+//! // Bit-identical results and metrics at any worker count.
+//! assert_eq!(actual, expected);
+//! assert_eq!(metrics, serial_metrics);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod exchange;
 pub mod executor;
 pub mod pool;
 pub mod sink;
+pub mod transport;
 
-pub use config::{parse_workers, ParallelConfig, WORKERS_ENV};
+pub use config::{
+    parse_transport_env, parse_workers, ParallelConfig, TransportKind, TRANSPORT_ENV, WORKERS_ENV,
+};
 pub use exchange::{Broadcast, Gather, HashRepartition};
 pub use executor::ParallelExecutor;
 pub use pool::WorkerPool;
 pub use sink::materialize;
+pub use transport::{default_transport, InProcessTransport, Transport};

@@ -45,6 +45,44 @@
 //! spilled rows and the compression switch — so execution metrics stay
 //! bit-identical for every worker count even though the buffer pool's
 //! physical hit/miss/prefetch behaviour varies.
+//!
+//! # Example
+//!
+//! Spill two partitions to disk through a tiny buffer pool and stream them
+//! back, byte-exact:
+//!
+//! ```
+//! use rdo_common::{Tuple, Value};
+//! use rdo_spill::{SpillConfig, SpillManager, SpilledPartitions};
+//! use std::sync::Arc;
+//!
+//! let manager = SpillManager::create(
+//!     SpillConfig::default().with_budget(1).with_page_size(512),
+//! ).unwrap();
+//! let partitions: Vec<Vec<Tuple>> = (0..2)
+//!     .map(|p| {
+//!         (0..100)
+//!             .map(|i| Tuple::new(vec![
+//!                 Value::Int64(p * 100 + i),
+//!                 Value::Utf8(format!("row-{p}-{i}")),
+//!             ]))
+//!             .collect()
+//!     })
+//!     .collect();
+//!
+//! let (store, tally) = SpilledPartitions::write(Arc::clone(&manager), &partitions).unwrap();
+//! assert!(tally.pages > 0, "rows went to disk pages");
+//! for (p, expected) in partitions.iter().enumerate() {
+//!     assert_eq!(&store.read_partition(p).unwrap(), expected, "exact roundtrip");
+//! }
+//!
+//! // Dropping the store deletes its spill file.
+//! let dir = manager.dir().to_path_buf();
+//! drop(store);
+//! assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod buffer;
 pub mod codec;

@@ -5,7 +5,8 @@
 //! crate reproduces that substrate: a [`Table`] is a set of hash partitions
 //! (memory-resident, or spilled to the paged disk store of `rdo-spill`), a
 //! [`Catalog`] owns tables, their secondary indexes and the ingestion-time
-//! [`StatsCatalog`], and intermediate results produced at re-optimization points
+//! [`rdo_sketch::StatsCatalog`], and intermediate results produced at
+//! re-optimization points
 //! are registered as temporary tables — kept resident or spilled to disk
 //! according to the catalog's memory budget ([`Catalog::configure_spill`],
 //! `RDO_SPILL_BUDGET`).

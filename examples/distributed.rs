@@ -1,0 +1,136 @@
+//! Distributed multi-process execution harness.
+//!
+//! Spawns localhost worker processes (copies of this binary, flipped into
+//! worker mode by `rdo_net::maybe_worker`), routes every exchange of a
+//! dynamic query execution through the `rdo-net` TCP transport, and checks
+//! the outcome bit for bit against the in-process transport.
+//!
+//! ```text
+//! cargo run --example distributed                      # Q9, 2 worker processes
+//! cargo run --example distributed -- --workers 4       # bigger fleet
+//! cargo run --example distributed -- --query Q17
+//! cargo run --example distributed -- --in-process      # fallback smoke mode:
+//!                                                      # no processes, no sockets
+//! ```
+//!
+//! The same wiring works without this harness: start workers by hand
+//! (`RDO_NET_WORKER=1 <binary>`), export `RDO_TRANSPORT=tcp` and
+//! `RDO_NET_WORKERS=<addr,addr,...>`, and every driver/runner execution
+//! routes its exchanges through the cluster.
+
+use runtime_dynamic_optimization::prelude::*;
+use std::sync::Arc;
+
+struct Args {
+    workers: usize,
+    query: String,
+    in_process: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: 2,
+        query: "Q9".to_string(),
+        in_process: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a positive integer");
+            }
+            "--query" => args.query = it.next().expect("--query takes a name (Q8/Q9/Q17/Q50)"),
+            "--in-process" => args.in_process = true,
+            other => {
+                eprintln!("unknown argument {other:?} (try --workers N, --query Q9, --in-process)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    // Worker mode: this process was spawned by LocalCluster below.
+    if runtime_dynamic_optimization::net::maybe_worker().expect("worker loop") {
+        return;
+    }
+    let args = parse_args();
+
+    println!("loading synthetic TPC-H/TPC-DS data ...");
+    let env = BenchmarkEnv::load(ScaleFactor::gb(2), 4, true, 42).expect("workload generation");
+    let query = all_queries()
+        .into_iter()
+        .find(|q| q.name.eq_ignore_ascii_case(&args.query))
+        .unwrap_or_else(|| panic!("unknown query {:?} (expected Q8/Q9/Q17/Q50)", args.query));
+    let driver = DynamicDriver::new(
+        DynamicConfig::default().with_parallel(ParallelConfig::serial().with_workers(2)),
+    );
+
+    // Reference: the in-process transport (exactly what every executor used
+    // before rdo-net existed).
+    let reference = {
+        let mut catalog = env.catalog.clone();
+        driver
+            .execute_with_transport(&query, &mut catalog, Arc::new(InProcessTransport))
+            .expect("in-process execution")
+    };
+    println!(
+        "{} in-process : {} result rows, {} stages, {} rows shuffled, {} rows broadcast",
+        query.name,
+        reference.result.len(),
+        reference.stage_plans.len(),
+        reference.total.rows_shuffled,
+        reference.total.rows_broadcast,
+    );
+
+    if args.in_process {
+        println!("--in-process: skipping the worker fleet; done.");
+        return;
+    }
+
+    println!("spawning {} localhost worker process(es) ...", args.workers);
+    let cluster = LocalCluster::spawn(args.workers).expect("spawn workers");
+    println!("workers: {}", cluster.addr_list());
+    let transport = Arc::new(TcpTransport::connect(cluster.addrs()).expect("connect workers"));
+
+    let outcome = {
+        let mut catalog = env.catalog.clone();
+        driver
+            .execute_with_transport(&query, &mut catalog, transport.clone())
+            .expect("distributed execution")
+    };
+    let stats = transport.stats();
+    println!(
+        "{} distributed: {} result rows, {} stages, {} bytes sent / {} bytes received on the wire",
+        query.name,
+        outcome.result.len(),
+        outcome.stage_plans.len(),
+        stats.bytes_sent,
+        stats.bytes_received,
+    );
+
+    assert_eq!(
+        outcome.result, reference.result,
+        "results must be bit-identical"
+    );
+    assert_eq!(
+        outcome.total, reference.total,
+        "metrics must be bit-identical"
+    );
+    assert_eq!(
+        outcome.stage_plans, reference.stage_plans,
+        "plans must be identical"
+    );
+    println!("results, metrics and plans are bit-identical across transports ✓");
+
+    drop(transport);
+    let statuses = cluster.shutdown().expect("clean shutdown");
+    println!(
+        "workers shut down cleanly ({} process(es), all exit 0) ✓",
+        statuses.len()
+    );
+}

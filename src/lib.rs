@@ -18,7 +18,13 @@
 //!   (`RDO_JOIN_BUDGET`), the executor and the cluster cost model;
 //! * [`parallel`] — the partition-parallel executor: a persistent worker
 //!   pool running one task per partition, with explicit exchange operators
-//!   (hash re-partition, broadcast, gather) between them;
+//!   (hash re-partition, broadcast, gather) between them behind a pluggable
+//!   `Transport` seam;
+//! * [`net`] — the distributed multi-process exchange backend: a
+//!   length-prefixed TCP transport (`RDO_TRANSPORT=tcp`) that routes the
+//!   exchange operators across worker processes as framed page batches,
+//!   plus the worker-process entry points and the localhost cluster
+//!   spawner;
 //! * [`planner`] — the query model, cardinality estimation, the greedy
 //!   next-join Planner and the static baselines (cost-based, best-order,
 //!   worst-order, pilot-run);
@@ -59,6 +65,7 @@ pub use rdo_common as common;
 pub use rdo_core as core;
 pub use rdo_exec as exec;
 pub use rdo_lsm as lsm;
+pub use rdo_net as net;
 pub use rdo_parallel as parallel;
 pub use rdo_planner as planner;
 pub use rdo_sketch as sketch;
@@ -79,7 +86,10 @@ pub mod prelude {
         PhysicalPlan, PostProcess, Predicate, SortKey,
     };
     pub use rdo_lsm::{LsmDataset, LsmOptions, PrefixMergePolicy, TieredMergePolicy};
-    pub use rdo_parallel::{ParallelConfig, ParallelExecutor, WorkerPool};
+    pub use rdo_net::{LocalCluster, TcpTransport};
+    pub use rdo_parallel::{
+        InProcessTransport, ParallelConfig, ParallelExecutor, Transport, TransportKind, WorkerPool,
+    };
     pub use rdo_planner::{
         BestOrderOptimizer, CostBasedOptimizer, DatasetRef, GreedyPlanner, JoinAlgorithmRule,
         NextJoinPolicy, Optimizer, PilotRunOptimizer, QuerySpec, WorstOrderOptimizer,
