@@ -38,7 +38,7 @@ fn bench_reopt_budget(c: &mut Criterion) {
                 &driver_config,
                 |b, driver_config| {
                     b.iter(|| {
-                        DynamicDriver::new(*driver_config)
+                        DynamicDriver::new(driver_config.clone())
                             .execute(&query, &mut env.catalog)
                             .expect("budgeted dynamic execution")
                     });

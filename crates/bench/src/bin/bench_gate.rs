@@ -50,6 +50,15 @@ fn main() {
     std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
     println!("wrote {} benchmarks to {}", records.len(), args.out);
 
+    // Companion profile artifact: traced repetitions of the dynamic-driver
+    // cases, written next to the trajectory file. Strictly after (and apart
+    // from) the gated runs above, which stay untraced so the gated costs are
+    // the exact seed code path.
+    let profile_path = format!("{}.profile.txt", args.out.trim_end_matches(".json"));
+    let profile = write_profile_artifact(&profile_path);
+    std::fs::write(&profile_path, profile).unwrap_or_else(|e| panic!("write {profile_path}: {e}"));
+    println!("wrote stage profiles to {profile_path}");
+
     if args.update_baseline {
         std::fs::write(&args.baseline, &json)
             .unwrap_or_else(|e| panic!("write {}: {e}", args.baseline));
@@ -104,9 +113,9 @@ fn main() {
     }
 
     if !failures.is_empty() {
-        eprintln!("bench regression gate FAILED:");
+        rdo_common::error!("bench regression gate FAILED:");
         for failure in &failures {
-            eprintln!("  {failure}");
+            rdo_common::error!("  {failure}");
         }
         std::process::exit(1);
     }
@@ -179,6 +188,84 @@ fn run_benchmarks() -> Vec<BenchRecord> {
     }
 
     records
+}
+
+/// Traced repetitions of the dynamic-driver cases: per stage of each query,
+/// the p50/p90 wall time across `REPS` runs, followed by one full span tree
+/// and the metrics exposition of the last repetition. Diagnostics only —
+/// nothing here feeds the gate.
+fn write_profile_artifact(path: &str) -> String {
+    const REPS: usize = 5;
+    let env = BenchmarkEnv::load(ScaleFactor::gb(2), 8, true, 42).expect("workload generation");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# per-stage wall times over {REPS} traced repetitions (p50 / p90, ms)\n\
+         # written by bench_gate next to {path}; not part of the gated costs\n"
+    ));
+    for query in all_queries() {
+        // stage key -> wall seconds per repetition, in stage order.
+        let mut stages: Vec<(String, Vec<f64>)> = Vec::new();
+        let mut last_trace = None;
+        for _ in 0..REPS {
+            let trace = rdo_trace::TraceHandle::enabled();
+            let mut catalog = env.catalog.clone();
+            let config = DynamicConfig::default()
+                .with_parallel(ParallelConfig::serial())
+                .with_spill(SpillConfig::disabled())
+                .with_trace(trace.clone());
+            DynamicDriver::new(config)
+                .execute(&query, &mut catalog)
+                .expect("traced dynamic execution");
+            for (key, seconds) in stage_walls(&trace) {
+                match stages.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, walls)) => walls.push(seconds),
+                    None => stages.push((key, vec![seconds])),
+                }
+            }
+            last_trace = Some(trace);
+        }
+        out.push_str(&format!("\n== {} ==\n", query.name));
+        for (key, walls) in &stages {
+            let mut sorted = walls.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let p = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize] * 1_000.0;
+            out.push_str(&format!(
+                "{key:<40} p50 {:>9.3} ms   p90 {:>9.3} ms\n",
+                p(0.5),
+                p(0.9)
+            ));
+        }
+        if let Some(trace) = last_trace {
+            let profile = trace.profile();
+            out.push_str("\n--- span tree (last repetition) ---\n");
+            out.push_str(&profile.render_tree());
+            out.push_str("--- metrics ---\n");
+            out.push_str(&profile.metrics_text());
+        }
+    }
+    out
+}
+
+/// The top-level stages of one traced run: every child of `driver.execute`,
+/// keyed by name plus its identifying attribute, with wall seconds.
+fn stage_walls(trace: &rdo_trace::TraceHandle) -> Vec<(String, f64)> {
+    let spans = trace.spans();
+    let roots: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "driver.execute")
+        .map(|s| s.id)
+        .collect();
+    spans
+        .iter()
+        .filter(|s| roots.contains(&s.parent))
+        .map(|s| {
+            let key = match s.attrs.first() {
+                Some((k, v)) => format!("{} {}={}", s.name, k, v),
+                None => s.name.clone(),
+            };
+            (key, s.duration_ns as f64 / 1e9)
+        })
+        .collect()
 }
 
 fn run_join(

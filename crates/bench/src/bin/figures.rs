@@ -110,14 +110,15 @@ fn write_json<T: serde::Serialize>(out_dir: &PathBuf, name: &str, rows: &T) {
     let path = out_dir.join(name);
     let json = serde_json::to_string_pretty(rows).expect("serialize rows");
     fs::write(&path, json).expect("write results file");
-    eprintln!("wrote {}", path.display());
+    rdo_common::info!("wrote {}", path.display());
 }
 
 fn main() {
     let args = parse_args();
-    eprintln!(
+    rdo_common::info!(
         "running experiments at scale factors {:?} with {} partitions",
-        args.config.scales, args.config.partitions
+        args.config.scales,
+        args.config.partitions
     );
 
     let mut figure7_rows = None;

@@ -52,10 +52,10 @@ pub fn parse_env_bool(var: &str, raw: &str, fallback: &str) -> Result<bool, Stri
     }
 }
 
-/// Applies one of the parsers above to an already-read value, printing the
-/// warning to stderr and returning `None` on garbage (the caller keeps its
-/// default). Split from [`read_env`] so configuration code can be tested
-/// without mutating the process environment.
+/// Applies one of the parsers above to an already-read value, emitting the
+/// warning through [`crate::log`] and returning `None` on garbage (the caller
+/// keeps its default). Split from [`read_env`] so configuration code can be
+/// tested without mutating the process environment.
 pub fn parse_or_warn<T>(
     var: &str,
     raw: &str,
@@ -65,7 +65,10 @@ pub fn parse_or_warn<T>(
     match parse(var, raw, fallback) {
         Ok(value) => Some(value),
         Err(warning) => {
-            eprintln!("{warning}");
+            // The parser messages already start with "warning:"; strip the
+            // prefix so the level tag is not doubled in the rendered line.
+            let text = warning.strip_prefix("warning: ").unwrap_or(&warning);
+            crate::warn!("{text}");
             None
         }
     }

@@ -7,6 +7,7 @@
 
 pub mod env;
 pub mod error;
+pub mod log;
 pub mod schema;
 pub mod tuple;
 pub mod value;

@@ -123,7 +123,7 @@ pub struct RecoveredOutcome {
 }
 
 /// A dynamic-optimization driver whose stages double as recovery checkpoints.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CheckpointedDriver {
     /// Dynamic-optimization configuration (shared with [`DynamicDriver`]).
     pub config: DynamicConfig,

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 /// Configuration of the dynamic driver. The paper's approach and the
 /// INGRES-like baseline share the same driver and differ only in these knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DynamicConfig {
     /// How the next join is scored ([`NextJoinPolicy::Statistics`] for the
     /// paper's approach, [`NextJoinPolicy::CardinalityOnly`] for INGRES-like).
@@ -49,6 +49,14 @@ pub struct DynamicConfig {
     /// store. Results and (non-spill) metrics are bit-identical to the
     /// in-memory paths.
     pub spill: SpillConfig,
+    /// Structured tracing: when the handle is enabled, the driver installs it
+    /// for the whole execution and records a span tree (stages,
+    /// re-optimization points, planner invocations, operators, exchanges)
+    /// plus counters into it — call [`rdo_trace::TraceHandle::profile`] on
+    /// your clone of the handle afterwards. The default follows the
+    /// `RDO_TRACE` / `RDO_TRACE_SPANS` knobs; disabled tracing leaves the
+    /// execution on the exact untraced code path.
+    pub trace: rdo_trace::TraceHandle,
 }
 
 impl Default for DynamicConfig {
@@ -68,6 +76,9 @@ impl Default for DynamicConfig {
             // budget drives every driver-based code path (including the
             // whole test suite) out-of-core without code changes.
             spill: SpillConfig::from_env(),
+            // Reads RDO_TRACE / RDO_TRACE_SPANS, so exported tracing knobs
+            // profile every driver-based code path without code changes.
+            trace: rdo_trace::TraceHandle::from_env(),
         }
     }
 }
@@ -150,6 +161,13 @@ impl DynamicConfig {
         self.spill = self.spill.with_prefetch_pages(pages);
         self
     }
+
+    /// Sets the trace handle the execution records into (builder style).
+    /// Keep a clone of the handle to read the profile after the run.
+    pub fn with_trace(mut self, trace: rdo_trace::TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// What one dynamic execution did.
@@ -177,7 +195,7 @@ impl DynamicOutcome {
 }
 
 /// The runtime dynamic optimization driver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DynamicDriver {
     /// Driver configuration.
     pub config: DynamicConfig,
@@ -217,6 +235,8 @@ impl DynamicDriver {
         // executor and Sink barrier (threads spawn once, not per stage), and
         // the spill policy applied to the catalog for the intermediates this
         // run materializes.
+        let trace = self.config.trace.clone();
+        let _trace_guard = trace.install();
         catalog.configure_spill(self.config.spill)?;
         let pool = WorkerPool::new(self.config.parallel.workers);
         let planner = GreedyPlanner::new(self.config.policy, self.config.rule);
@@ -230,9 +250,13 @@ impl DynamicDriver {
         let mut intermediate_counter = 0usize;
 
         let outcome = (|| -> Result<DynamicOutcome> {
+            let mut root = rdo_trace::span("driver.execute");
+            root.attr_str("query", &spec.name);
             // ---- Stage 1: predicate push-down (Algorithm 1, lines 6–9). ----
             if self.config.push_down_predicates {
                 for alias in spec.pushdown_candidates() {
+                    let mut stage_span = rdo_trace::span("stage.pushdown");
+                    stage_span.attr_str("table", &alias);
                     let mut stage_metrics = ExecutionMetrics::new();
                     let plan = Self::pushdown_plan(&spec, &alias)?;
                     stage_plans.push(format!("pushdown {}", plan.signature()));
@@ -278,8 +302,14 @@ impl DynamicDriver {
             {
                 planner_invocations += 1;
                 reoptimization_points += 1;
-                let planned = planner.next_join(&spec, catalog, catalog.stats())?;
-                let plan = planner.join_plan(&spec, &planned)?;
+                let mut stage_span = rdo_trace::span("stage.reopt");
+                stage_span.attr_u64("point", reoptimization_points as u64);
+                let (planned, plan) = {
+                    let _planning = rdo_trace::span("planner.plan");
+                    let planned = planner.next_join(&spec, catalog, catalog.stats())?;
+                    let plan = planner.join_plan(&spec, &planned)?;
+                    (planned, plan)
+                };
                 stage_plans.push(plan.signature());
 
                 let mut stage_metrics = ExecutionMetrics::new();
@@ -325,12 +355,21 @@ impl DynamicDriver {
             // budget the rest of the query is planned statically (Selinger DP)
             // over whatever statistics the executed stages refreshed. ----
             planner_invocations += 1;
-            let final_plan = if join_edges(&spec).len() > 2 {
-                CostBasedOptimizer::new(self.config.rule).plan(&spec, catalog, catalog.stats())?
-            } else {
-                planner.plan_remaining(&spec, catalog, catalog.stats())?
+            let mut stage_span = rdo_trace::span("stage.final");
+            let final_plan = {
+                let _planning = rdo_trace::span("planner.plan");
+                if join_edges(&spec).len() > 2 {
+                    CostBasedOptimizer::new(self.config.rule).plan(
+                        &spec,
+                        catalog,
+                        catalog.stats(),
+                    )?
+                } else {
+                    planner.plan_remaining(&spec, catalog, catalog.stats())?
+                }
             };
             stage_plans.push(final_plan.signature());
+            stage_span.attr_str("plan", &final_plan.signature());
             let mut stage_metrics = ExecutionMetrics::new();
             let relation = {
                 let executor =
@@ -354,6 +393,16 @@ impl DynamicDriver {
         // Always clean up temporary tables, even on error.
         for table in &temp_tables {
             catalog.drop_table(table);
+        }
+        // RDO_TRACE names a Chrome trace_event export path: write the profile
+        // collected by this execution there (last run wins). API users call
+        // `profile()` on their handle clone instead.
+        if trace.is_enabled() {
+            if let Some(path) = rdo_trace::export_path() {
+                if let Err(e) = std::fs::write(&path, trace.profile().chrome_trace_json()) {
+                    rdo_common::warn!("RDO_TRACE export to {path} failed: {e}");
+                }
+            }
         }
         outcome
     }

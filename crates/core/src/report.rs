@@ -126,6 +126,58 @@ pub fn simulated_cost(metrics: &ExecutionMetrics, model: &CostModel) -> f64 {
     metrics.simulated_cost(model)
 }
 
+/// Renders [`ExecutionMetrics`] in the Prometheus text exposition format
+/// (same name sanitization and `# TYPE` convention as
+/// [`rdo_trace::Profile::metrics_text`]). Every counter sum-merges except
+/// `grace_peak_transient_bytes`, which is a max-merged gauge.
+pub fn execution_metrics_text(m: &ExecutionMetrics) -> String {
+    let counters: [(&str, u64); 33] = [
+        ("rows_scanned", m.rows_scanned),
+        ("bytes_scanned", m.bytes_scanned),
+        ("rows_intermediate_read", m.rows_intermediate_read),
+        ("bytes_intermediate_read", m.bytes_intermediate_read),
+        ("rows_shuffled", m.rows_shuffled),
+        ("bytes_shuffled", m.bytes_shuffled),
+        ("rows_broadcast", m.rows_broadcast),
+        ("bytes_broadcast", m.bytes_broadcast),
+        ("build_rows", m.build_rows),
+        ("probe_rows", m.probe_rows),
+        ("output_rows", m.output_rows),
+        ("index_lookups", m.index_lookups),
+        ("index_fetched_rows", m.index_fetched_rows),
+        ("rows_materialized", m.rows_materialized),
+        ("bytes_materialized", m.bytes_materialized),
+        ("stats_values_observed", m.stats_values_observed),
+        ("result_rows", m.result_rows),
+        ("spill_pages_written", m.spill_pages_written),
+        ("spill_bytes_written", m.spill_bytes_written),
+        ("spill_pages_read", m.spill_pages_read),
+        ("spill_bytes_read", m.spill_bytes_read),
+        ("spill_logical_bytes_written", m.spill_logical_bytes_written),
+        ("spill_logical_bytes_read", m.spill_logical_bytes_read),
+        ("grace_partitions_spilled", m.grace_partitions_spilled),
+        ("grace_pages_written", m.grace_pages_written),
+        ("grace_bytes_written", m.grace_bytes_written),
+        ("grace_pages_read", m.grace_pages_read),
+        ("grace_bytes_read", m.grace_bytes_read),
+        ("grace_logical_bytes_written", m.grace_logical_bytes_written),
+        ("grace_logical_bytes_read", m.grace_logical_bytes_read),
+        ("grace_recursions", m.grace_recursions),
+        ("grace_fallbacks", m.grace_fallbacks),
+        ("grace_peak_transient_bytes", m.grace_peak_transient_bytes),
+    ];
+    let mut out = String::new();
+    for (name, value) in counters {
+        let kind = if name == "grace_peak_transient_bytes" {
+            "gauge"
+        } else {
+            "counter"
+        };
+        out.push_str(&format!("# TYPE rdo_{name} {kind}\nrdo_{name} {value}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

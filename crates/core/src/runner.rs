@@ -89,6 +89,9 @@ pub struct RunReport {
     pub plan: String,
     /// Overhead breakdown (dynamic variants only).
     pub breakdown: Option<CostBreakdown>,
+    /// The run's trace: enabled when the runner's tracing is on, carrying the
+    /// span tree and counters this run (and only this run) recorded.
+    pub trace: rdo_trace::TraceHandle,
 }
 
 impl RunReport {
@@ -96,10 +99,25 @@ impl RunReport {
     pub fn result_rows(&self) -> usize {
         self.result.len()
     }
+
+    /// The run's profile (span tree + counters). Empty when tracing was
+    /// disabled.
+    pub fn profile(&self) -> rdo_trace::Profile {
+        self.trace.profile()
+    }
+
+    /// Prometheus text exposition of this run: every [`ExecutionMetrics`]
+    /// counter plus whatever the trace collected (works with tracing
+    /// disabled too — the logical metrics never depend on tracing).
+    pub fn metrics_text(&self) -> String {
+        let mut out = crate::report::execution_metrics_text(&self.metrics);
+        out.push_str(&self.profile().metrics_text());
+        out
+    }
 }
 
 /// Runs queries under the different strategies with a shared configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct QueryRunner {
     /// Cost model of the simulated cluster.
     pub cost_model: CostModel,
@@ -111,6 +129,11 @@ pub struct QueryRunner {
     /// baselines execute their plan through the worker pool too, so all six
     /// Figure 7 strategies benefit equally from parallel hardware.
     pub parallel: ParallelConfig,
+    /// Tracing template: when enabled, every run records into a *fresh*
+    /// handle of its own (so a comparison's six runs don't mix profiles) and
+    /// the handle lands in [`RunReport::trace`]. The default follows
+    /// `RDO_TRACE` / `RDO_TRACE_SPANS`.
+    pub trace: rdo_trace::TraceHandle,
 }
 
 impl Default for QueryRunner {
@@ -123,6 +146,7 @@ impl Default for QueryRunner {
             // worker counts stay explicit or machine-default.
             parallel: ParallelConfig::default()
                 .with_transport(rdo_parallel::TransportKind::from_env()),
+            trace: rdo_trace::TraceHandle::from_env(),
         }
     }
 }
@@ -148,6 +172,27 @@ impl QueryRunner {
     pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Enables or disables tracing for every run (builder style). Each run
+    /// still records into its own fresh handle; read it from
+    /// [`RunReport::trace`] / [`RunReport::profile`].
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.trace = if enabled {
+            rdo_trace::TraceHandle::enabled()
+        } else {
+            rdo_trace::TraceHandle::disabled()
+        };
+        self
+    }
+
+    /// A fresh per-run handle following the runner's tracing template.
+    fn run_trace(&self) -> rdo_trace::TraceHandle {
+        if self.trace.is_enabled() {
+            rdo_trace::TraceHandle::enabled()
+        } else {
+            rdo_trace::TraceHandle::disabled()
+        }
     }
 
     /// Runs `spec` under `strategy`.
@@ -219,8 +264,10 @@ impl QueryRunner {
         catalog: &mut Catalog,
         config: DynamicConfig,
     ) -> Result<RunReport> {
+        let trace = self.run_trace();
         let config = DynamicConfig {
             parallel: self.parallel,
+            trace: trace.clone(),
             ..config
         };
         let start = Instant::now();
@@ -236,6 +283,7 @@ impl QueryRunner {
             metrics: outcome.total,
             plan: outcome.stage_plans.join(" ; "),
             breakdown: Some(breakdown),
+            trace,
         })
     }
 
@@ -262,14 +310,25 @@ impl QueryRunner {
         // transport too, so RDO_TRANSPORT=tcp distributes all six Figure 7
         // strategies, not just the dynamic ones.
         let transport = rdo_net::transport_from_config(&self.parallel)?;
+        let trace = self.run_trace();
         let start = Instant::now();
-        let (plan, mut metrics) = optimizer.plan_with_overhead(spec, catalog, catalog.stats())?;
-        let relation = {
-            let executor =
-                ParallelExecutor::with_pool(catalog, self.parallel, pool).with_transport(transport);
-            executor.execute_to_relation(&plan, &mut metrics)?
+        let (result, plan, metrics) = {
+            let _trace_guard = trace.install();
+            let mut root = rdo_trace::span("driver.execute");
+            root.attr_str("query", &spec.name);
+            let (plan, mut metrics) = {
+                let _planning = rdo_trace::span("planner.plan");
+                optimizer.plan_with_overhead(spec, catalog, catalog.stats())?
+            };
+            let relation = {
+                let mut stage_span = rdo_trace::span("stage.final");
+                stage_span.attr_str("plan", &plan.signature());
+                let executor = ParallelExecutor::with_pool(catalog, self.parallel, pool)
+                    .with_transport(transport);
+                executor.execute_to_relation(&plan, &mut metrics)?
+            };
+            (project_result(relation, &spec.projection)?, plan, metrics)
         };
-        let result = project_result(relation, &spec.projection)?;
         let wall_seconds = start.elapsed().as_secs_f64();
         Ok(RunReport {
             strategy,
@@ -280,6 +339,7 @@ impl QueryRunner {
             metrics,
             plan: plan.signature(),
             breakdown: None,
+            trace,
         })
     }
 }

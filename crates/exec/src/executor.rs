@@ -64,6 +64,8 @@ impl<'a> Executor<'a> {
         projection: Option<&[FieldRef]>,
         metrics: &mut ExecutionMetrics,
     ) -> Result<PartitionedData> {
+        let mut span = rdo_trace::span("exec.scan");
+        span.attr_str("table", table_name);
         let table = self.catalog.table(table_name)?;
         let setup = prepare_scan(table, dataset, projection)?;
 
@@ -105,6 +107,9 @@ impl<'a> Executor<'a> {
             metrics.bytes_scanned += tally.scanned_bytes;
         }
         metrics.output_rows += tally.kept;
+        span.attr_u64("rows_in", tally.scanned_rows);
+        span.attr_u64("rows_out", tally.kept);
+        span.attr_u64("predicates", predicates.len() as u64);
 
         let mut data = PartitionedData::new(setup.out_schema, partitions, setup.partition_key);
         if predicates.is_empty() && projection.is_none() && !table.is_temporary() {
@@ -167,6 +172,8 @@ impl<'a> Executor<'a> {
                     .to_string(),
             ));
         };
+        let mut span = rdo_trace::span("exec.join");
+        span.attr_str("algo", "inl");
         let (first_left_key, _) = &keys[0];
         let table = self.catalog.table(table_name)?;
         let index = self
@@ -212,6 +219,7 @@ impl<'a> Executor<'a> {
         metrics.index_lookups += tally.index_lookups;
         metrics.index_fetched_rows += tally.index_fetched_rows;
         metrics.output_rows += tally.output_rows;
+        span.attr_u64("rows_out", tally.output_rows);
 
         Ok(PartitionedData::new(
             setup.out_schema,
@@ -231,6 +239,8 @@ pub fn hash_join(
     grace: Option<&GraceContext>,
     metrics: &mut ExecutionMetrics,
 ) -> Result<PartitionedData> {
+    let mut span = rdo_trace::span("exec.join");
+    span.attr_str("algo", "hash");
     let (left_key_indexes, right_key_indexes) = resolve_keys(&left, &right, keys)?;
     let (first_left_key, first_right_key) = &keys[0];
 
@@ -274,6 +284,8 @@ pub fn hash_join(
         tally.add(&partial);
         out_partitions.push(out);
     }
+    span.attr_u64("rows_in", tally.join.build_rows + tally.join.probe_rows);
+    span.attr_u64("rows_out", tally.join.output_rows);
     tally.record(metrics);
 
     let key_name = rdo_common::unqualified(&first_left_key.field).to_string();
@@ -295,6 +307,8 @@ pub fn broadcast_join(
     grace: Option<&GraceContext>,
     metrics: &mut ExecutionMetrics,
 ) -> Result<PartitionedData> {
+    let mut span = rdo_trace::span("exec.join");
+    span.attr_str("algo", "broadcast");
     let (left_key_indexes, right_key_indexes) = resolve_keys(&left, &right, keys)?;
 
     let broadcast_rows = right.all_rows();
@@ -321,6 +335,8 @@ pub fn broadcast_join(
         tally.add(&partial);
         out_partitions.push(out);
     }
+    span.attr_u64("rows_in", tally.join.build_rows + tally.join.probe_rows);
+    span.attr_u64("rows_out", tally.join.output_rows);
     tally.record(metrics);
 
     // The probe side never moved, so its partitioning is preserved.

@@ -332,6 +332,10 @@ fn recurse(
     }
     tally.recursions += 1;
     let fanout = ctx.level_fanout(build_bytes, depth);
+    let mut span = rdo_trace::span("exec.grace");
+    span.attr_u64("level", depth as u64);
+    span.attr_u64("fanout", fanout as u64);
+    span.attr_u64("bucket_bytes", build_bytes);
 
     // ---- Pass 1: size the buckets without materializing them — O(fanout)
     // state plus one cached bucket id per row, so pass 2 never re-hashes.

@@ -200,6 +200,13 @@ impl PostProcess {
     /// Applies the stage to a relation: aggregation first, then ordering, then
     /// the limit — the order SQL semantics prescribes.
     pub fn apply(&self, input: Relation) -> Result<Relation> {
+        let mut span = if self.is_empty() {
+            None
+        } else {
+            let mut s = rdo_trace::span("exec.post");
+            s.attr_u64("rows_in", input.len() as u64);
+            Some(s)
+        };
         let mut current = if self.has_aggregation() {
             aggregate(&input, &self.group_by, &self.aggregates)?
         } else {
@@ -210,6 +217,9 @@ impl PostProcess {
         }
         if let Some(limit) = self.limit {
             current = truncate(current, limit);
+        }
+        if let Some(span) = &mut span {
+            span.attr_u64("rows_out", current.len() as u64);
         }
         Ok(current)
     }

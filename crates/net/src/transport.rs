@@ -184,6 +184,19 @@ impl TcpTransport {
         }
     }
 
+    /// Records the wire bytes an exchange moved: as attributes on its span
+    /// and as sum-merged counters (so the totals survive into the metrics
+    /// exposition).
+    fn record_wire_delta(&self, span: &mut rdo_trace::SpanGuard, before: WireStats) {
+        let after = self.stats();
+        let sent = after.bytes_sent.saturating_sub(before.bytes_sent);
+        let received = after.bytes_received.saturating_sub(before.bytes_received);
+        span.attr_u64("wire_sent", sent);
+        span.attr_u64("wire_received", received);
+        rdo_trace::counter("net.bytes_sent", sent);
+        rdo_trace::counter("net.bytes_received", received);
+    }
+
     /// The worker owning partition `p` of `n`: contiguous ranges, first
     /// partitions to the first worker.
     fn owner(&self, p: usize, n: usize) -> usize {
@@ -205,14 +218,23 @@ impl TcpTransport {
         for p in 0..num_partitions {
             owned[self.owner(p, num_partitions)].push(p);
         }
+        // Spans opened on the exchange threads (and updates adopted from the
+        // workers' tally frames) stitch under the caller's exchange span.
+        let trace_ctx = rdo_trace::TaskContext::capture();
         let results: Vec<Result<Vec<T>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .conns
                 .iter()
                 .zip(&owned)
-                .map(|(conn, partitions)| {
+                .zip(&self.addrs)
+                .map(|((conn, partitions), addr)| {
                     let task = &task;
+                    let trace_ctx = &trace_ctx;
                     scope.spawn(move || {
+                        let _trace = trace_ctx.install();
+                        let mut span = rdo_trace::span("net.worker");
+                        span.attr_str("addr", &addr.to_string());
+                        span.attr_u64("partitions", partitions.len() as u64);
                         let mut conn = conn.lock().map_err(|_| {
                             RdoError::Execution("worker connection poisoned".to_string())
                         })?;
@@ -251,12 +273,16 @@ impl Transport for TcpTransport {
         _pool: &WorkerPool,
     ) -> Result<(PartitionedData, u64, u64)> {
         let n = data.num_partitions();
+        let mut span = rdo_trace::span("net.repartition");
+        span.attr_u64("partitions", n as u64);
+        let wire_before = self.stats();
         /// One source partition's worker response: its output buckets plus
         /// the kernel's `(moved_rows, moved_bytes)` tally.
         type Bucketed = (Vec<Vec<Tuple>>, u64, u64);
         let tagged: Vec<(usize, Bucketed)> = self.per_worker(n, |conn, partitions| {
             let mut out = Vec::with_capacity(partitions.len());
             for &from in partitions {
+                rdo_trace::counter("net.frames", 1);
                 let mut header = Vec::with_capacity(12);
                 header.extend_from_slice(&(exchange.key_index as u32).to_le_bytes());
                 header.extend_from_slice(&(from as u32).to_le_bytes());
@@ -275,6 +301,7 @@ impl Transport for TcpTransport {
             }
             Ok(out)
         })?;
+        self.record_wire_delta(&mut span, wire_before);
 
         // Reassemble exactly like the in-process exchange: buckets
         // concatenated in source-partition order, so the output is
@@ -310,9 +337,13 @@ impl Transport for TcpTransport {
         data: &PartitionedData,
     ) -> Result<(Arc<Vec<Tuple>>, u64, u64)> {
         let rows = data.all_rows();
+        let mut span = rdo_trace::span("net.broadcast");
+        span.attr_u64("rows", rows.len() as u64);
+        let wire_before = self.stats();
         // Ship a full replica to every worker; each acknowledges the row
         // count it decoded.
         let acks: Vec<u64> = self.per_worker(self.conns.len(), |conn, _| {
+            rdo_trace::counter("net.frames", 1);
             write_frame(&mut conn.writer, Tag::Broadcast, &[])?;
             write_page_batch(
                 &mut conn.writer,
@@ -331,6 +362,7 @@ impl Transport for TcpTransport {
             }
             Ok(vec![payload::u64_at(&ack, 0)?])
         })?;
+        self.record_wire_delta(&mut span, wire_before);
         for ack in acks {
             if ack != rows.len() as u64 {
                 return Err(RdoError::Execution(format!(
@@ -349,9 +381,13 @@ impl Transport for TcpTransport {
 
     fn gather(&self, data: &PartitionedData) -> Result<Relation> {
         let n = data.num_partitions();
+        let mut span = rdo_trace::span("net.gather");
+        span.attr_u64("partitions", n as u64);
+        let wire_before = self.stats();
         let tagged: Vec<(usize, Vec<Tuple>)> = self.per_worker(n, |conn, partitions| {
             let mut out = Vec::with_capacity(partitions.len());
             for &p in partitions {
+                rdo_trace::counter("net.frames", 1);
                 write_frame(&mut conn.writer, Tag::Gather, &(p as u32).to_le_bytes())?;
                 write_page_batch(
                     &mut conn.writer,
@@ -366,6 +402,7 @@ impl Transport for TcpTransport {
             }
             Ok(out)
         })?;
+        self.record_wire_delta(&mut span, wire_before);
         let mut by_partition: Vec<Option<Vec<Tuple>>> = (0..n).map(|_| None).collect();
         for (p, rows) in tagged {
             by_partition[p] = Some(rows);
@@ -419,8 +456,8 @@ pub fn transport_from_config(config: &ParallelConfig) -> Result<Arc<dyn Transpor
         TransportKind::InProcess => Ok(default_transport()),
         TransportKind::Tcp => {
             let Ok(raw) = std::env::var(WORKER_ADDRS_ENV) else {
-                eprintln!(
-                    "warning: RDO_TRANSPORT=tcp but {WORKER_ADDRS_ENV} is unset; \
+                rdo_common::warn!(
+                    "RDO_TRANSPORT=tcp but {WORKER_ADDRS_ENV} is unset; \
                      exchanges stay in-process"
                 );
                 return Ok(default_transport());
@@ -428,13 +465,14 @@ pub fn transport_from_config(config: &ParallelConfig) -> Result<Arc<dyn Transpor
             let addrs = match parse_worker_addrs(&raw) {
                 Ok(addrs) => addrs,
                 Err(warning) => {
-                    eprintln!("{warning}");
+                    let text = warning.strip_prefix("warning: ").unwrap_or(&warning);
+                    rdo_common::warn!("{text}");
                     return Ok(default_transport());
                 }
             };
             if addrs.is_empty() {
-                eprintln!(
-                    "warning: RDO_TRANSPORT=tcp but {WORKER_ADDRS_ENV} lists no workers; \
+                rdo_common::warn!(
+                    "RDO_TRANSPORT=tcp but {WORKER_ADDRS_ENV} lists no workers; \
                      exchanges stay in-process"
                 );
                 return Ok(default_transport());

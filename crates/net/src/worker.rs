@@ -87,7 +87,7 @@ pub fn serve(listener: TcpListener) -> Result<()> {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(e) => {
-                eprintln!("rdo-net worker: accept failed: {e}");
+                rdo_common::warn!("rdo-net worker: accept failed: {e}");
                 continue;
             }
         };
@@ -103,7 +103,7 @@ pub fn serve(listener: TcpListener) -> Result<()> {
                 stop.store(true, Ordering::Release);
                 let _ = TcpStream::connect(self_addr);
             }
-            Err(e) => eprintln!("rdo-net worker: connection failed: {e}"),
+            Err(e) => rdo_common::warn!("rdo-net worker: connection failed: {e}"),
         });
     }
 }
@@ -117,6 +117,12 @@ fn serve_connection(stream: TcpStream) -> Result<Served> {
     let mut writer = BufWriter::new(stream);
     let compress = SpillConfig::from_env().compress;
     let mut scratch = LzScratch::new();
+    // Tracing in worker processes follows the same env knobs as the
+    // coordinator (the cluster spawner passes the environment through). Each
+    // repartition command traces into a fresh handle whose spans and metrics
+    // ship back inside that command's tally frame, so the coordinator can
+    // adopt them under its per-worker exchange span.
+    let tracing = rdo_trace::TraceHandle::from_env().is_enabled();
     loop {
         let Some((tag, header)) = read_frame(&mut reader)? else {
             return Ok(Served::Continue);
@@ -135,9 +141,20 @@ fn serve_connection(stream: TcpStream) -> Result<Served> {
                 let key_index = payload::u32_at(&header, 0)? as usize;
                 let from = payload::u32_at(&header, 4)? as usize;
                 let num_partitions = payload::u32_at(&header, 8)? as usize;
-                let rows = read_page_batch(&mut reader)?;
-                let (buckets, moved_rows, moved_bytes) =
-                    repartition_partition(&rows, key_index, from, num_partitions);
+                let trace = if tracing {
+                    rdo_trace::TraceHandle::enabled()
+                } else {
+                    rdo_trace::TraceHandle::disabled()
+                };
+                let (buckets, moved_rows, moved_bytes) = {
+                    let _install = trace.install();
+                    let mut span = rdo_trace::span("serve.repartition");
+                    span.attr_u64("from", from as u64);
+                    span.attr_u64("fanout", num_partitions as u64);
+                    let rows = read_page_batch(&mut reader)?;
+                    span.attr_u64("rows_in", rows.len() as u64);
+                    repartition_partition(&rows, key_index, from, num_partitions)
+                };
                 for (to, bucket) in buckets.iter().enumerate() {
                     if bucket.is_empty() {
                         continue;
@@ -152,9 +169,15 @@ fn serve_connection(stream: TcpStream) -> Result<Served> {
                         &mut scratch,
                     )?;
                 }
+                // The tally frame's fixed 16-byte prefix is followed by the
+                // command's encoded trace update (absent when tracing is off;
+                // old coordinators only read the prefix).
                 let mut tally = Vec::with_capacity(16);
                 tally.extend_from_slice(&moved_rows.to_le_bytes());
                 tally.extend_from_slice(&moved_bytes.to_le_bytes());
+                if tracing {
+                    tally.extend_from_slice(&trace.encode_update());
+                }
                 write_frame(&mut writer, Tag::Tally, &tally)?;
                 writer.flush()?;
             }
@@ -206,6 +229,12 @@ pub(crate) fn read_bucketed_response(
             Tag::Tally => {
                 let moved_rows = payload::u64_at(&body, 0)?;
                 let moved_bytes = payload::u64_at(&body, 8)?;
+                // Anything after the fixed prefix is the worker's encoded
+                // trace update; merge it under the caller's current span
+                // (the transport's per-worker exchange span).
+                if body.len() > 16 {
+                    rdo_trace::adopt_update(rdo_trace::wire::decode_update(&body[16..])?);
+                }
                 return Ok((buckets, moved_rows, moved_bytes));
             }
             other => {

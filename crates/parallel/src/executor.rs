@@ -120,6 +120,12 @@ impl<'a> ParallelExecutor<'a> {
         let chunks = self.pool.map_indexed(morsels, |m| {
             let start = m * morsel;
             let end = ((m + 1) * morsel).min(partitions);
+            // One span per morsel, not per partition: the morsel count depends
+            // only on (partitions, morsel_size), so the trace shape is the
+            // same for every worker count.
+            let mut span = rdo_trace::span("pool.morsel");
+            span.attr_u64("morsel", m as u64);
+            span.attr_u64("partitions", (end - start) as u64);
             (start..end).map(&task).collect::<Vec<Result<T>>>()
         });
         let mut out = Vec::with_capacity(partitions);
@@ -137,6 +143,8 @@ impl<'a> ParallelExecutor<'a> {
         projection: Option<&[FieldRef]>,
         metrics: &mut ExecutionMetrics,
     ) -> Result<PartitionedData> {
+        let mut span = rdo_trace::span("exec.scan");
+        span.attr_str("table", table_name);
         let table = self.catalog.table_handle(table_name)?;
         let setup = prepare_scan(&table, dataset, projection)?;
 
@@ -184,6 +192,9 @@ impl<'a> ParallelExecutor<'a> {
             metrics.bytes_scanned += tally.scanned_bytes;
         }
         metrics.output_rows += tally.kept;
+        span.attr_u64("rows_in", tally.scanned_rows);
+        span.attr_u64("rows_out", tally.kept);
+        span.attr_u64("predicates", predicates.len() as u64);
 
         let mut data = PartitionedData::new(setup.out_schema, partitions, setup.partition_key);
         if predicates.is_empty() && projection.is_none() && !table.is_temporary() {
@@ -233,6 +244,11 @@ impl<'a> ParallelExecutor<'a> {
     ) -> Result<PartitionedData> {
         let (left_key_indexes, right_key_indexes) = resolve_keys(&left, &right, keys)?;
         let (first_left_key, first_right_key) = &keys[0];
+        let mut span = rdo_trace::span("exec.join");
+        span.attr_str("algo", "hash");
+        let rows_in =
+            |data: &PartitionedData| data.partitions().iter().map(Vec::len).sum::<usize>() as u64;
+        span.attr_u64("rows_in", rows_in(&left) + rows_in(&right));
 
         let left = if left.is_partitioned_on(&first_left_key.field) {
             left
@@ -277,6 +293,10 @@ impl<'a> ParallelExecutor<'a> {
             out_partitions.push(rows);
         }
         tally.record(metrics);
+        span.attr_u64(
+            "rows_out",
+            out_partitions.iter().map(Vec::len).sum::<usize>() as u64,
+        );
 
         let key_name = rdo_common::unqualified(&first_left_key.field).to_string();
         Ok(PartitionedData::new(
@@ -298,6 +318,11 @@ impl<'a> ParallelExecutor<'a> {
         metrics: &mut ExecutionMetrics,
     ) -> Result<PartitionedData> {
         let (left_key_indexes, right_key_indexes) = resolve_keys(&left, &right, keys)?;
+        let mut span = rdo_trace::span("exec.join");
+        span.attr_str("algo", "broadcast");
+        let rows_in =
+            |data: &PartitionedData| data.partitions().iter().map(Vec::len).sum::<usize>() as u64;
+        span.attr_u64("rows_in", rows_in(&left) + rows_in(&right));
 
         let partitions_count = left.num_partitions();
         let (broadcast_rows, replicated_rows, replicated_bytes) = self
@@ -324,6 +349,10 @@ impl<'a> ParallelExecutor<'a> {
             out_partitions.push(rows);
         }
         tally.record(metrics);
+        span.attr_u64(
+            "rows_out",
+            out_partitions.iter().map(Vec::len).sum::<usize>() as u64,
+        );
 
         let partition_key = left.partition_key().map(|s| s.to_string());
         Ok(PartitionedData::new(
@@ -356,6 +385,8 @@ impl<'a> ParallelExecutor<'a> {
             ));
         };
         let (first_left_key, _) = &keys[0];
+        let mut span = rdo_trace::span("exec.join");
+        span.attr_str("algo", "inl");
         let table = self.catalog.table_handle(table_name)?;
         let index = self
             .catalog
@@ -399,6 +430,7 @@ impl<'a> ParallelExecutor<'a> {
         metrics.index_lookups += tally.index_lookups;
         metrics.index_fetched_rows += tally.index_fetched_rows;
         metrics.output_rows += tally.output_rows;
+        span.attr_u64("rows_out", tally.output_rows);
 
         Ok(PartitionedData::new(
             setup.out_schema,

@@ -188,18 +188,30 @@ impl WorkerPool {
         let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
         let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
         let next = AtomicUsize::new(0);
-        let run = || loop {
-            let task = next.fetch_add(1, Ordering::Relaxed);
-            if task >= tasks {
-                break;
+        // Carry the submitter's trace onto the pool threads: spans opened
+        // inside tasks stitch under the span that was live at submit time,
+        // and the publish→first-claim latency feeds the queue-wait gauge.
+        // With tracing disabled the capture is inert (one relaxed load).
+        let trace_ctx = rdo_trace::TaskContext::capture();
+        let published_at = trace_ctx.is_enabled().then(std::time::Instant::now);
+        let run = || {
+            let _trace = trace_ctx.install();
+            if let Some(t0) = published_at {
+                rdo_trace::gauge_max("pool.queue_wait_ns", t0.elapsed().as_nanos() as u64);
             }
-            match catch_unwind(AssertUnwindSafe(|| f(task))) {
-                Ok(value) => *slots[task].lock().expect("worker slot lock") = Some(value),
-                Err(payload) => {
-                    panic_slot
-                        .lock()
-                        .expect("panic slot lock")
-                        .get_or_insert(payload);
+            loop {
+                let task = next.fetch_add(1, Ordering::Relaxed);
+                if task >= tasks {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(task))) {
+                    Ok(value) => *slots[task].lock().expect("worker slot lock") = Some(value),
+                    Err(payload) => {
+                        panic_slot
+                            .lock()
+                            .expect("panic slot lock")
+                            .get_or_insert(payload);
+                    }
                 }
             }
         };

@@ -49,6 +49,10 @@ pub fn materialize(
 ) -> Result<MaterializeOutcome> {
     let rows = data.row_count() as u64;
     let bytes = data.approx_bytes() as u64;
+    let mut span = rdo_trace::span("sink.materialize");
+    span.attr_str("table", name);
+    span.attr_u64("rows", rows);
+    span.attr_u64("bytes", bytes);
 
     // Statistics cost accounting, shared with the serial Sink: one
     // observation per tracked column actually present in the schema, per row.

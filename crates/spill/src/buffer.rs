@@ -208,6 +208,7 @@ impl BufferPool {
             let mut state = self.state.lock().expect("buffer pool lock");
             if let Some(&slot) = state.map.get(&key) {
                 state.counters.hits += 1;
+                rdo_trace::counter("spill.pool.hits", 1);
                 let frame = &mut state.frames[slot];
                 frame.pins += 1;
                 frame.referenced = true;
@@ -218,6 +219,7 @@ impl BufferPool {
                 return Ok(result);
             }
             state.counters.misses += 1;
+            rdo_trace::counter("spill.pool.misses", 1);
             Self::file_of(&state, file_id)?
         };
 
@@ -294,6 +296,7 @@ impl BufferPool {
             }
             state.map.insert(key, slot);
             state.counters.prefetches += 1;
+            rdo_trace::counter("spill.pool.prefetches", 1);
         }
         Ok(())
     }
@@ -393,10 +396,12 @@ impl BufferPool {
                 let file = Self::file_of(state, state.frames[i].key.0)?;
                 file.write_all_at(state.frames[i].offset, &state.frames[i].data)?;
                 state.counters.writebacks += 1;
+                rdo_trace::counter("spill.pool.writebacks", 1);
             }
             let key = state.frames[i].key;
             state.map.remove(&key);
             state.counters.evictions += 1;
+            rdo_trace::counter("spill.pool.evictions", 1);
             return Ok(Some(i));
         }
         Ok(None)

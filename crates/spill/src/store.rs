@@ -133,7 +133,10 @@ impl SpillPartitionWriter {
         let body = std::mem::take(&mut self.bufs[p]);
         let rows = std::mem::replace(&mut self.rows_in_buf[p], 0);
         self.buffered_bytes -= body.len() as u64;
-        let blob = encode_page_with(&mut self.scratch, &body, self.compress);
+        let blob = {
+            let _t = rdo_trace::timer("spill.compress_ns");
+            encode_page_with(&mut self.scratch, &body, self.compress)
+        };
         let meta = PageMeta {
             page_no: self.page_no,
             offset: self.offset,
@@ -273,7 +276,10 @@ impl SpilledPartitions {
             meta.offset,
             meta.stored_len as usize,
             |blob| -> Result<Vec<Tuple>> {
-                let body = decode_page(blob)?;
+                let body = {
+                    let _t = rdo_trace::timer("spill.decompress_ns");
+                    decode_page(blob)?
+                };
                 decode_rows(&body, meta.rows as usize)
             },
         )??;
@@ -321,8 +327,12 @@ impl SpilledPartitions {
         }
 
         let gate = PrefetchGate::new(lookahead);
+        let trace_ctx = rdo_trace::TaskContext::capture();
         std::thread::scope(|scope| {
             scope.spawn(|| {
+                // The read-ahead thread inherits the scanner's trace, so its
+                // pool installs and slot waits land in the same profile.
+                let _trace = trace_ctx.install();
                 // The scanner fetches page 0 itself; read ahead from page 1,
                 // staying at most `lookahead` pages in front of it and
                 // skipping pages the scanner has already reached (fetching
@@ -427,6 +437,7 @@ impl PrefetchGate {
     /// reached come back as [`Slot::Skip`] — prefetching them would race the
     /// scanner's own fetch and read the page from disk twice.
     fn wait_for_slot(&self, i: usize) -> Slot {
+        let _wait = rdo_trace::timer("spill.prefetch_wait_ns");
         let mut state = self.state.lock().expect("prefetch gate lock");
         loop {
             if state.closed {

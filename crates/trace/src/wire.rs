@@ -1,0 +1,248 @@
+//! Binary codec for shipping a trace across the wire.
+//!
+//! Remote workers trace into their own collectors; when a request finishes,
+//! the worker encodes its spans + metrics with [`encode_update`] and appends
+//! the blob to the tally frame it already sends. The coordinator decodes with
+//! [`decode_update`] and merges via `TraceHandle::adopt`. The format is
+//! little-endian and length-prefixed throughout, matching the net crate's
+//! frame conventions; a decoder that reads past the end returns an error
+//! instead of panicking, so a truncated or foreign payload degrades to "no
+//! remote trace" rather than killing the exchange.
+
+use crate::{AttrValue, SpanRecord};
+use rdo_common::{RdoError, Result};
+use std::collections::BTreeMap;
+
+/// A decoded remote trace: spans plus counter/gauge maps, ready for adoption.
+#[derive(Debug, Clone, Default)]
+pub struct Update {
+    /// Spans in the remote collector's id/time space.
+    pub spans: Vec<SpanRecord>,
+    /// Sum-merged counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Max-merged gauges.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes spans and metric maps into one self-delimiting blob.
+pub fn encode_update(
+    spans: &[SpanRecord],
+    counters: &BTreeMap<String, u64>,
+    gauges: &BTreeMap<String, u64>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, spans.len() as u32);
+    for span in spans {
+        put_u64(&mut out, span.id);
+        put_u64(&mut out, span.parent);
+        put_u64(&mut out, span.thread);
+        put_u64(&mut out, span.start_ns);
+        put_u64(&mut out, span.duration_ns);
+        put_str(&mut out, &span.name);
+        put_u32(&mut out, span.attrs.len() as u32);
+        for (key, value) in &span.attrs {
+            put_str(&mut out, key);
+            match value {
+                AttrValue::U64(v) => {
+                    out.push(0);
+                    put_u64(&mut out, *v);
+                }
+                AttrValue::Str(s) => {
+                    out.push(1);
+                    put_str(&mut out, s);
+                }
+            }
+        }
+    }
+    for map in [counters, gauges] {
+        put_u32(&mut out, map.len() as u32);
+        for (name, value) in map {
+            put_str(&mut out, name);
+            put_u64(&mut out, *value);
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| RdoError::Execution("truncated trace update payload".to_string()))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| RdoError::Execution("trace update string is not UTF-8".to_string()))
+    }
+}
+
+/// Decodes a blob produced by [`encode_update`].
+pub fn decode_update(buf: &[u8]) -> Result<Update> {
+    let mut r = Reader { buf, pos: 0 };
+    let span_count = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(span_count.min(1 << 16));
+    for _ in 0..span_count {
+        let id = r.u64()?;
+        let parent = r.u64()?;
+        let thread = r.u64()?;
+        let start_ns = r.u64()?;
+        let duration_ns = r.u64()?;
+        let name = r.string()?;
+        let attr_count = r.u32()? as usize;
+        let mut attrs = Vec::with_capacity(attr_count.min(64));
+        for _ in 0..attr_count {
+            let key = r.string()?;
+            let value = match r.u8()? {
+                0 => AttrValue::U64(r.u64()?),
+                1 => AttrValue::Str(r.string()?),
+                kind => {
+                    return Err(RdoError::Execution(format!(
+                        "unknown trace attribute kind {kind}"
+                    )))
+                }
+            };
+            attrs.push((key, value));
+        }
+        spans.push(SpanRecord {
+            id,
+            parent,
+            name,
+            thread,
+            start_ns,
+            duration_ns,
+            attrs,
+        });
+    }
+    let mut maps = [BTreeMap::new(), BTreeMap::new()];
+    for map in &mut maps {
+        let entries = r.u32()? as usize;
+        for _ in 0..entries {
+            let name = r.string()?;
+            let value = r.u64()?;
+            map.insert(name, value);
+        }
+    }
+    let [counters, gauges] = maps;
+    Ok(Update {
+        spans,
+        counters,
+        gauges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                name: "serve.repartition".to_string(),
+                thread: 2,
+                start_ns: 100,
+                duration_ns: 5_000,
+                attrs: vec![
+                    ("frames".to_string(), AttrValue::U64(7)),
+                    (
+                        "peer".to_string(),
+                        AttrValue::Str("127.0.0.1:9".to_string()),
+                    ),
+                ],
+            },
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                name: "serve.route".to_string(),
+                thread: 2,
+                start_ns: 150,
+                duration_ns: 4_000,
+                attrs: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrips_spans_and_metrics() {
+        let spans = sample_spans();
+        let counters = BTreeMap::from([("net.frames".to_string(), 9u64)]);
+        let gauges = BTreeMap::from([("net.peak".to_string(), 321u64)]);
+        let blob = encode_update(&spans, &counters, &gauges);
+        let update = decode_update(&blob).unwrap();
+        assert_eq!(update.spans, spans);
+        assert_eq!(update.counters, counters);
+        assert_eq!(update.gauges, gauges);
+    }
+
+    #[test]
+    fn empty_update_is_tiny_and_roundtrips() {
+        let blob = encode_update(&[], &BTreeMap::new(), &BTreeMap::new());
+        assert_eq!(blob.len(), 12, "three zero counts");
+        let update = decode_update(&blob).unwrap();
+        assert!(update.spans.is_empty() && update.counters.is_empty() && update.gauges.is_empty());
+    }
+
+    #[test]
+    fn truncation_errors_instead_of_panicking() {
+        let blob = encode_update(&sample_spans(), &BTreeMap::new(), &BTreeMap::new());
+        for cut in [0, 3, 10, blob.len() - 1] {
+            assert!(decode_update(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_attr_kind_is_rejected() {
+        let spans = sample_spans();
+        let mut blob = encode_update(&spans, &BTreeMap::new(), &BTreeMap::new());
+        // Flip the first attribute kind byte (0 → 9): find it right after the
+        // first attr key "frames".
+        let key_pos = blob
+            .windows(6)
+            .position(|w| w == b"frames")
+            .expect("key present");
+        blob[key_pos + 6] = 9;
+        assert!(decode_update(&blob).is_err());
+    }
+}

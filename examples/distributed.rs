@@ -45,7 +45,9 @@ fn parse_args() -> Args {
             "--query" => args.query = it.next().expect("--query takes a name (Q8/Q9/Q17/Q50)"),
             "--in-process" => args.in_process = true,
             other => {
-                eprintln!("unknown argument {other:?} (try --workers N, --query Q9, --in-process)");
+                rdo_common::warn!(
+                    "unknown argument {other:?} (try --workers N, --query Q9, --in-process)"
+                );
                 std::process::exit(2);
             }
         }

@@ -1,0 +1,69 @@
+//! End-to-end trace capture of a distributed query execution.
+//!
+//! Spawns localhost worker processes, runs dynamic Q9 through the `rdo-net`
+//! TCP transport with tracing enabled, prints the EXPLAIN-ANALYZE span tree
+//! (including the `serve.repartition` spans the workers shipped back inside
+//! their tally frames), and writes the whole timeline as a Chrome
+//! `trace_event` JSON you can open in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! ```text
+//! cargo run --release --example trace_profile
+//! RDO_TRACE=/tmp/q9.json cargo run --release --example trace_profile
+//! ```
+
+use runtime_dynamic_optimization::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // Worker mode: this process was spawned by LocalCluster below.
+    if runtime_dynamic_optimization::net::maybe_worker().expect("worker loop") {
+        return;
+    }
+    // Still single-threaded here, so mutating the environment is safe. The
+    // worker processes spawned below inherit the knob, flip their serve
+    // loops into tracing mode, and ship their spans back in tally frames.
+    std::env::set_var("RDO_TRACE_SPANS", "1");
+
+    println!("loading synthetic TPC-H/TPC-DS data ...");
+    let env = BenchmarkEnv::load(ScaleFactor::gb(2), 4, true, 42).expect("workload generation");
+
+    println!("spawning 2 localhost worker process(es) ...");
+    let cluster = LocalCluster::spawn(2).expect("spawn workers");
+    println!("workers: {}", cluster.addr_list());
+    let transport = Arc::new(TcpTransport::connect(cluster.addrs()).expect("connect workers"));
+
+    let trace = TraceHandle::enabled();
+    // A zero broadcast threshold forces every join through the hash path,
+    // so the trace shows repartition exchanges — including the
+    // `serve.repartition` spans the workers measured remotely.
+    let driver = DynamicDriver::new(
+        DynamicConfig::dynamic(JoinAlgorithmRule::with_threshold(0.0))
+            .with_parallel(ParallelConfig::serial().with_workers(2))
+            .with_trace(trace.clone()),
+    );
+    let mut catalog = env.catalog.clone();
+    let outcome = driver
+        .execute_with_transport(&q9(), &mut catalog, transport.clone())
+        .expect("distributed execution");
+    println!(
+        "Q9: {} result rows across {} stages\n",
+        outcome.result.len(),
+        outcome.stage_plans.len()
+    );
+
+    let profile = trace.profile();
+    print!("{}", profile.render_tree());
+
+    let path = rdo_trace::export_path().unwrap_or_else(|| "trace_profile_q9.json".to_string());
+    std::fs::write(&path, profile.chrome_trace_json())
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+
+    drop(transport);
+    let statuses = cluster.shutdown().expect("clean shutdown");
+    println!(
+        "workers shut down cleanly ({} process(es), all exit 0) ✓",
+        statuses.len()
+    );
+}

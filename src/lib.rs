@@ -72,6 +72,7 @@ pub use rdo_sketch as sketch;
 pub use rdo_spill as spill;
 pub use rdo_sql as sql;
 pub use rdo_storage as storage;
+pub use rdo_trace as trace;
 pub use rdo_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used types.
@@ -99,6 +100,7 @@ pub mod prelude {
     pub use rdo_storage::{
         Catalog, IngestOptions, SecondaryIndex, SpillConfig, StoredIntermediate, Table,
     };
+    pub use rdo_trace::{Profile, TraceHandle};
     pub use rdo_workloads::{
         all_queries, compile_paper_query, paper_udfs, q17, q50, q8, q9, BenchmarkEnv, ScaleFactor,
     };

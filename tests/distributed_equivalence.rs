@@ -298,7 +298,7 @@ fn main() {
         }
     }
     if failed > 0 {
-        eprintln!("{failed} distributed equivalence test(s) failed");
+        rdo_common::error!("{failed} distributed equivalence test(s) failed");
         std::process::exit(1);
     }
 }

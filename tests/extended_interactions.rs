@@ -17,7 +17,7 @@ fn checkpointed_driver_respects_the_reopt_budget() {
     let unlimited = DynamicConfig::dynamic(rule);
     let budgeted = DynamicConfig::dynamic(rule).with_reopt_budget(1);
 
-    let expected = DynamicDriver::new(unlimited)
+    let expected = DynamicDriver::new(unlimited.clone())
         .execute(&q9(), &mut env.catalog)
         .unwrap()
         .result
@@ -70,7 +70,7 @@ fn sql_bound_queries_agree_with_and_without_indexed_nested_loop() {
         CostModel::with_partitions(4),
         JoinAlgorithmRule::with_threshold(2_000.0),
     );
-    let with_inl = plain.with_indexed_nested_loop(true);
+    let with_inl = plain.clone().with_indexed_nested_loop(true);
     let hash_only = plain
         .run(Strategy::Dynamic, &bound.spec, &mut env.catalog)
         .unwrap();

@@ -14,7 +14,7 @@ fn q9_crash_and_recovery_matches_uninterrupted_execution() {
     let mut env = env();
     let config = DynamicConfig::dynamic(JoinAlgorithmRule::with_threshold(2_000.0));
 
-    let expected = DynamicDriver::new(config)
+    let expected = DynamicDriver::new(config.clone())
         .execute(&q9(), &mut env.catalog)
         .unwrap()
         .result
@@ -93,7 +93,7 @@ fn recovery_skips_already_executed_work() {
 fn every_crash_point_recovers_to_the_same_answer() {
     let mut env = env();
     let config = DynamicConfig::dynamic(JoinAlgorithmRule::with_threshold(2_000.0));
-    let driver = CheckpointedDriver::new(config);
+    let driver = CheckpointedDriver::new(config.clone());
     let expected = DynamicDriver::new(config)
         .execute(&q9(), &mut env.catalog)
         .unwrap()
