@@ -40,6 +40,9 @@ struct BenchRecord {
     wall_ms: f64,
     /// Result rows, as a sanity anchor for the cost.
     result_rows: u64,
+    /// Largest estimate-vs-actual Q-error of the run's audit trail
+    /// (dynamic cases only; 0 when the case records no audit).
+    max_q_error: f64,
 }
 
 fn main() {
@@ -184,6 +187,7 @@ fn run_benchmarks() -> Vec<BenchRecord> {
             cost_units: outcome.total.simulated_cost(&model),
             wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
             result_rows: outcome.result.len() as u64,
+            max_q_error: outcome.audit.max_q_error(),
         });
     }
 
@@ -191,21 +195,23 @@ fn run_benchmarks() -> Vec<BenchRecord> {
 }
 
 /// Traced repetitions of the dynamic-driver cases: per stage of each query,
-/// the p50/p90 wall time across `REPS` runs, followed by one full span tree
-/// and the metrics exposition of the last repetition. Diagnostics only —
-/// nothing here feeds the gate.
+/// the p50/p90/p99 wall time across `REPS` runs, followed by one full span
+/// tree (with its latency-histogram percentiles), the estimate-vs-actual
+/// audit table, and the metrics exposition of the last repetition.
+/// Diagnostics only — nothing here feeds the gate.
 fn write_profile_artifact(path: &str) -> String {
     const REPS: usize = 5;
     let env = BenchmarkEnv::load(ScaleFactor::gb(2), 8, true, 42).expect("workload generation");
     let mut out = String::new();
     out.push_str(&format!(
-        "# per-stage wall times over {REPS} traced repetitions (p50 / p90, ms)\n\
+        "# per-stage wall times over {REPS} traced repetitions (p50 / p90 / p99, ms)\n\
          # written by bench_gate next to {path}; not part of the gated costs\n"
     ));
     for query in all_queries() {
         // stage key -> wall seconds per repetition, in stage order.
         let mut stages: Vec<(String, Vec<f64>)> = Vec::new();
         let mut last_trace = None;
+        let mut last_audit = None;
         for _ in 0..REPS {
             let trace = rdo_trace::TraceHandle::enabled();
             let mut catalog = env.catalog.clone();
@@ -213,9 +219,10 @@ fn write_profile_artifact(path: &str) -> String {
                 .with_parallel(ParallelConfig::serial())
                 .with_spill(SpillConfig::disabled())
                 .with_trace(trace.clone());
-            DynamicDriver::new(config)
+            let outcome = DynamicDriver::new(config)
                 .execute(&query, &mut catalog)
                 .expect("traced dynamic execution");
+            last_audit = Some(outcome.audit);
             for (key, seconds) in stage_walls(&trace) {
                 match stages.iter_mut().find(|(k, _)| *k == key) {
                     Some((_, walls)) => walls.push(seconds),
@@ -230,15 +237,20 @@ fn write_profile_artifact(path: &str) -> String {
             sorted.sort_by(|a, b| a.total_cmp(b));
             let p = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize] * 1_000.0;
             out.push_str(&format!(
-                "{key:<40} p50 {:>9.3} ms   p90 {:>9.3} ms\n",
+                "{key:<40} p50 {:>9.3} ms   p90 {:>9.3} ms   p99 {:>9.3} ms\n",
                 p(0.5),
-                p(0.9)
+                p(0.9),
+                p(0.99)
             ));
         }
         if let Some(trace) = last_trace {
             let profile = trace.profile();
             out.push_str("\n--- span tree (last repetition) ---\n");
             out.push_str(&profile.render_tree());
+            if let Some(audit) = last_audit {
+                out.push_str("--- audit (last repetition) ---\n");
+                out.push_str(&audit.render());
+            }
             out.push_str("--- metrics ---\n");
             out.push_str(&profile.metrics_text());
         }
@@ -292,6 +304,7 @@ fn run_join(
         cost_units: metrics.simulated_cost(model),
         wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
         result_rows: data.row_count() as u64,
+        max_q_error: 0.0,
     }
 }
 
@@ -340,6 +353,7 @@ fn run_spill(label: &str, compress: bool, model: &CostModel) -> BenchRecord {
         cost_units: metrics.simulated_cost(model),
         wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
         result_rows: data.row_count() as u64,
+        max_q_error: 0.0,
     }
 }
 
@@ -534,6 +548,7 @@ impl Parser<'_> {
             cost_units: f64::NAN,
             wall_ms: 0.0,
             result_rows: 0,
+            max_q_error: 0.0,
         };
         loop {
             self.skip_ws();
@@ -546,6 +561,7 @@ impl Parser<'_> {
                 "cost_units" => record.cost_units = self.number()?,
                 "wall_ms" => record.wall_ms = self.number()?,
                 "result_rows" => record.result_rows = self.number()? as u64,
+                "max_q_error" => record.max_q_error = self.number()?,
                 other => return Err(format!("unknown key {other:?}")),
             }
             self.skip_ws();

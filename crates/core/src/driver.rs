@@ -7,11 +7,12 @@ use rdo_parallel::{
 };
 use rdo_planner::greedy::join_edges;
 use rdo_planner::{
-    reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, GreedyPlanner,
-    JoinAlgorithmRule, NextJoinPolicy, Optimizer, QuerySpec,
+    reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, EstimationMode,
+    GreedyPlanner, JoinAlgorithmRule, NextJoinPolicy, Optimizer, QuerySpec, SizeEstimator,
 };
 use rdo_storage::Catalog;
 use rdo_storage::SpillConfig;
+use rdo_trace::audit::{AuditLog, EstimateRecord, ReoptDecision};
 use std::sync::Arc;
 
 /// Configuration of the dynamic driver. The paper's approach and the
@@ -185,6 +186,11 @@ pub struct DynamicOutcome {
     pub reoptimization_points: u32,
     /// Signature of the plan executed at every stage, in order.
     pub stage_plans: Vec<String>,
+    /// The optimizer audit trail: per-stage estimate-vs-actual records plus
+    /// one decision explanation per re-optimization point. Derived entirely
+    /// from deterministic coordinator-side quantities, so it is bit-identical
+    /// across worker counts and transports.
+    pub audit: AuditLog,
 }
 
 impl DynamicOutcome {
@@ -237,6 +243,10 @@ impl DynamicDriver {
         // run materializes.
         let trace = self.config.trace.clone();
         let _trace_guard = trace.install();
+        // Live observability: start the RDO_METRICS_ADDR scrape listener (a
+        // no-op without the knob) and expose this query's collector to it.
+        rdo_trace::serve::ensure_started_from_env();
+        rdo_trace::serve::register_query(&spec.name, &trace);
         catalog.configure_spill(self.config.spill)?;
         let pool = WorkerPool::new(self.config.parallel.workers);
         let planner = GreedyPlanner::new(self.config.policy, self.config.rule);
@@ -246,6 +256,7 @@ impl DynamicDriver {
         let mut planner_invocations = 0u32;
         let mut reoptimization_points = 0u32;
         let mut stage_plans = Vec::new();
+        let mut audit = AuditLog::default();
         let mut temp_tables: Vec<String> = Vec::new();
         let mut intermediate_counter = 0usize;
 
@@ -257,9 +268,16 @@ impl DynamicDriver {
                 for alias in spec.pushdown_candidates() {
                     let mut stage_span = rdo_trace::span("stage.pushdown");
                     stage_span.attr_str("table", &alias);
+                    rdo_trace::note("stage", &format!("pushdown:{alias}"));
                     let mut stage_metrics = ExecutionMetrics::new();
                     let plan = Self::pushdown_plan(&spec, &alias)?;
                     stage_plans.push(format!("pushdown {}", plan.signature()));
+                    // The planner's estimate for the filtered dataset, recorded
+                    // before execution so the audit compares plan-time numbers.
+                    let estimated_rows =
+                        SizeEstimator::new(catalog, catalog.stats(), EstimationMode::Static)
+                            .dataset_size(&spec, &alias)
+                            .ok();
                     let data = {
                         let executor = ParallelExecutor::with_pool(
                             catalog,
@@ -276,7 +294,7 @@ impl DynamicDriver {
                         .and_then(|j| j.key_of(&alias))
                         .map(|k| k.field.clone());
                     let tracked = Self::tracked_columns(&spec, &alias);
-                    materialize(
+                    let materialized = materialize(
                         &pool,
                         catalog,
                         &table_name,
@@ -286,6 +304,12 @@ impl DynamicDriver {
                         self.config.collect_online_stats,
                         &mut stage_metrics,
                     )?;
+                    audit.estimates.push(EstimateRecord {
+                        stage: format!("pushdown:{alias}"),
+                        operator: plan.signature(),
+                        estimated_rows,
+                        actual_rows: materialized.rows,
+                    });
                     temp_tables.push(table_name.clone());
                     spec = reconstruct_after_pushdown(&spec, &alias, &table_name);
                     pushdown.add(&stage_metrics);
@@ -304,13 +328,35 @@ impl DynamicDriver {
                 reoptimization_points += 1;
                 let mut stage_span = rdo_trace::span("stage.reopt");
                 stage_span.attr_u64("point", reoptimization_points as u64);
-                let (planned, plan) = {
+                rdo_trace::note("stage", &format!("reopt#{reoptimization_points}"));
+                let (planned, plan, runner_up) = {
                     let _planning = rdo_trace::span("planner.plan");
-                    let planned = planner.next_join(&spec, catalog, catalog.stats())?;
+                    let ranked = planner.ranked_joins(&spec, catalog, catalog.stats())?;
+                    let planned = ranked
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| RdoError::Planning("no plannable join found".into()))?;
                     let plan = planner.join_plan(&spec, &planned)?;
-                    (planned, plan)
+                    let runner_up = match ranked.get(1) {
+                        Some(second) => {
+                            Some((planner.join_plan(&spec, second)?.signature(), second.score))
+                        }
+                        None => None,
+                    };
+                    (planned, plan, runner_up)
                 };
                 stage_plans.push(plan.signature());
+                // Explain the decision: the estimate the last stage corrected,
+                // the join the refreshed statistics picked, and the alternative
+                // it rejected.
+                audit.decisions.push(ReoptDecision {
+                    point: reoptimization_points,
+                    trigger: audit.estimates.last().cloned(),
+                    chosen: plan.signature(),
+                    chosen_cardinality: planned.estimated_cardinality,
+                    chosen_score: planned.score,
+                    runner_up,
+                });
 
                 let mut stage_metrics = ExecutionMetrics::new();
                 let data = {
@@ -335,7 +381,7 @@ impl DynamicDriver {
                 let collect = self.config.collect_online_stats && remaining_edges > 2;
                 let tracked = Self::tracked_columns(&new_spec, &name);
                 let partition_key = planned.keys.first().map(|(probe, _)| probe.field.clone());
-                materialize(
+                let materialized = materialize(
                     &pool,
                     catalog,
                     &name,
@@ -345,6 +391,12 @@ impl DynamicDriver {
                     collect,
                     &mut stage_metrics,
                 )?;
+                audit.estimates.push(EstimateRecord {
+                    stage: format!("reopt#{reoptimization_points}"),
+                    operator: plan.signature(),
+                    estimated_rows: Some(planned.estimated_cardinality),
+                    actual_rows: materialized.rows,
+                });
                 temp_tables.push(name);
                 spec = new_spec;
                 total.add(&stage_metrics);
@@ -356,16 +408,27 @@ impl DynamicDriver {
             // over whatever statistics the executed stages refreshed. ----
             planner_invocations += 1;
             let mut stage_span = rdo_trace::span("stage.final");
-            let final_plan = {
+            rdo_trace::note("stage", "final");
+            let (final_plan, final_estimate) = {
                 let _planning = rdo_trace::span("planner.plan");
                 if join_edges(&spec).len() > 2 {
-                    CostBasedOptimizer::new(self.config.rule).plan(
+                    // The budget-exhausted cost-based path reports no
+                    // single-number cardinality estimate.
+                    let plan = CostBasedOptimizer::new(self.config.rule).plan(
                         &spec,
                         catalog,
                         catalog.stats(),
-                    )?
+                    )?;
+                    (plan, None)
                 } else {
-                    planner.plan_remaining(&spec, catalog, catalog.stats())?
+                    let estimate = planner
+                        .estimate_remaining(&spec, catalog, catalog.stats())
+                        .ok()
+                        .flatten();
+                    (
+                        planner.plan_remaining(&spec, catalog, catalog.stats())?,
+                        estimate,
+                    )
                 }
             };
             stage_plans.push(final_plan.signature());
@@ -378,6 +441,12 @@ impl DynamicDriver {
                 executor.execute_to_relation(&final_plan, &mut stage_metrics)?
             };
             total.add(&stage_metrics);
+            audit.estimates.push(EstimateRecord {
+                stage: "final".to_string(),
+                operator: final_plan.signature(),
+                estimated_rows: final_estimate,
+                actual_rows: relation.len() as u64,
+            });
             let result = project_result(relation, &spec.projection)?;
 
             Ok(DynamicOutcome {
@@ -387,6 +456,7 @@ impl DynamicDriver {
                 planner_invocations,
                 reoptimization_points,
                 stage_plans,
+                audit,
             })
         })();
 
@@ -699,7 +769,47 @@ mod tests {
             assert_eq!(outcome.result, reference.result, "workers={workers}");
             assert_eq!(outcome.total, reference.total, "workers={workers}");
             assert_eq!(outcome.stage_plans, reference.stage_plans);
+            assert_eq!(outcome.audit, reference.audit, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn audit_trail_records_every_stage_and_decision() {
+        let mut cat = catalog();
+        let outcome = DynamicDriver::new(DynamicConfig::default())
+            .execute(&spec(), &mut cat)
+            .unwrap();
+        let audit = &outcome.audit;
+        assert_eq!(
+            audit.estimates.len(),
+            outcome.stage_plans.len(),
+            "one estimate record per executed stage"
+        );
+        assert_eq!(
+            audit.decisions.len(),
+            outcome.reoptimization_points as usize,
+            "one decision explanation per re-optimization point"
+        );
+        let final_record = audit.estimates.last().unwrap();
+        assert_eq!(final_record.stage, "final");
+        assert_eq!(final_record.actual_rows, EXPECTED_ROWS as u64);
+        assert!(audit.max_q_error() >= 1.0);
+        let decision = &audit.decisions[0];
+        assert_eq!(decision.point, 1);
+        assert!(
+            decision.trigger.is_some(),
+            "the push-down stage preceded the first decision"
+        );
+        assert!(!decision.chosen.is_empty());
+        let rendered = audit.render();
+        assert!(
+            rendered.contains("estimate audit (per stage):"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("re-optimization decisions:"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -191,6 +191,7 @@ mod tests {
             planner_invocations: 2,
             reoptimization_points: 1,
             stage_plans: vec!["(a ⋈ b)".into()],
+            audit: Default::default(),
         }
     }
 
@@ -237,6 +238,7 @@ mod tests {
                 planner_invocations: 0,
                 reoptimization_points: 0,
                 stage_plans: vec![],
+                audit: Default::default(),
             },
             &CostModel::default(),
         );

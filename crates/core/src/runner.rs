@@ -89,6 +89,9 @@ pub struct RunReport {
     pub plan: String,
     /// Overhead breakdown (dynamic variants only).
     pub breakdown: Option<CostBreakdown>,
+    /// The optimizer audit trail (dynamic variants; empty for static
+    /// strategies, which never re-optimize).
+    pub audit_log: rdo_trace::audit::AuditLog,
     /// The run's trace: enabled when the runner's tracing is on, carrying the
     /// span tree and counters this run (and only this run) recorded.
     pub trace: rdo_trace::TraceHandle,
@@ -106,12 +109,37 @@ impl RunReport {
         self.trace.profile()
     }
 
+    /// The estimate-vs-actual audit table plus the re-optimization decision
+    /// explanations, rendered for humans. Static strategies (and dynamic runs
+    /// of join-free queries) report "no audit records".
+    pub fn audit(&self) -> String {
+        self.audit_log.render()
+    }
+
     /// Prometheus text exposition of this run: every [`ExecutionMetrics`]
     /// counter plus whatever the trace collected (works with tracing
-    /// disabled too — the logical metrics never depend on tracing).
+    /// disabled too — the logical metrics never depend on tracing). All
+    /// series share the single `rdo_` namespace; a trace counter or gauge
+    /// whose sanitized name collides with an execution metric is skipped so
+    /// the exposition never emits the same series twice.
     pub fn metrics_text(&self) -> String {
         let mut out = crate::report::execution_metrics_text(&self.metrics);
-        out.push_str(&self.profile().metrics_text());
+        let mut seen: std::collections::BTreeSet<String> = out
+            .lines()
+            .filter(|line| !line.starts_with('#'))
+            .filter_map(|line| line.split_whitespace().next().map(str::to_string))
+            .collect();
+        let profile = self.profile();
+        for (kind, map) in [("counter", profile.counters()), ("gauge", profile.gauges())] {
+            for (name, value) in map {
+                let metric = rdo_trace::profile::prometheus_name(name);
+                if !seen.insert(metric.clone()) {
+                    continue;
+                }
+                out.push_str(&format!("# TYPE {metric} {kind}\n{metric} {value}\n"));
+            }
+        }
+        out.push_str(&profile.histograms_text());
         out
     }
 }
@@ -283,6 +311,7 @@ impl QueryRunner {
             metrics: outcome.total,
             plan: outcome.stage_plans.join(" ; "),
             breakdown: Some(breakdown),
+            audit_log: outcome.audit,
             trace,
         })
     }
@@ -339,6 +368,7 @@ impl QueryRunner {
             metrics,
             plan: plan.signature(),
             breakdown: None,
+            audit_log: Default::default(),
             trace,
         })
     }
@@ -481,6 +511,49 @@ mod tests {
             no_pushdown.result.clone().sorted(),
             no_stats.result.clone().sorted()
         );
+    }
+
+    #[test]
+    fn dynamic_report_carries_an_audit_and_static_does_not() {
+        let mut cat = catalog();
+        let runner = QueryRunner::default();
+        let q = spec();
+        let dynamic = runner.run(Strategy::Dynamic, &q, &mut cat).unwrap();
+        assert!(!dynamic.audit_log.is_empty());
+        assert!(dynamic.audit().contains("estimate audit (per stage):"));
+        assert!(dynamic.audit_log.max_q_error() >= 1.0);
+        let cost_based = runner.run(Strategy::CostBased, &q, &mut cat).unwrap();
+        assert!(cost_based.audit_log.is_empty());
+        assert_eq!(cost_based.audit(), "no audit records\n");
+    }
+
+    #[test]
+    fn metrics_exposition_has_no_duplicate_series() {
+        let mut cat = catalog();
+        let runner = QueryRunner::default().with_tracing(true);
+        let report = runner.run(Strategy::Dynamic, &spec(), &mut cat).unwrap();
+        let text = report.metrics_text();
+        assert!(text.contains("rdo_rows_scanned"), "{text}");
+        assert!(
+            text.contains("_duration_ns_bucket{le="),
+            "histogram buckets present: {text}"
+        );
+        // No metric/label pair may appear twice, and no family may be typed
+        // twice (promtool rejects both).
+        let mut series = std::collections::BTreeSet::new();
+        let mut families = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split_whitespace().next().unwrap();
+                assert!(
+                    families.insert(family.to_string()),
+                    "family {family} typed twice"
+                );
+            } else if !line.is_empty() {
+                let key = line.rsplit_once(' ').map(|(k, _)| k).unwrap_or(line);
+                assert!(series.insert(key.to_string()), "series {key} emitted twice");
+            }
+        }
     }
 
     #[test]

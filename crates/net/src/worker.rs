@@ -153,6 +153,9 @@ fn serve_connection(stream: TcpStream) -> Result<Served> {
                     span.attr_u64("fanout", num_partitions as u64);
                     let rows = read_page_batch(&mut reader)?;
                     span.attr_u64("rows_in", rows.len() as u64);
+                    // Shipped back in the tally frame and adopted by the
+                    // coordinator, so `/progress` sees worker-side movement.
+                    rdo_trace::counter("progress.rows_repartitioned", rows.len() as u64);
                     repartition_partition(&rows, key_index, from, num_partitions)
                 };
                 for (to, bucket) in buckets.iter().enumerate() {

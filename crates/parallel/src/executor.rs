@@ -195,6 +195,7 @@ impl<'a> ParallelExecutor<'a> {
         span.attr_u64("rows_in", tally.scanned_rows);
         span.attr_u64("rows_out", tally.kept);
         span.attr_u64("predicates", predicates.len() as u64);
+        rdo_trace::counter("progress.rows_produced", tally.kept);
 
         let mut data = PartitionedData::new(setup.out_schema, partitions, setup.partition_key);
         if predicates.is_empty() && projection.is_none() && !table.is_temporary() {
@@ -293,10 +294,9 @@ impl<'a> ParallelExecutor<'a> {
             out_partitions.push(rows);
         }
         tally.record(metrics);
-        span.attr_u64(
-            "rows_out",
-            out_partitions.iter().map(Vec::len).sum::<usize>() as u64,
-        );
+        let joined_rows = out_partitions.iter().map(Vec::len).sum::<usize>() as u64;
+        span.attr_u64("rows_out", joined_rows);
+        rdo_trace::counter("progress.rows_produced", joined_rows);
 
         let key_name = rdo_common::unqualified(&first_left_key.field).to_string();
         Ok(PartitionedData::new(
@@ -349,10 +349,9 @@ impl<'a> ParallelExecutor<'a> {
             out_partitions.push(rows);
         }
         tally.record(metrics);
-        span.attr_u64(
-            "rows_out",
-            out_partitions.iter().map(Vec::len).sum::<usize>() as u64,
-        );
+        let joined_rows = out_partitions.iter().map(Vec::len).sum::<usize>() as u64;
+        span.attr_u64("rows_out", joined_rows);
+        rdo_trace::counter("progress.rows_produced", joined_rows);
 
         let partition_key = left.partition_key().map(|s| s.to_string());
         Ok(PartitionedData::new(
@@ -431,6 +430,7 @@ impl<'a> ParallelExecutor<'a> {
         metrics.index_fetched_rows += tally.index_fetched_rows;
         metrics.output_rows += tally.output_rows;
         span.attr_u64("rows_out", tally.output_rows);
+        rdo_trace::counter("progress.rows_produced", tally.output_rows);
 
         Ok(PartitionedData::new(
             setup.out_schema,

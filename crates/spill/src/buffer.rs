@@ -204,6 +204,7 @@ impl BufferPool {
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
         let key = (file_id, page_no);
+        rdo_trace::counter("progress.pages_scanned", 1);
         let file = {
             let mut state = self.state.lock().expect("buffer pool lock");
             if let Some(&slot) = state.map.get(&key) {

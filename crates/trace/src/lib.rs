@@ -11,7 +11,13 @@
 //!   [`Collector`];
 //! * [`counter`] / [`gauge_max`] / [`timer`] accumulate named metrics beside
 //!   the spans (counters sum-merge, gauges max-merge — the same two merge
-//!   laws `ExecutionMetrics` uses);
+//!   laws `ExecutionMetrics` uses); every finished span additionally feeds a
+//!   per-name latency [`Histogram`] (fixed log buckets, bucket-wise sum
+//!   merge), so per-operator and per-stage p50/p90/p99 come for free;
+//! * [`audit`] carries the optimizer audit trail (estimate-vs-actual Q-error
+//!   records and re-optimization decision explanations) the driver fills in;
+//! * [`serve`] is the live scrape endpoint (`RDO_METRICS_ADDR`): `/metrics`
+//!   and `/progress` over a dependency-free HTTP listener;
 //! * [`TaskContext`] carries the active trace across thread boundaries (the
 //!   worker pool, net transport threads, the spill prefetcher), so spans
 //!   started on other threads stitch under the submitting span;
@@ -31,7 +37,9 @@
 //! under its per-worker exchange spans, so one merged tree covers the whole
 //! cluster.
 
+pub mod audit;
 pub mod profile;
+pub mod serve;
 pub mod wire;
 
 pub use profile::Profile;
@@ -90,6 +98,126 @@ pub struct SpanRecord {
     pub attrs: Vec<(String, AttrValue)>,
 }
 
+/// Number of finite bucket boundaries in a [`Histogram`]: boundary `i` is
+/// `2^(10+i)` nanoseconds, spanning ~1 µs to ~36 minutes; one extra overflow
+/// bucket catches everything beyond the last boundary.
+pub const HISTOGRAM_BOUNDS: usize = 32;
+
+/// A fixed-boundary log-bucketed latency histogram.
+///
+/// Every histogram shares the same boundaries, so merging two of them is a
+/// bucket-wise sum (plus summing `sum` and `count`) — an associative and
+/// commutative law like the counter (sum) and gauge (max) laws, which is what
+/// keeps the merged exposition worker-count and transport invariant. The
+/// collector records one histogram per span name automatically when a span
+/// guard drops, giving per-operator and per-stage wall-latency distributions
+/// for free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BOUNDS + 1],
+    sum: u64,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; HISTOGRAM_BOUNDS + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The upper bound (inclusive) of finite bucket `index`, in nanoseconds.
+    pub fn bound_ns(index: usize) -> u64 {
+        1u64 << (10 + index as u32)
+    }
+
+    /// Index of the bucket whose range `(bound(i-1), bound(i)]` contains
+    /// `value_ns`; values past the last boundary land in the overflow bucket.
+    fn bucket_index(value_ns: u64) -> usize {
+        if value_ns <= Self::bound_ns(0) {
+            return 0;
+        }
+        let log2 = 63 - value_ns.leading_zeros() as usize;
+        let mut index = log2 - 10;
+        if (1u64 << log2) < value_ns {
+            index += 1;
+        }
+        index.min(HISTOGRAM_BOUNDS)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value_ns: u64) {
+        self.counts[Self::bucket_index(value_ns)] += 1;
+        self.sum = self.sum.saturating_add(value_ns);
+        self.count += 1;
+    }
+
+    /// Merges another histogram in: bucket-wise count sum. Associative and
+    /// commutative, so the order workers report in never changes the result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count += other.count;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the overflow
+    /// bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Reassembles a histogram from its parts (the wire decoder). `None` when
+    /// the bucket count does not match this build's boundaries.
+    pub fn from_parts(bucket_counts: &[u64], sum: u64, count: u64) -> Option<Self> {
+        let counts: [u64; HISTOGRAM_BOUNDS + 1] = bucket_counts.try_into().ok()?;
+        Some(Self { counts, sum, count })
+    }
+
+    /// The `q`-quantile as a bucket upper bound in nanoseconds: the smallest
+    /// boundary at which the cumulative count reaches `ceil(q · count)`.
+    /// Returns 0 for an empty histogram; observations in the overflow bucket
+    /// report twice the last finite boundary.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.counts.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= target {
+                return if index < HISTOGRAM_BOUNDS {
+                    Self::bound_ns(index)
+                } else {
+                    2 * Self::bound_ns(HISTOGRAM_BOUNDS - 1)
+                };
+            }
+        }
+        2 * Self::bound_ns(HISTOGRAM_BOUNDS - 1)
+    }
+}
+
 /// The shared span + metrics store behind a [`TraceHandle`].
 ///
 /// Spans land in one of 16 mutex-guarded shard vectors keyed by thread id;
@@ -103,6 +231,8 @@ pub struct Collector {
     shards: Vec<Mutex<Vec<SpanRecord>>>,
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    notes: Mutex<BTreeMap<String, String>>,
 }
 
 impl Collector {
@@ -113,6 +243,8 @@ impl Collector {
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            notes: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -150,6 +282,33 @@ impl Collector {
                 map.insert(name.to_string(), value);
             }
         }
+    }
+
+    fn observe(&self, name: &str, value_ns: u64) {
+        let mut map = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        match map.get_mut(name) {
+            Some(histogram) => histogram.observe(value_ns),
+            None => {
+                let mut histogram = Histogram::new();
+                histogram.observe(value_ns);
+                map.insert(name.to_string(), histogram);
+            }
+        }
+    }
+
+    fn merge_histogram(&self, name: &str, other: &Histogram) {
+        let mut map = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        match map.get_mut(name) {
+            Some(histogram) => histogram.merge(other),
+            None => {
+                map.insert(name.to_string(), other.clone());
+            }
+        }
+    }
+
+    fn set_note(&self, key: &str, value: &str) {
+        let mut map = self.notes.lock().unwrap_or_else(|p| p.into_inner());
+        map.insert(key.to_string(), value.to_string());
     }
 
     fn snapshot_spans(&self) -> Vec<SpanRecord> {
@@ -217,7 +376,10 @@ impl TraceHandle {
             rdo_common::env::parse_env_bool,
         )
         .unwrap_or(false);
-        if spans || export_path().is_some() {
+        // A scrape endpoint needs something to scrape: RDO_METRICS_ADDR alone
+        // enables collection too, so /metrics and /progress have live data
+        // without also setting RDO_TRACE_SPANS.
+        if spans || export_path().is_some() || serve::metrics_addr().is_some() {
             Self::enabled()
         } else {
             Self::disabled()
@@ -276,10 +438,50 @@ impl TraceHandle {
             .unwrap_or_default()
     }
 
+    /// Records one latency observation into the named histogram directly on
+    /// the handle (no thread context needed).
+    pub fn observe(&self, name: &str, value_ns: u64) {
+        if let Some(collector) = &self.inner {
+            collector.observe(name, value_ns);
+        }
+    }
+
+    /// Snapshot of the histogram map (one latency histogram per span name,
+    /// recorded automatically as span guards drop).
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        self.inner
+            .as_ref()
+            .map(|c| {
+                c.histograms
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .clone()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Sets a last-write-wins progress note (e.g. the stage the driver is
+    /// currently executing) directly on the handle.
+    pub fn note(&self, key: &str, value: &str) {
+        if let Some(collector) = &self.inner {
+            collector.set_note(key, value);
+        }
+    }
+
+    /// Snapshot of the note map. Notes are local diagnostics for the live
+    /// `/progress` endpoint; they do not ship across the wire.
+    pub fn notes(&self) -> BTreeMap<String, String> {
+        self.inner
+            .as_ref()
+            .map(|c| c.notes.lock().unwrap_or_else(|p| p.into_inner()).clone())
+            .unwrap_or_default()
+    }
+
     /// Builds a [`Profile`] from everything collected so far. Callable any
     /// number of times; spans still open are not included.
     pub fn profile(&self) -> Profile {
         Profile::new(self.spans(), self.counters(), self.gauges())
+            .with_histograms(self.histograms())
     }
 
     /// Merges spans and metrics collected elsewhere (typically decoded from a
@@ -296,6 +498,7 @@ impl TraceHandle {
             spans,
             counters,
             gauges,
+            histograms,
         } = update;
         if !spans.is_empty() {
             let max_id = spans.iter().map(|s| s.id).max().unwrap_or(0);
@@ -332,12 +535,23 @@ impl TraceHandle {
         for (name, value) in gauges {
             collector.gauge_max(&name, value);
         }
+        // Adopted spans are pushed directly (not via a guard drop), so the
+        // remote histograms — which already contain those spans' latencies,
+        // observed where the guards actually dropped — are merged explicitly.
+        for (name, histogram) in histograms {
+            collector.merge_histogram(&name, &histogram);
+        }
     }
 
     /// Encodes everything collected so far for shipment to another process
     /// (the worker side of [`TraceHandle::adopt`]).
     pub fn encode_update(&self) -> Vec<u8> {
-        wire::encode_update(&self.spans(), &self.counters(), &self.gauges())
+        wire::encode_update(
+            &self.spans(),
+            &self.counters(),
+            &self.gauges(),
+            &self.histograms(),
+        )
     }
 }
 
@@ -509,13 +723,17 @@ impl Drop for SpanGuard {
                 }
             }
         });
+        let duration_ns = end.saturating_sub(active.start_ns);
+        // Every finished span feeds the latency histogram keyed by its name,
+        // so per-operator and per-stage percentiles come for free.
+        active.collector.observe(active.name, duration_ns);
         active.collector.push(SpanRecord {
             id: active.id,
             parent: active.parent,
             name: active.name.to_string(),
             thread: current_thread_id(),
             start_ns: active.start_ns,
-            duration_ns: end.saturating_sub(active.start_ns),
+            duration_ns,
             attrs: active
                 .attrs
                 .into_iter()
@@ -576,6 +794,20 @@ pub fn gauge_max(name: &'static str, value: u64) {
     CTX.with(|ctx| {
         if let Some(t) = ctx.borrow().as_ref() {
             t.collector.gauge_max(name, value);
+        }
+    });
+}
+
+/// Sets a last-write-wins progress note on the thread's installed trace —
+/// free-form current-state strings (the stage the driver is executing) read
+/// back by the live `/progress` endpoint. A no-op when tracing is disabled.
+pub fn note(key: &str, value: &str) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CTX.with(|ctx| {
+        if let Some(t) = ctx.borrow().as_ref() {
+            t.collector.set_note(key, value);
         }
     });
 }
@@ -760,6 +992,99 @@ mod tests {
         }
         let counters = handle.counters();
         assert!(counters.contains_key("work_ns"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_spaced_and_merge_is_bucketwise() {
+        let mut a = Histogram::new();
+        a.observe(1); // bucket 0 (≤ 1024)
+        a.observe(1024); // bucket 0 boundary is inclusive
+        a.observe(1025); // bucket 1
+        a.observe(u64::MAX); // overflow bucket
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bucket_counts()[0], 2);
+        assert_eq!(a.bucket_counts()[1], 1);
+        assert_eq!(a.bucket_counts()[HISTOGRAM_BOUNDS], 1);
+
+        let mut b = Histogram::new();
+        b.observe(2048);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count(), 5);
+        assert_eq!(ab.bucket_counts()[1], 2, "2048 lands in bucket 1 too");
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(1000); // bucket 0 → bound 1024
+        }
+        h.observe(1 << 20); // bucket 10
+        assert_eq!(h.quantile_ns(0.5), 1024);
+        assert_eq!(h.quantile_ns(0.99), 1024);
+        assert_eq!(h.quantile_ns(1.0), 1 << 20);
+        assert_eq!(Histogram::new().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn spans_feed_their_latency_histogram_automatically() {
+        let handle = TraceHandle::enabled();
+        {
+            let _guard = handle.install();
+            for _ in 0..3 {
+                let _s = span("exec.join");
+            }
+            let _other = span("stage.final");
+        }
+        let histograms = handle.histograms();
+        assert_eq!(histograms.get("exec.join").map(|h| h.count()), Some(3));
+        assert_eq!(histograms.get("stage.final").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn adoption_merges_histograms_without_double_counting() {
+        let worker = TraceHandle::enabled();
+        {
+            let _guard = worker.install();
+            let _s = span("serve.repartition");
+        }
+        let blob = worker.encode_update();
+        let coord = TraceHandle::enabled();
+        {
+            let _guard = coord.install();
+            let exchange = span("net.exchange");
+            coord.adopt(wire::decode_update(&blob).unwrap(), exchange.id());
+        }
+        let histograms = coord.histograms();
+        assert_eq!(
+            histograms.get("serve.repartition").map(|h| h.count()),
+            Some(1),
+            "adopted spans do not re-observe; the shipped histogram carries them"
+        );
+        assert_eq!(histograms.get("net.exchange").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn notes_are_last_write_wins() {
+        let handle = TraceHandle::enabled();
+        {
+            let _guard = handle.install();
+            note("stage", "pushdown:part");
+            note("stage", "reopt#1");
+        }
+        handle.note("extra", "x");
+        assert_eq!(
+            handle.notes().get("stage").map(String::as_str),
+            Some("reopt#1")
+        );
+        assert_eq!(handle.notes().get("extra").map(String::as_str), Some("x"));
+        let disabled = TraceHandle::disabled();
+        disabled.note("stage", "ignored");
+        assert!(disabled.notes().is_empty());
     }
 
     #[test]

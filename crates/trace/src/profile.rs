@@ -1,7 +1,7 @@
 //! Rendering sinks over a collected trace: the `EXPLAIN ANALYZE`-style tree,
 //! the Chrome `trace_event` JSON exporter and the Prometheus text exposition.
 
-use crate::{AttrValue, SpanRecord};
+use crate::{AttrValue, Histogram, SpanRecord};
 use std::collections::BTreeMap;
 
 /// Span names with these prefixes describe *physical* execution mechanics
@@ -17,6 +17,7 @@ pub struct Profile {
     spans: Vec<SpanRecord>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Profile {
@@ -31,7 +32,14 @@ impl Profile {
             spans,
             counters,
             gauges,
+            histograms: BTreeMap::new(),
         }
+    }
+
+    /// Attaches the per-span-name latency histograms (builder style).
+    pub fn with_histograms(mut self, histograms: BTreeMap<String, Histogram>) -> Self {
+        self.histograms = histograms;
+        self
     }
 
     /// The finished spans, ordered by start time.
@@ -47,6 +55,16 @@ impl Profile {
     /// The max-merged gauges.
     pub fn gauges(&self) -> &BTreeMap<String, u64> {
         &self.gauges
+    }
+
+    /// The bucket-wise sum-merged latency histograms, keyed by span name.
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+
+    /// The named latency histogram, if any spans with that name finished.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
     }
 
     /// Total wall time of the named span (summed over occurrences), in
@@ -90,6 +108,18 @@ impl Profile {
             }
             for (name, value) in &self.gauges {
                 out.push_str(&format!("  {name} (peak) = {value}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("latency (ms):\n");
+            for (name, histogram) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name}: n={} p50={:.3} p90={:.3} p99={:.3}\n",
+                    histogram.count(),
+                    histogram.quantile_ns(0.50) as f64 / 1e6,
+                    histogram.quantile_ns(0.90) as f64 / 1e6,
+                    histogram.quantile_ns(0.99) as f64 / 1e6,
+                ));
             }
         }
         out
@@ -158,6 +188,35 @@ impl Profile {
         for (name, value) in &self.gauges {
             let metric = prometheus_name(name);
             out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+        }
+        out.push_str(&self.histograms_text());
+        out
+    }
+
+    /// The latency histograms alone in Prometheus text exposition format:
+    /// cumulative `_bucket{le="..."}` series (finite boundaries with at least
+    /// one observation, plus the mandatory `+Inf`), `_sum` and `_count`. Each
+    /// span name `x.y` becomes the family `rdo_x_y_duration_ns`.
+    pub fn histograms_text(&self) -> String {
+        let mut out = String::new();
+        for (name, histogram) in &self.histograms {
+            let metric = format!("{}_duration_ns", prometheus_name(name));
+            out.push_str(&format!("# TYPE {metric} histogram\n"));
+            let mut cumulative = 0u64;
+            let buckets = histogram.bucket_counts();
+            for (index, bucket) in buckets.iter().enumerate() {
+                cumulative += bucket;
+                if index == buckets.len() - 1 {
+                    out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                } else if *bucket > 0 {
+                    out.push_str(&format!(
+                        "{metric}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        Histogram::bound_ns(index)
+                    ));
+                }
+            }
+            out.push_str(&format!("{metric}_sum {}\n", histogram.sum_ns()));
+            out.push_str(&format!("{metric}_count {}\n", histogram.count()));
         }
         out
     }
@@ -230,7 +289,10 @@ fn shape_attrs(span: &SpanRecord) -> String {
     out
 }
 
-fn prometheus_name(name: &str) -> String {
+/// Sanitizes a metric name for the Prometheus text exposition (`.` and every
+/// other non-alphanumeric character become `_`) and prefixes it with `rdo_`,
+/// the single registry namespace every exposition in the workspace shares.
+pub fn prometheus_name(name: &str) -> String {
     let safe: String = name
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
@@ -238,7 +300,7 @@ fn prometheus_name(name: &str) -> String {
     format!("rdo_{safe}")
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -353,6 +415,36 @@ mod tests {
         assert!(text.contains("rdo_spill_pool_hits 12"));
         assert!(text.contains("# TYPE rdo_pool_queue_wait_ns gauge"));
         assert!(text.contains("rdo_pool_queue_wait_ns 55"));
+    }
+
+    fn sample_with_histograms() -> Profile {
+        let mut h = Histogram::new();
+        for v in [500u64, 2_000, 2_000, 1_000_000] {
+            h.observe(v);
+        }
+        sample().with_histograms(BTreeMap::from([("stage.reopt".to_string(), h)]))
+    }
+
+    #[test]
+    fn tree_renders_latency_percentiles() {
+        let text = sample_with_histograms().render_tree();
+        assert!(text.contains("latency (ms):"), "{text}");
+        assert!(
+            text.contains("stage.reopt: n=4 p50=0.002 p90=1.049 p99=1.049"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_exposition_has_cumulative_buckets() {
+        let text = sample_with_histograms().metrics_text();
+        assert!(text.contains("# TYPE rdo_stage_reopt_duration_ns histogram"));
+        assert!(text.contains("rdo_stage_reopt_duration_ns_bucket{le=\"1024\"} 1"));
+        assert!(text.contains("rdo_stage_reopt_duration_ns_bucket{le=\"2048\"} 3"));
+        assert!(text.contains("rdo_stage_reopt_duration_ns_bucket{le=\"1048576\"} 4"));
+        assert!(text.contains("rdo_stage_reopt_duration_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("rdo_stage_reopt_duration_ns_sum 1004500"));
+        assert!(text.contains("rdo_stage_reopt_duration_ns_count 4"));
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! instead of panicking, so a truncated or foreign payload degrades to "no
 //! remote trace" rather than killing the exchange.
 
-use crate::{AttrValue, SpanRecord};
+use crate::{AttrValue, Histogram, SpanRecord, HISTOGRAM_BOUNDS};
 use rdo_common::{RdoError, Result};
 use std::collections::BTreeMap;
 
-/// A decoded remote trace: spans plus counter/gauge maps, ready for adoption.
+/// A decoded remote trace: spans plus counter/gauge/histogram maps, ready for
+/// adoption.
 #[derive(Debug, Clone, Default)]
 pub struct Update {
     /// Spans in the remote collector's id/time space.
@@ -22,6 +23,8 @@ pub struct Update {
     pub counters: BTreeMap<String, u64>,
     /// Max-merged gauges.
     pub gauges: BTreeMap<String, u64>,
+    /// Bucket-wise sum-merged latency histograms.
+    pub histograms: BTreeMap<String, Histogram>,
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -42,6 +45,7 @@ pub fn encode_update(
     spans: &[SpanRecord],
     counters: &BTreeMap<String, u64>,
     gauges: &BTreeMap<String, u64>,
+    histograms: &BTreeMap<String, Histogram>,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, spans.len() as u32);
@@ -72,6 +76,18 @@ pub fn encode_update(
         for (name, value) in map {
             put_str(&mut out, name);
             put_u64(&mut out, *value);
+        }
+    }
+    put_u32(&mut out, histograms.len() as u32);
+    for (name, histogram) in histograms {
+        put_str(&mut out, name);
+        put_u64(&mut out, histogram.sum_ns());
+        put_u64(&mut out, histogram.count());
+        // The bucket count travels with the payload so a decoder with
+        // different boundaries rejects the histogram instead of mis-binning.
+        put_u32(&mut out, histogram.bucket_counts().len() as u32);
+        for bucket in histogram.bucket_counts() {
+            put_u64(&mut out, *bucket);
         }
     }
     out
@@ -164,10 +180,32 @@ pub fn decode_update(buf: &[u8]) -> Result<Update> {
         }
     }
     let [counters, gauges] = maps;
+    let mut histograms = BTreeMap::new();
+    let entries = r.u32()? as usize;
+    for _ in 0..entries {
+        let name = r.string()?;
+        let sum = r.u64()?;
+        let count = r.u64()?;
+        let buckets = r.u32()? as usize;
+        if buckets != HISTOGRAM_BOUNDS + 1 {
+            return Err(RdoError::Execution(format!(
+                "trace histogram has {buckets} buckets, expected {}",
+                HISTOGRAM_BOUNDS + 1
+            )));
+        }
+        let mut counts = Vec::with_capacity(buckets);
+        for _ in 0..buckets {
+            counts.push(r.u64()?);
+        }
+        let histogram = Histogram::from_parts(&counts, sum, count)
+            .ok_or_else(|| RdoError::Execution("trace histogram bucket mismatch".to_string()))?;
+        histograms.insert(name, histogram);
+    }
     Ok(Update {
         spans,
         counters,
         gauges,
+        histograms,
     })
 }
 
@@ -204,38 +242,69 @@ mod tests {
         ]
     }
 
+    fn sample_histograms() -> BTreeMap<String, Histogram> {
+        let mut h = Histogram::new();
+        h.observe(900);
+        h.observe(5_000);
+        h.observe(u64::MAX / 2);
+        BTreeMap::from([("serve.repartition".to_string(), h)])
+    }
+
     #[test]
     fn roundtrips_spans_and_metrics() {
         let spans = sample_spans();
         let counters = BTreeMap::from([("net.frames".to_string(), 9u64)]);
         let gauges = BTreeMap::from([("net.peak".to_string(), 321u64)]);
-        let blob = encode_update(&spans, &counters, &gauges);
+        let histograms = sample_histograms();
+        let blob = encode_update(&spans, &counters, &gauges, &histograms);
         let update = decode_update(&blob).unwrap();
         assert_eq!(update.spans, spans);
         assert_eq!(update.counters, counters);
         assert_eq!(update.gauges, gauges);
+        assert_eq!(update.histograms, histograms);
     }
 
     #[test]
     fn empty_update_is_tiny_and_roundtrips() {
-        let blob = encode_update(&[], &BTreeMap::new(), &BTreeMap::new());
-        assert_eq!(blob.len(), 12, "three zero counts");
+        let blob = encode_update(&[], &BTreeMap::new(), &BTreeMap::new(), &BTreeMap::new());
+        assert_eq!(blob.len(), 16, "four zero counts");
         let update = decode_update(&blob).unwrap();
         assert!(update.spans.is_empty() && update.counters.is_empty() && update.gauges.is_empty());
+        assert!(update.histograms.is_empty());
     }
 
     #[test]
     fn truncation_errors_instead_of_panicking() {
-        let blob = encode_update(&sample_spans(), &BTreeMap::new(), &BTreeMap::new());
-        for cut in [0, 3, 10, blob.len() - 1] {
+        let blob = encode_update(
+            &sample_spans(),
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            &sample_histograms(),
+        );
+        for cut in [0, 3, 10, blob.len() / 2, blob.len() - 1] {
             assert!(decode_update(&blob[..cut]).is_err(), "cut at {cut}");
         }
     }
 
     #[test]
+    fn foreign_histogram_bucket_count_is_rejected() {
+        let mut blob = encode_update(
+            &[],
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            &sample_histograms(),
+        );
+        // The bucket-count u32 sits right after name + sum + count.
+        let name_len = "serve.repartition".len();
+        let pos = 16 + 4 + name_len + 8 + 8;
+        blob[pos] = (HISTOGRAM_BOUNDS + 2) as u8;
+        assert!(decode_update(&blob).is_err());
+    }
+
+    #[test]
     fn unknown_attr_kind_is_rejected() {
         let spans = sample_spans();
-        let mut blob = encode_update(&spans, &BTreeMap::new(), &BTreeMap::new());
+        let mut blob = encode_update(&spans, &BTreeMap::new(), &BTreeMap::new(), &BTreeMap::new());
         // Flip the first attribute kind byte (0 → 9): find it right after the
         // first attr key "frames".
         let key_pos = blob

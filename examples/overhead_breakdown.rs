@@ -96,11 +96,19 @@ fn main() -> rdo_common::Result<()> {
         );
     }
 
-    // Full detail for one query: the EXPLAIN-ANALYZE tree and the combined
-    // Prometheus exposition (execution counters + trace metrics).
+    // Full detail for one query: the EXPLAIN-ANALYZE tree (its latency
+    // section shows p50/p90/p99 per span name), the estimate-vs-actual audit
+    // table with the re-optimization decisions, and the combined Prometheus
+    // exposition (execution counters + trace metrics + histogram buckets).
     if let Some((name, report)) = dynamic_reports.iter().find(|(n, _)| n == "Q9") {
         println!("\nspan tree of the dynamic {name} run:");
         print!("{}", report.profile().render_tree());
+        println!("optimizer audit of the dynamic {name} run:");
+        print!("{}", report.audit());
+        println!(
+            "max q-error of the run: {:.2}",
+            report.audit_log.max_q_error()
+        );
         println!("metrics exposition (first lines):");
         for line in report.metrics_text().lines().take(8) {
             println!("{line}");

@@ -55,6 +55,24 @@ fn main() {
     let profile = trace.profile();
     print!("{}", profile.render_tree());
 
+    // The audit trail: plan-time estimates vs materialized actuals per stage
+    // (with Q-error) and the explanation of every re-optimization decision.
+    // Bit-identical to what an in-process run of the same query records.
+    println!("\noptimizer audit:");
+    print!("{}", outcome.audit.render());
+
+    // Per-span latency percentiles, straight from the merged histograms
+    // (worker-side serve.repartition observations included).
+    if let Some(h) = profile.histogram("exec.join") {
+        println!(
+            "\nexec.join latency over {} spans: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms",
+            h.count(),
+            h.quantile_ns(0.5) as f64 / 1e6,
+            h.quantile_ns(0.9) as f64 / 1e6,
+            h.quantile_ns(0.99) as f64 / 1e6,
+        );
+    }
+
     let path = rdo_trace::export_path().unwrap_or_else(|| "trace_profile_q9.json".to_string());
     std::fs::write(&path, profile.chrome_trace_json())
         .unwrap_or_else(|e| panic!("write {path}: {e}"));

@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Validates a Prometheus text-exposition document (version 0.0.4) with nothing
+# but POSIX awk — no client library, no extra dependency. Used by the CI
+# observability leg against a live scrape of the RDO_METRICS_ADDR endpoint,
+# and handy locally:
+#
+#   curl -s http://127.0.0.1:9464/metrics | scripts/check_exposition.sh
+#   scripts/check_exposition.sh metrics.txt
+#
+# Checks:
+#   * every line is a comment (`# TYPE`/`# HELP`) or `<series> <number>`;
+#   * metric and label names are legal, every series name is rdo_-prefixed;
+#   * no metric family is `# TYPE`d twice, no series repeats;
+#   * every `_bucket` series belongs to a histogram family that also exposes
+#     `_sum`, `_count` and a `+Inf` bucket, with cumulative bucket counts;
+#   * at least one sample exists (an empty scrape is a failed scrape).
+set -eu
+
+awk '
+function fail(msg) { printf "check_exposition: line %d: %s\n  %s\n", NR, msg, $0; bad = 1 }
+function family(series) { sub(/\{.*/, "", series); return series }
+
+/^$/ { next }
+
+/^# TYPE / {
+    if (NF != 4) { fail("malformed TYPE comment") ; next }
+    if ($4 != "counter" && $4 != "gauge" && $4 != "histogram")
+        fail("unknown metric type " $4)
+    if ($3 in typed) fail("family " $3 " TYPEd twice")
+    typed[$3] = $4
+    next
+}
+/^# HELP / { next }
+/^#/ { fail("unknown comment form"); next }
+
+{
+    if (NF != 2) { fail("expected <series> <value>"); next }
+    if ($2 !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ && $2 != "+Inf" && $2 != "NaN")
+        fail("non-numeric sample value " $2)
+    series = $1
+    if (series in seen) fail("duplicate series " series)
+    seen[series] = 1
+    samples++
+
+    fam = family(series)
+    if (fam !~ /^rdo_[a-zA-Z_][a-zA-Z0-9_]*$/)
+        fail("illegal or un-prefixed metric name " fam)
+    if (series ~ /\{/ && series !~ /^[a-zA-Z_][a-zA-Z0-9_]*\{([a-zA-Z_][a-zA-Z0-9_]*="[^"]*",?)+\}$/)
+        fail("malformed label set")
+
+    if (fam ~ /_bucket$/) {
+        base = fam
+        sub(/_bucket$/, "", base)
+        histogram[base] = 1
+        if (series ~ /le="\+Inf"/) inf[base] = 1
+        # Cumulative within one family: counts must be non-decreasing.
+        if ($2 + 0 < last_bucket[base] && series !~ /le="\+Inf"/)
+            fail("bucket counts not cumulative in " base)
+        last_bucket[base] = $2 + 0
+    }
+    if (fam ~ /_sum$/)   { base = fam; sub(/_sum$/,   "", base); has_sum[base] = 1 }
+    if (fam ~ /_count$/) { base = fam; sub(/_count$/, "", base); has_count[base] = 1 }
+}
+
+END {
+    for (base in histogram) {
+        if (!(base in inf))       { printf "check_exposition: histogram %s has no +Inf bucket\n", base; bad = 1 }
+        if (!(base in has_sum))   { printf "check_exposition: histogram %s has no _sum\n", base; bad = 1 }
+        if (!(base in has_count)) { printf "check_exposition: histogram %s has no _count\n", base; bad = 1 }
+    }
+    if (samples == 0) { printf "check_exposition: no samples in exposition\n"; bad = 1 }
+    if (bad) exit 1
+    printf "check_exposition: OK (%d series)\n", samples
+}
+' "${1:--}"

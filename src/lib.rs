@@ -30,6 +30,10 @@
 //!   worst-order, pilot-run);
 //! * [`core`] — the runtime dynamic optimization driver (Algorithm 1) and the
 //!   strategy runner;
+//! * [`trace`] — the observability substrate: structured spans, counters,
+//!   gauges and latency histograms, the optimizer audit trail
+//!   (estimate-vs-actual Q-error, re-optimization decision explanations) and
+//!   the `RDO_METRICS_ADDR` live scrape endpoint;
 //! * [`workloads`] — synthetic TPC-H / TPC-DS style generators and the four
 //!   evaluation queries (Q8, Q9, Q17, Q50), both as programmatic specs and as
 //!   SQL++ text;
@@ -100,7 +104,9 @@ pub mod prelude {
     pub use rdo_storage::{
         Catalog, IngestOptions, SecondaryIndex, SpillConfig, StoredIntermediate, Table,
     };
-    pub use rdo_trace::{Profile, TraceHandle};
+    pub use rdo_trace::audit::{AuditLog, EstimateRecord, ReoptDecision};
+    pub use rdo_trace::serve::MetricsServer;
+    pub use rdo_trace::{Histogram, Profile, TraceHandle};
     pub use rdo_workloads::{
         all_queries, compile_paper_query, paper_udfs, q17, q50, q8, q9, BenchmarkEnv, ScaleFactor,
     };

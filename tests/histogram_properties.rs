@@ -1,0 +1,122 @@
+//! Property-based tests for the fixed-boundary latency histograms: the merge
+//! operation must be a commutative, associative monoid with the empty
+//! histogram as identity, and quantiles must behave like quantiles — monotone
+//! in `q`, within the observed range, and bounded by the mixture law under
+//! merging. These laws are what make scraping `/metrics` from several
+//! in-flight collectors (or adopting worker tally frames) well defined.
+
+use proptest::prelude::*;
+use runtime_dynamic_optimization::prelude::*;
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Observations spanning every magnitude the buckets cover, including the
+/// overflow bucket (values beyond the last finite bound).
+fn observations() -> impl proptest::Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..2_000,                // first buckets
+            (1u64 << 20)..(1u64 << 24), // mid-range
+            (1u64 << 42)..u64::MAX,     // overflow territory
+        ],
+        0..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        xs in observations(),
+        ys in observations(),
+        zs in observations(),
+    ) {
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+        // The empty histogram is the identity.
+        prop_assert_eq!(merged(&a, &Histogram::new()), a.clone());
+        // Merging is exactly observing the concatenation.
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        prop_assert_eq!(merged(&a, &b), build(&all));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_in_range(
+        xs in observations(),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = build(&xs);
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        prop_assert!(h.quantile_ns(lo) <= h.quantile_ns(hi));
+        if xs.is_empty() {
+            prop_assert_eq!(h.quantile_ns(hi), 0);
+        } else {
+            // A quantile is a bucket upper bound at or above the smallest
+            // observation and never above the largest bucket's bound.
+            let min = *xs.iter().min().unwrap();
+            prop_assert!(h.quantile_ns(lo) >= min.min(Histogram::bound_ns(0)));
+            prop_assert!(h.quantile_ns(hi) <= 2 * Histogram::bound_ns(rdo_trace::HISTOGRAM_BOUNDS - 1));
+        }
+    }
+
+    #[test]
+    fn merged_quantile_obeys_the_mixture_bound(
+        xs in observations(),
+        ys in observations(),
+        q in 0.0f64..1.0,
+    ) {
+        // A quantile of the merged population can never leave the interval
+        // spanned by the two inputs' quantiles at the same q.
+        if !xs.is_empty() && !ys.is_empty() {
+            let (a, b) = (build(&xs), build(&ys));
+            let m = merged(&a, &b);
+            let (qa, qb) = (a.quantile_ns(q), b.quantile_ns(q));
+            prop_assert!(m.quantile_ns(q) >= qa.min(qb));
+            prop_assert!(m.quantile_ns(q) <= qa.max(qb));
+        }
+    }
+
+    #[test]
+    fn counts_and_sums_are_conserved(xs in observations(), ys in observations()) {
+        let (a, b) = (build(&xs), build(&ys));
+        let m = merged(&a, &b);
+        prop_assert_eq!(m.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(
+            m.sum_ns(),
+            xs.iter().fold(0u64, |s, &v| s.saturating_add(v))
+                .saturating_add(ys.iter().fold(0u64, |s, &v| s.saturating_add(v)))
+        );
+        let total: u64 = m.bucket_counts().iter().sum();
+        prop_assert_eq!(total, m.count());
+    }
+}
+
+/// Wire round-trip preserves the histogram exactly (`from_parts` is the
+/// decoder's constructor).
+#[test]
+fn from_parts_round_trips() {
+    let h = build(&[1, 1024, 1025, 1 << 30, u64::MAX]);
+    let back = Histogram::from_parts(h.bucket_counts(), h.sum_ns(), h.count())
+        .expect("matching bucket count");
+    assert_eq!(back, h);
+    assert_eq!(Histogram::from_parts(&[0u64; 3], 0, 0), None);
+}
