@@ -1,0 +1,885 @@
+//! Columnar batches: typed column arrays with null bitmaps.
+//!
+//! A [`Batch`] is the unit the execution kernels operate on since the
+//! columnar redesign: each column holds one contiguous typed array
+//! ([`Column`]) plus a validity bitmap ([`NullBitmap`]), in the style of
+//! RisingLight's array executors. Kernels iterate a typed slice per column
+//! instead of matching a [`Value`] enum per cell, which keeps the hot loops
+//! (predicate evaluation, partition hashing, join key extraction)
+//! monomorphic and SIMD-friendly.
+//!
+//! The row-oriented [`Tuple`] API stays as the *view/conversion layer at the
+//! edges* — SQL binder output, result rendering, the spill tuple codec and
+//! the wire frames — so [`Batch::from_rows`] / [`Batch::to_rows`] are exact
+//! inverses: the roundtrip preserves every value bit-for-bit, including NaN
+//! payloads, `-0.0`, empty strings and the `Int64` vs `Date` distinction
+//! (they hash and compare alike but render differently).
+//!
+//! Column typing is *inferred from the data*, not declared: a column starts
+//! typed after its first non-null value and is promoted to the row-fallback
+//! [`Column::Mixed`] representation on the first value of a different
+//! variant. The promotion rule is deterministic in the input rows, so every
+//! executor (serial, parallel, distributed) building a batch from the same
+//! rows builds the identical representation.
+
+use crate::tuple::{Relation, Tuple};
+use crate::value::{DataType, Value};
+
+/// A validity bitmap: one bit per row, set when the slot holds a (non-NULL)
+/// value. Bits are packed into `u64` words; trailing bits of the last word
+/// are always zero, so derived equality is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NullBitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bitmap with room for `rows` bits.
+    pub fn with_capacity(rows: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(rows.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if bit `i` is set (the slot holds a value).
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_valid(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if every slot holds a value (kernels use this to skip the
+    /// per-row validity check entirely).
+    pub fn all_valid(&self) -> bool {
+        self.count_valid() == self.len
+    }
+}
+
+/// One typed column array of a [`Batch`].
+///
+/// Null slots of the typed variants carry a default payload (`0`, `0.0`, the
+/// empty string, `false`) behind an unset validity bit, so comparing two
+/// columns built from the same rows is exact. [`Column::Mixed`] is the
+/// row-fallback representation for columns whose values span more than one
+/// variant (or are entirely NULL); kernels fall back to per-value dispatch
+/// for it.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64 {
+        /// Payloads (0 for null slots).
+        values: Vec<i64>,
+        /// Validity bitmap.
+        validity: NullBitmap,
+    },
+    /// 64-bit floats. Equality compares IEEE-754 bit patterns, matching the
+    /// engine's NaN-aware total order.
+    Float64 {
+        /// Payloads (0.0 for null slots).
+        values: Vec<f64>,
+        /// Validity bitmap.
+        validity: NullBitmap,
+    },
+    /// UTF-8 strings in one contiguous buffer with `len + 1` offsets
+    /// (null slots are zero-length).
+    Utf8 {
+        /// Byte offsets: string `i` is `bytes[offsets[i]..offsets[i + 1]]`.
+        offsets: Vec<usize>,
+        /// Concatenated string bytes.
+        bytes: Vec<u8>,
+        /// Validity bitmap.
+        validity: NullBitmap,
+    },
+    /// Booleans.
+    Bool {
+        /// Payloads (false for null slots).
+        values: Vec<bool>,
+        /// Validity bitmap.
+        validity: NullBitmap,
+    },
+    /// Dates as days since epoch. Kept distinct from [`Column::Int64`] so
+    /// the roundtrip preserves the rendered form (`d5` vs `5`), even though
+    /// the two hash and compare identically.
+    Date {
+        /// Payloads (0 for null slots).
+        values: Vec<i64>,
+        /// Validity bitmap.
+        validity: NullBitmap,
+    },
+    /// Row-fallback representation: heterogeneous or all-NULL columns.
+    Mixed {
+        /// The values, one per row.
+        values: Vec<Value>,
+    },
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { values, .. } | Column::Date { values, .. } => values.len(),
+            Column::Float64 { values, .. } => values.len(),
+            Column::Utf8 { offsets, .. } => offsets.len() - 1,
+            Column::Bool { values, .. } => values.len(),
+            Column::Mixed { values } => values.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The declared element type of a typed column, `None` for
+    /// [`Column::Mixed`].
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Column::Int64 { .. } => Some(DataType::Int64),
+            Column::Float64 { .. } => Some(DataType::Float64),
+            Column::Utf8 { .. } => Some(DataType::Utf8),
+            Column::Bool { .. } => Some(DataType::Bool),
+            Column::Date { .. } => Some(DataType::Date),
+            Column::Mixed { .. } => None,
+        }
+    }
+
+    /// True if slot `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Utf8 { validity, .. }
+            | Column::Bool { validity, .. }
+            | Column::Date { validity, .. } => !validity.is_valid(i),
+            Column::Mixed { values } => values[i].is_null(),
+        }
+    }
+
+    /// Materializes slot `i` as a [`Value`] (the conversion edge back to the
+    /// row world).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Int64 { values, validity } => {
+                if validity.is_valid(i) {
+                    Value::Int64(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float64 { values, validity } => {
+                if validity.is_valid(i) {
+                    Value::Float64(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Utf8 {
+                offsets,
+                bytes,
+                validity,
+            } => {
+                if validity.is_valid(i) {
+                    let s = &bytes[offsets[i]..offsets[i + 1]];
+                    Value::Utf8(String::from_utf8_lossy(s).into_owned())
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Bool { values, validity } => {
+                if validity.is_valid(i) {
+                    Value::Bool(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Date { values, validity } => {
+                if validity.is_valid(i) {
+                    Value::Date(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Mixed { values } => values[i].clone(),
+        }
+    }
+
+    /// Borrowed string at slot `i` of a [`Column::Utf8`] (`None` for null
+    /// slots or non-string columns). The zero-copy path string kernels use.
+    pub fn str_at(&self, i: usize) -> Option<&str> {
+        match self {
+            Column::Utf8 {
+                offsets,
+                bytes,
+                validity,
+            } if validity.is_valid(i) => {
+                std::str::from_utf8(&bytes[offsets[i]..offsets[i + 1]]).ok()
+            }
+            Column::Mixed { values } => values[i].as_str(),
+            _ => None,
+        }
+    }
+
+    /// Approximate byte size of slot `i`, exactly matching the row-side
+    /// accounting ([`Tuple::approx_bytes`]): `16 + len` for a non-null
+    /// string, `8` for everything else including NULL.
+    pub fn approx_value_bytes(&self, i: usize) -> usize {
+        match self {
+            Column::Utf8 {
+                offsets, validity, ..
+            } if validity.is_valid(i) => 16 + (offsets[i + 1] - offsets[i]),
+            Column::Mixed { values } => match &values[i] {
+                Value::Utf8(s) => 16 + s.len(),
+                _ => 8,
+            },
+            _ => 8,
+        }
+    }
+
+    /// Total approximate bytes of the column (sums
+    /// [`Column::approx_value_bytes`] over every slot).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Column::Utf8 {
+                offsets, validity, ..
+            } => {
+                let n = offsets.len() - 1;
+                let mut total = 8 * n;
+                for i in 0..n {
+                    if validity.is_valid(i) {
+                        // 16 + len instead of the 8 already counted.
+                        total += 8 + (offsets[i + 1] - offsets[i]);
+                    }
+                }
+                total
+            }
+            Column::Mixed { values } => values
+                .iter()
+                .map(|v| match v {
+                    Value::Utf8(s) => 16 + s.len(),
+                    _ => 8,
+                })
+                .sum(),
+            _ => 8 * self.len(),
+        }
+    }
+
+    /// Keeps the slots whose mask bit is true, preserving order.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        let kept: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &keep)| keep)
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.take(&kept)
+    }
+
+    /// Gathers the slots at `indices`, in index order (join output
+    /// assembly; indices may repeat).
+    pub fn take(&self, indices: &[u32]) -> Column {
+        match self {
+            Column::Int64 { values, validity } => Column::Int64 {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                validity: take_bitmap(validity, indices),
+            },
+            Column::Float64 { values, validity } => Column::Float64 {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                validity: take_bitmap(validity, indices),
+            },
+            Column::Utf8 {
+                offsets,
+                bytes,
+                validity,
+            } => {
+                let mut out_offsets = Vec::with_capacity(indices.len() + 1);
+                let mut out_bytes = Vec::new();
+                out_offsets.push(0);
+                for &i in indices {
+                    let i = i as usize;
+                    out_bytes.extend_from_slice(&bytes[offsets[i]..offsets[i + 1]]);
+                    out_offsets.push(out_bytes.len());
+                }
+                Column::Utf8 {
+                    offsets: out_offsets,
+                    bytes: out_bytes,
+                    validity: take_bitmap(validity, indices),
+                }
+            }
+            Column::Bool { values, validity } => Column::Bool {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                validity: take_bitmap(validity, indices),
+            },
+            Column::Date { values, validity } => Column::Date {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                validity: take_bitmap(validity, indices),
+            },
+            Column::Mixed { values } => Column::Mixed {
+                values: indices
+                    .iter()
+                    .map(|&i| values[i as usize].clone())
+                    .collect(),
+            },
+        }
+    }
+}
+
+fn take_bitmap(validity: &NullBitmap, indices: &[u32]) -> NullBitmap {
+    let mut out = NullBitmap::with_capacity(indices.len());
+    for &i in indices {
+        out.push(validity.is_valid(i as usize));
+    }
+    out
+}
+
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        use Column::*;
+        match (self, other) {
+            (
+                Int64 {
+                    values: a,
+                    validity: va,
+                },
+                Int64 {
+                    values: b,
+                    validity: vb,
+                },
+            )
+            | (
+                Date {
+                    values: a,
+                    validity: va,
+                },
+                Date {
+                    values: b,
+                    validity: vb,
+                },
+            ) => a == b && va == vb,
+            (
+                Float64 {
+                    values: a,
+                    validity: va,
+                },
+                Float64 {
+                    values: b,
+                    validity: vb,
+                },
+            ) => {
+                // Bit-pattern comparison: NaN slots of equal payload compare
+                // equal, matching the engine's total order on values.
+                va == vb
+                    && a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (
+                Utf8 {
+                    offsets: oa,
+                    bytes: ba,
+                    validity: va,
+                },
+                Utf8 {
+                    offsets: ob,
+                    bytes: bb,
+                    validity: vb,
+                },
+            ) => oa == ob && ba == bb && va == vb,
+            (
+                Bool {
+                    values: a,
+                    validity: va,
+                },
+                Bool {
+                    values: b,
+                    validity: vb,
+                },
+            ) => a == b && va == vb,
+            (Mixed { values: a }, Mixed { values: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Incremental column constructor used by [`Batch::from_rows`]: starts
+/// untyped, adopts the variant of the first non-null value, and promotes the
+/// whole column to [`Column::Mixed`] on the first mismatch. Deterministic in
+/// the pushed values.
+enum ColumnBuilder {
+    /// Only NULLs so far.
+    Untyped {
+        nulls: usize,
+    },
+    Typed(Column),
+}
+
+impl ColumnBuilder {
+    fn new() -> Self {
+        ColumnBuilder::Untyped { nulls: 0 }
+    }
+
+    fn push(&mut self, value: &Value) {
+        match self {
+            ColumnBuilder::Untyped { nulls } => {
+                if value.is_null() {
+                    *nulls += 1;
+                    return;
+                }
+                let mut column = typed_column_with_nulls(value, *nulls);
+                push_typed(&mut column, value);
+                *self = ColumnBuilder::Typed(column);
+            }
+            ColumnBuilder::Typed(column) => {
+                let accepts = match column.data_type() {
+                    // Already promoted: Mixed accepts every value.
+                    None => true,
+                    Some(dt) => value.is_null() || value.data_type() == dt,
+                };
+                if accepts {
+                    push_typed(column, value);
+                } else {
+                    // Promote: materialize what we have and fall back to rows.
+                    let mut values: Vec<Value> =
+                        (0..column.len()).map(|i| column.value(i)).collect();
+                    values.push(value.clone());
+                    *self = ColumnBuilder::Typed(Column::Mixed { values });
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            // An all-NULL (or empty) column has no variant to adopt: the
+            // row-fallback representation roundtrips it exactly.
+            ColumnBuilder::Untyped { nulls } => Column::Mixed {
+                values: vec![Value::Null; nulls],
+            },
+            ColumnBuilder::Typed(column) => column,
+        }
+    }
+}
+
+/// A fresh typed column matching `value`'s variant, pre-filled with `nulls`
+/// null slots.
+fn typed_column_with_nulls(value: &Value, nulls: usize) -> Column {
+    let mut validity = NullBitmap::with_capacity(nulls + 1);
+    for _ in 0..nulls {
+        validity.push(false);
+    }
+    match value {
+        Value::Int64(_) => Column::Int64 {
+            values: vec![0; nulls],
+            validity,
+        },
+        Value::Float64(_) => Column::Float64 {
+            values: vec![0.0; nulls],
+            validity,
+        },
+        Value::Utf8(_) => Column::Utf8 {
+            offsets: vec![0; nulls + 1],
+            bytes: Vec::new(),
+            validity,
+        },
+        Value::Bool(_) => Column::Bool {
+            values: vec![false; nulls],
+            validity,
+        },
+        Value::Date(_) => Column::Date {
+            values: vec![0; nulls],
+            validity,
+        },
+        Value::Null => unreachable!("caller handles NULL"),
+    }
+}
+
+/// Appends `value` (NULL or the column's own variant) to a typed column.
+fn push_typed(column: &mut Column, value: &Value) {
+    match (column, value) {
+        (Column::Int64 { values, validity }, Value::Int64(v))
+        | (Column::Date { values, validity }, Value::Date(v)) => {
+            values.push(*v);
+            validity.push(true);
+        }
+        (Column::Float64 { values, validity }, Value::Float64(v)) => {
+            values.push(*v);
+            validity.push(true);
+        }
+        (
+            Column::Utf8 {
+                offsets,
+                bytes,
+                validity,
+            },
+            Value::Utf8(s),
+        ) => {
+            bytes.extend_from_slice(s.as_bytes());
+            offsets.push(bytes.len());
+            validity.push(true);
+        }
+        (Column::Bool { values, validity }, Value::Bool(v)) => {
+            values.push(*v);
+            validity.push(true);
+        }
+        (Column::Int64 { values, validity }, Value::Null)
+        | (Column::Date { values, validity }, Value::Null) => {
+            values.push(0);
+            validity.push(false);
+        }
+        (Column::Float64 { values, validity }, Value::Null) => {
+            values.push(0.0);
+            validity.push(false);
+        }
+        (
+            Column::Utf8 {
+                offsets, validity, ..
+            },
+            Value::Null,
+        ) => {
+            offsets.push(*offsets.last().unwrap());
+            validity.push(false);
+        }
+        (Column::Bool { values, validity }, Value::Null) => {
+            values.push(false);
+            validity.push(false);
+        }
+        (Column::Mixed { values }, v) => values.push(v.clone()),
+        _ => unreachable!("caller checked the variant"),
+    }
+}
+
+/// A batch of rows in columnar form: one [`Column`] per schema position,
+/// all of the same length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Batch {
+    /// An empty batch with `width` (empty) columns.
+    pub fn empty(width: usize) -> Self {
+        Self {
+            columns: (0..width)
+                .map(|_| Column::Mixed { values: Vec::new() })
+                .collect(),
+            rows: 0,
+        }
+    }
+
+    /// Builds a batch from rows (the conversion edge from the tuple world).
+    /// Every row must have exactly `width` values. Column typing is inferred
+    /// deterministically — see the module docs.
+    pub fn from_rows(width: usize, rows: &[Tuple]) -> Self {
+        let mut builders: Vec<ColumnBuilder> = (0..width).map(|_| ColumnBuilder::new()).collect();
+        for row in rows {
+            debug_assert_eq!(row.len(), width, "row arity must match the batch width");
+            for (builder, value) in builders.iter_mut().zip(row.values()) {
+                builder.push(value);
+            }
+        }
+        Self {
+            columns: builders.into_iter().map(ColumnBuilder::finish).collect(),
+            rows: rows.len(),
+        }
+    }
+
+    /// Builds a batch from a relation's rows.
+    pub fn from_relation(relation: &Relation) -> Self {
+        Self::from_rows(relation.schema().len(), relation.rows())
+    }
+
+    /// Materializes every row (the conversion edge back to the tuple world).
+    /// Exact inverse of [`Batch::from_rows`].
+    pub fn to_rows(&self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.extend_rows_into(&mut out);
+        out
+    }
+
+    /// Appends every row to `out` (streaming variant of [`Batch::to_rows`]).
+    pub fn extend_rows_into(&self, out: &mut Vec<Tuple>) {
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            out.push(self.row(r));
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at position `c`.
+    pub fn column(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    /// Materializes the value at row `r`, column `c`.
+    pub fn value(&self, r: usize, c: usize) -> Value {
+        self.columns[c].value(r)
+    }
+
+    /// Materializes row `r` as a [`Tuple`].
+    pub fn row(&self, r: usize) -> Tuple {
+        Tuple::new(self.columns.iter().map(|c| c.value(r)).collect())
+    }
+
+    /// Approximate byte size of row `r`, identical to
+    /// [`Tuple::approx_bytes`] of the materialized row.
+    pub fn row_bytes(&self, r: usize) -> usize {
+        self.columns.iter().map(|c| c.approx_value_bytes(r)).sum()
+    }
+
+    /// Total approximate bytes of the batch.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
+    }
+
+    /// Keeps the rows whose mask bit is true, preserving order.
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        debug_assert_eq!(mask.len(), self.rows);
+        let kept = mask.iter().filter(|&&k| k).count();
+        Batch {
+            columns: self.columns.iter().map(|c| c.filter(mask)).collect(),
+            rows: kept,
+        }
+    }
+
+    /// Gathers the rows at `indices`, in index order (indices may repeat).
+    pub fn take(&self, indices: &[u32]) -> Batch {
+        Batch {
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Keeps the columns at `indexes`, in that order (projection).
+    pub fn project(&self, indexes: &[usize]) -> Batch {
+        Batch {
+            columns: indexes.iter().map(|&i| self.columns[i].clone()).collect(),
+            rows: self.rows,
+        }
+    }
+
+    /// Concatenates the columns of two batches with the same row count
+    /// (join output: `probe ++ build`).
+    pub fn hstack(&self, other: &Batch) -> Batch {
+        debug_assert_eq!(self.rows, other.rows, "hstack needs equal row counts");
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Batch {
+            columns,
+            rows: self.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_rows() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![
+                Value::Int64(1),
+                Value::Float64(1.5),
+                Value::from("alpha"),
+                Value::Bool(true),
+                Value::Date(10),
+                Value::Null,
+            ]),
+            Tuple::new(vec![
+                Value::Null,
+                Value::Float64(f64::NAN),
+                Value::Null,
+                Value::Null,
+                Value::Date(20),
+                Value::Null,
+            ]),
+            Tuple::new(vec![
+                Value::Int64(-7),
+                Value::Float64(-0.0),
+                Value::from(""),
+                Value::Bool(false),
+                Value::Null,
+                Value::Null,
+            ]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let rows = mixed_rows();
+        let batch = Batch::from_rows(6, &rows);
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.num_columns(), 6);
+        let back = batch.to_rows();
+        assert_eq!(back.len(), 3);
+        for (a, b) in rows.iter().zip(&back) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                // Bit-exact for floats (Value::eq already treats NaN == NaN,
+                // but -0.0 != 0.0 under the total order; check both paths).
+                match (x, y) {
+                    (Value::Float64(f), Value::Float64(g)) => {
+                        assert_eq!(f.to_bits(), g.to_bits())
+                    }
+                    _ => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_columns_are_inferred() {
+        let batch = Batch::from_rows(6, &mixed_rows());
+        assert_eq!(batch.column(0).data_type(), Some(DataType::Int64));
+        assert_eq!(batch.column(1).data_type(), Some(DataType::Float64));
+        assert_eq!(batch.column(2).data_type(), Some(DataType::Utf8));
+        assert_eq!(batch.column(3).data_type(), Some(DataType::Bool));
+        assert_eq!(batch.column(4).data_type(), Some(DataType::Date));
+        assert_eq!(batch.column(5).data_type(), None, "all-NULL stays Mixed");
+    }
+
+    #[test]
+    fn heterogeneous_columns_promote_to_mixed() {
+        let rows = vec![
+            Tuple::new(vec![Value::Int64(1)]),
+            Tuple::new(vec![Value::from("two")]),
+            Tuple::new(vec![Value::Int64(3)]),
+        ];
+        let batch = Batch::from_rows(1, &rows);
+        assert_eq!(batch.column(0).data_type(), None);
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn int_and_date_stay_distinct() {
+        let rows = vec![Tuple::new(vec![Value::Int64(5), Value::Date(5)])];
+        let batch = Batch::from_rows(2, &rows);
+        assert_eq!(batch.column(0).data_type(), Some(DataType::Int64));
+        assert_eq!(batch.column(1).data_type(), Some(DataType::Date));
+        assert_eq!(batch.to_rows()[0].value(1).to_string(), "d5");
+    }
+
+    #[test]
+    fn byte_accounting_matches_tuples() {
+        let rows = mixed_rows();
+        let batch = Batch::from_rows(6, &rows);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(batch.row_bytes(r), row.approx_bytes());
+        }
+        assert_eq!(
+            batch.approx_bytes(),
+            rows.iter().map(Tuple::approx_bytes).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn filter_take_project_hstack() {
+        let rows = mixed_rows();
+        let batch = Batch::from_rows(6, &rows);
+        let filtered = batch.filter(&[true, false, true]);
+        assert_eq!(filtered.to_rows(), vec![rows[0].clone(), rows[2].clone()]);
+        let taken = batch.take(&[2, 0, 0]);
+        assert_eq!(
+            taken.to_rows(),
+            vec![rows[2].clone(), rows[0].clone(), rows[0].clone()]
+        );
+        let projected = batch.project(&[4, 0]);
+        assert_eq!(projected.to_rows()[0], rows[0].project(&[4, 0]));
+        let wide = batch.project(&[0]).hstack(&batch.project(&[2]));
+        assert_eq!(wide.num_columns(), 2);
+        assert_eq!(wide.to_rows()[0], rows[0].project(&[0, 2]));
+    }
+
+    #[test]
+    fn empty_batches_roundtrip() {
+        let batch = Batch::from_rows(3, &[]);
+        assert!(batch.is_empty());
+        assert_eq!(batch.to_rows(), Vec::<Tuple>::new());
+        assert_eq!(batch.approx_bytes(), 0);
+        let empty = Batch::empty(2);
+        assert_eq!(empty.num_columns(), 2);
+        assert!(empty.filter(&[]).is_empty());
+        assert!(empty.take(&[]).is_empty());
+    }
+
+    #[test]
+    fn bitmap_packs_across_words() {
+        let mut bm = NullBitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        assert_eq!(bm.count_valid(), (0..130).filter(|i| i % 3 == 0).count());
+        assert!(bm.is_valid(129) && !bm.is_valid(128));
+        assert!(!bm.all_valid());
+    }
+
+    #[test]
+    fn str_at_borrows_from_the_buffer() {
+        let rows = vec![
+            Tuple::new(vec![Value::from("hello")]),
+            Tuple::new(vec![Value::Null]),
+        ];
+        let batch = Batch::from_rows(1, &rows);
+        assert_eq!(batch.column(0).str_at(0), Some("hello"));
+        assert_eq!(batch.column(0).str_at(1), None);
+    }
+
+    #[test]
+    fn batch_equality_is_bit_exact_for_floats() {
+        let rows = vec![Tuple::new(vec![Value::Float64(f64::NAN)])];
+        let a = Batch::from_rows(1, &rows);
+        let b = Batch::from_rows(1, &rows);
+        assert_eq!(a, b, "identical NaN payloads compare equal");
+    }
+}

@@ -5,6 +5,7 @@
 //! a [`Schema`] and rows of [`Value`]s — which is sufficient for the join-centric
 //! workloads evaluated in the paper (TPC-H Q8/Q9, TPC-DS Q17/Q50).
 
+pub mod batch;
 pub mod env;
 pub mod error;
 pub mod log;
@@ -12,6 +13,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{Batch, Column, NullBitmap};
 pub use error::{RdoError, Result};
 pub use schema::{unqualified, Field, FieldRef, Schema};
 pub use tuple::{Relation, Tuple};

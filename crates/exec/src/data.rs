@@ -139,7 +139,15 @@ impl PartitionedData {
 
 /// Partition id of a value for a cluster with `n` partitions.
 pub fn partition_for(value: &Value, n: usize) -> usize {
-    (hash_value(value) % n.max(1) as u64) as usize
+    partition_for_hash(hash_value(value), n)
+}
+
+/// Partition id from a pre-computed stable digest. The columnar repartition
+/// kernel hashes borrowed column slots (`rdo_sketch::hll::hash_int64` and
+/// friends) and routes through this, so row and batch placement agree by
+/// construction.
+pub fn partition_for_hash(hash: u64, n: usize) -> usize {
+    (hash % n.max(1) as u64) as usize
 }
 
 #[cfg(test)]

@@ -15,8 +15,9 @@
 //! the result, so [`Predicate::evaluate`] is the ground truth while
 //! [`Predicate::estimate_selectivity`] is what the static baselines see.
 
-use rdo_common::{FieldRef, RdoError, Result, Schema, Tuple, Value};
+use rdo_common::{Batch, Column, FieldRef, NullBitmap, RdoError, Result, Schema, Tuple, Value};
 use rdo_sketch::DatasetStats;
+use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
@@ -228,12 +229,233 @@ impl Predicate {
         if value.is_null() {
             return Ok(false);
         }
-        Ok(match &self.expr {
+        Ok(self.matches_value(value))
+    }
+
+    /// The predicate's decision for a single *non-null* value (the shared
+    /// core of the row path and the batch fallback path; NULL handling —
+    /// always false — happens at the call sites).
+    fn matches_value(&self, value: &Value) -> bool {
+        match &self.expr {
             PredicateExpr::Compare { op, value: rhs, .. } => op.apply(value, rhs),
             PredicateExpr::Between { lo, hi, .. } => value >= lo && value <= hi,
             PredicateExpr::InList { values, .. } => values.contains(value),
             PredicateExpr::Udf { func, .. } => func(value),
-        })
+        }
+    }
+
+    /// Evaluates the predicate against a whole [`Batch`] column-at-a-time,
+    /// AND-ing the decision into `mask` (one slot per row; rows already
+    /// false are left false, NULL slots become false).
+    ///
+    /// Typed columns with a compatible constant operand run a monomorphic
+    /// fast loop over the raw payload slice (no `Value` materialization, no
+    /// per-row schema resolution); everything else — [`Column::Mixed`]
+    /// columns, UDFs, and cross-type comparisons whose semantics depend on
+    /// [`Value`]'s variant order (e.g. a `Date` column against a `Float64`
+    /// constant) — falls back to materializing each value and applying the
+    /// row-path decision, so both paths agree bit-for-bit by construction.
+    pub fn evaluate_batch(&self, schema: &Schema, batch: &Batch, mask: &mut [bool]) -> Result<()> {
+        debug_assert_eq!(mask.len(), batch.num_rows());
+        let idx = schema.resolve(self.field())?;
+        let col = batch.column(idx);
+        if self.eval_batch_fast(col, mask) {
+            return Ok(());
+        }
+        for (i, m) in mask.iter_mut().enumerate() {
+            if *m {
+                let value = col.value(i);
+                *m = !value.is_null() && self.matches_value(&value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempts the columnar fast path; returns false when this
+    /// predicate/column pairing needs the row fallback.
+    fn eval_batch_fast(&self, col: &Column, mask: &mut [bool]) -> bool {
+        match col {
+            Column::Int64 { values, validity } => self.eval_int_fast(values, validity, false, mask),
+            Column::Date { values, validity } => self.eval_int_fast(values, validity, true, mask),
+            Column::Float64 { values, validity } => self.eval_float_fast(values, validity, mask),
+            Column::Utf8 {
+                offsets,
+                bytes,
+                validity,
+            } => self.eval_utf8_fast(offsets, bytes, validity, mask),
+            Column::Bool { values, validity } => self.eval_bool_fast(values, validity, mask),
+            Column::Mixed { .. } => false,
+        }
+    }
+
+    /// Fast path over an `Int64` (or, with `is_date`, a `Date`) payload
+    /// slice. A `Date` column refuses `Float64` operands — their relative
+    /// order is the cross-type variant order, not numeric — and falls back.
+    fn eval_int_fast(
+        &self,
+        values: &[i64],
+        validity: &NullBitmap,
+        is_date: bool,
+        mask: &mut [bool],
+    ) -> bool {
+        let rhs_of = |v: &Value| match v {
+            Value::Int64(b) | Value::Date(b) => Some(NumRhs::Int(*b)),
+            Value::Float64(b) if !is_date => Some(NumRhs::Float(*b)),
+            _ => None,
+        };
+        match &self.expr {
+            PredicateExpr::Compare { op, value: rhs, .. } => {
+                let Some(rhs) = rhs_of(rhs) else { return false };
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && validity.is_valid(i) && cmp_matches(*op, rhs.ord_i64(values[i]));
+                }
+                true
+            }
+            PredicateExpr::Between { lo, hi, .. } => {
+                let (Some(lo), Some(hi)) = (rhs_of(lo), rhs_of(hi)) else {
+                    return false;
+                };
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m
+                        && validity.is_valid(i)
+                        && lo.ord_i64(values[i]) != Ordering::Less
+                        && hi.ord_i64(values[i]) != Ordering::Greater;
+                }
+                true
+            }
+            PredicateExpr::InList { values: list, .. } => {
+                // Unlike Compare/Between, entries of a foreign variant can
+                // simply be dropped: they can never be *equal* to an
+                // integer/date slot.
+                let entries: Vec<NumRhs> = list.iter().filter_map(rhs_of).collect();
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m
+                        && validity.is_valid(i)
+                        && entries
+                            .iter()
+                            .any(|e| e.ord_i64(values[i]) == Ordering::Equal);
+                }
+                true
+            }
+            PredicateExpr::Udf { .. } => false,
+        }
+    }
+
+    /// Fast path over a `Float64` payload slice. `Date` operands fall back
+    /// (cross-type variant order); integers widen and compare through the
+    /// same NaN-aware total order as [`Value`]'s `Ord`.
+    fn eval_float_fast(&self, values: &[f64], validity: &NullBitmap, mask: &mut [bool]) -> bool {
+        let rhs_of = |v: &Value| match v {
+            Value::Int64(b) => Some(*b as f64),
+            Value::Float64(b) => Some(*b),
+            _ => None,
+        };
+        match &self.expr {
+            PredicateExpr::Compare { op, value: rhs, .. } => {
+                let Some(rhs) = rhs_of(rhs) else { return false };
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && validity.is_valid(i) && cmp_matches(*op, values[i].total_cmp(&rhs));
+                }
+                true
+            }
+            PredicateExpr::Between { lo, hi, .. } => {
+                let (Some(lo), Some(hi)) = (rhs_of(lo), rhs_of(hi)) else {
+                    return false;
+                };
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m
+                        && validity.is_valid(i)
+                        && values[i].total_cmp(&lo) != Ordering::Less
+                        && values[i].total_cmp(&hi) != Ordering::Greater;
+                }
+                true
+            }
+            PredicateExpr::InList { values: list, .. } => {
+                let entries: Vec<f64> = list.iter().filter_map(rhs_of).collect();
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m
+                        && validity.is_valid(i)
+                        && entries
+                            .iter()
+                            .any(|e| values[i].total_cmp(e) == Ordering::Equal);
+                }
+                true
+            }
+            PredicateExpr::Udf { .. } => false,
+        }
+    }
+
+    /// Fast path over a `Utf8` column: borrowed `&str` comparisons straight
+    /// out of the contiguous byte buffer.
+    fn eval_utf8_fast(
+        &self,
+        offsets: &[usize],
+        bytes: &[u8],
+        validity: &NullBitmap,
+        mask: &mut [bool],
+    ) -> bool {
+        let str_at =
+            |i: usize| std::str::from_utf8(&bytes[offsets[i]..offsets[i + 1]]).unwrap_or("");
+        match &self.expr {
+            PredicateExpr::Compare { op, value: rhs, .. } => {
+                let Value::Utf8(rhs) = rhs else { return false };
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m =
+                        *m && validity.is_valid(i) && cmp_matches(*op, str_at(i).cmp(rhs.as_str()));
+                }
+                true
+            }
+            PredicateExpr::Between { lo, hi, .. } => {
+                let (Value::Utf8(lo), Value::Utf8(hi)) = (lo, hi) else {
+                    return false;
+                };
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m
+                        && validity.is_valid(i)
+                        && str_at(i) >= lo.as_str()
+                        && str_at(i) <= hi.as_str();
+                }
+                true
+            }
+            PredicateExpr::InList { values: list, .. } => {
+                let entries: Vec<&str> = list.iter().filter_map(Value::as_str).collect();
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && validity.is_valid(i) && entries.contains(&str_at(i));
+                }
+                true
+            }
+            PredicateExpr::Udf { .. } => false,
+        }
+    }
+
+    /// Fast path over a `Bool` payload slice.
+    fn eval_bool_fast(&self, values: &[bool], validity: &NullBitmap, mask: &mut [bool]) -> bool {
+        match &self.expr {
+            PredicateExpr::Compare { op, value: rhs, .. } => {
+                let Value::Bool(rhs) = rhs else { return false };
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && validity.is_valid(i) && cmp_matches(*op, values[i].cmp(rhs));
+                }
+                true
+            }
+            PredicateExpr::Between { lo, hi, .. } => {
+                let (Value::Bool(lo), Value::Bool(hi)) = (lo, hi) else {
+                    return false;
+                };
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && validity.is_valid(i) && values[i] >= *lo && values[i] <= *hi;
+                }
+                true
+            }
+            PredicateExpr::InList { values: list, .. } => {
+                let entries: Vec<bool> = list.iter().filter_map(Value::as_bool).collect();
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && validity.is_valid(i) && entries.contains(&values[i]);
+                }
+                true
+            }
+            PredicateExpr::Udf { .. } => false,
+        }
     }
 
     /// Selectivity as seen by a *static* optimizer: histogram-based for simple
@@ -286,6 +508,39 @@ impl Predicate {
     }
 }
 
+/// A numeric constant operand of a columnar fast loop: either an exact
+/// integer or a float compared through the NaN-aware total order, mirroring
+/// the corresponding [`Value`] `Ord` arms.
+enum NumRhs {
+    /// `Int64`/`Date` operand: exact integer comparison.
+    Int(i64),
+    /// `Float64` operand: the integer slot widens and total-order compares.
+    Float(f64),
+}
+
+impl NumRhs {
+    /// Ordering of an integer column slot relative to this operand.
+    fn ord_i64(&self, v: i64) -> Ordering {
+        match self {
+            NumRhs::Int(b) => v.cmp(b),
+            NumRhs::Float(b) => (v as f64).total_cmp(b),
+        }
+    }
+}
+
+/// Whether `ord` — the ordering of the column value relative to the constant
+/// operand — satisfies `op`.
+fn cmp_matches(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
 /// Evaluates a conjunction of predicates.
 pub fn evaluate_all(predicates: &[Predicate], schema: &Schema, tuple: &Tuple) -> Result<bool> {
     for p in predicates {
@@ -294,6 +549,26 @@ pub fn evaluate_all(predicates: &[Predicate], schema: &Schema, tuple: &Tuple) ->
         }
     }
     Ok(true)
+}
+
+/// Evaluates a conjunction of predicates over a whole [`Batch`], returning
+/// the selection mask (one bool per row). The batch analogue of
+/// [`evaluate_all`]: NULLs never match, and a predicate is only evaluated —
+/// and its column reference only resolved — while at least one row is still
+/// live, matching the row path's per-tuple short-circuit.
+pub fn evaluate_all_batch(
+    predicates: &[Predicate],
+    schema: &Schema,
+    batch: &Batch,
+) -> Result<Vec<bool>> {
+    let mut mask = vec![true; batch.num_rows()];
+    for p in predicates {
+        if !mask.iter().any(|&m| m) {
+            break;
+        }
+        p.evaluate_batch(schema, batch, &mut mask)?;
+    }
+    Ok(mask)
 }
 
 /// Static selectivity of a conjunction assuming independence (what traditional
@@ -453,5 +728,115 @@ mod tests {
         assert!(p.describe().contains("[param]"));
         let u = Predicate::udf("myudf", FieldRef::new("d", "f"), |_| true);
         assert!(u.describe().contains("myudf"));
+    }
+
+    /// The contract of the columnar path: for every predicate shape and
+    /// every column representation (typed fast path, Mixed fallback), the
+    /// batch mask equals the per-row decisions bit-for-bit.
+    #[test]
+    fn batch_evaluation_matches_row_evaluation() {
+        use rdo_common::Batch;
+        let s = Schema::for_dataset(
+            "t",
+            &[
+                ("i", DataType::Int64),
+                ("f", DataType::Float64),
+                ("s", DataType::Utf8),
+                ("b", DataType::Bool),
+                ("d", DataType::Date),
+            ],
+        );
+        let rows = vec![
+            Tuple::new(vec![
+                Value::Int64(5),
+                Value::Float64(1.5),
+                Value::from("apple"),
+                Value::Bool(true),
+                Value::Date(100),
+            ]),
+            Tuple::new(vec![
+                Value::Null,
+                Value::Float64(f64::NAN),
+                Value::Null,
+                Value::Bool(false),
+                Value::Null,
+            ]),
+            Tuple::new(vec![
+                Value::Int64(-3),
+                Value::Float64(-0.0),
+                Value::from(""),
+                Value::Null,
+                Value::Date(50),
+            ]),
+            Tuple::new(vec![
+                Value::Int64(7),
+                Value::Null,
+                Value::from("banana"),
+                Value::Bool(true),
+                Value::Date(100),
+            ]),
+        ];
+        let field = |name: &str| FieldRef::new("t", name);
+        let predicates = vec![
+            // Typed fast paths of every shape.
+            Predicate::compare(field("i"), CmpOp::Ge, 0i64),
+            Predicate::compare(field("i"), CmpOp::Lt, 6.5f64),
+            Predicate::between(field("i"), -5i64, 6i64),
+            Predicate::in_list(field("i"), vec![Value::Int64(5), Value::from("x")]),
+            Predicate::compare(field("f"), CmpOp::Ne, f64::NAN),
+            Predicate::compare(field("f"), CmpOp::Gt, -1i64),
+            Predicate::between(field("f"), -1.0f64, 2.0f64),
+            Predicate::compare(field("s"), CmpOp::Ge, "a"),
+            Predicate::between(field("s"), "a", "az"),
+            Predicate::in_list(field("s"), vec![Value::from("apple"), Value::Int64(1)]),
+            Predicate::compare(field("b"), CmpOp::Eq, true),
+            Predicate::in_list(field("b"), vec![Value::Bool(true)]),
+            Predicate::compare(field("d"), CmpOp::Le, 100i64),
+            Predicate::between(field("d"), Value::Date(60), Value::Date(100)),
+            Predicate::in_list(field("d"), vec![Value::Date(100), Value::Float64(100.0)]),
+            // Cross-type pairings that must take the row fallback (the
+            // relative order of Date and Float64 is the variant order).
+            Predicate::compare(field("d"), CmpOp::Lt, 1e18f64),
+            Predicate::compare(field("f"), CmpOp::Lt, Value::Date(0)),
+            Predicate::compare(field("i"), CmpOp::Lt, "zzz"),
+            // UDFs always take the fallback.
+            Predicate::udf("starts_a", field("s"), |v| {
+                v.as_str().map(|s| s.starts_with('a')).unwrap_or(false)
+            }),
+        ];
+        let batch = Batch::from_rows(5, &rows);
+        for p in &predicates {
+            let mut mask = vec![true; rows.len()];
+            p.evaluate_batch(&s, &batch, &mut mask).unwrap();
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    mask[i],
+                    p.evaluate(&s, row).unwrap(),
+                    "row {i} disagrees for {}",
+                    p.describe()
+                );
+            }
+        }
+        // Conjunction, including the all-rows-dead short-circuit.
+        let conj = vec![
+            Predicate::compare(field("i"), CmpOp::Gt, 100i64),
+            Predicate::compare(field("missing"), CmpOp::Eq, 1i64),
+        ];
+        let mask = evaluate_all_batch(&conj, &s, &batch).unwrap();
+        assert!(
+            mask.iter().all(|&m| !m),
+            "no row survives, no resolve error"
+        );
+        // A heterogeneous column forces the Mixed fallback.
+        let hs = Schema::for_dataset("h", &[("x", DataType::Int64)]);
+        let hrows = vec![
+            Tuple::new(vec![Value::Int64(1)]),
+            Tuple::new(vec![Value::from("one")]),
+        ];
+        let hbatch = Batch::from_rows(1, &hrows);
+        let p = Predicate::compare(FieldRef::new("h", "x"), CmpOp::Eq, 1i64);
+        let mask = evaluate_all_batch(std::slice::from_ref(&p), &hs, &hbatch).unwrap();
+        assert_eq!(mask[0], p.evaluate(&hs, &hrows[0]).unwrap());
+        assert_eq!(mask[1], p.evaluate(&hs, &hrows[1]).unwrap());
     }
 }

@@ -1,4 +1,4 @@
-//! Per-partition operator kernels.
+//! Per-partition operator kernels — columnar core, row-compatible edges.
 //!
 //! Every physical operator of the engine decomposes into work that runs
 //! independently on one partition: filter/project a partition's rows, bucket a
@@ -10,15 +10,56 @@
 //! bit-identical: parallelism only changes *who* runs a partition, never what
 //! the partition computes.
 //!
-//! Each kernel returns its output rows plus a tally of the counters it would
+//! Since the columnar redesign the kernels are *batch-at-a-time*: rows chunk
+//! into typed [`Batch`]es of [`batch_size`] rows (`RDO_BATCH_SIZE`, default
+//! 1024), predicates evaluate column-wise
+//! ([`crate::expr::evaluate_all_batch`]), and partition hashing runs over
+//! borrowed column slots ([`column_partition_hash`]) instead of per-tuple
+//! [`Value`] hashing. The public row-level entry points
+//! ([`scan_partition`], [`hash_join_partition`], [`repartition_partition`])
+//! keep their signatures and exact row-level semantics — they are thin
+//! adapters over the batch kernels, and since every kernel's output is an
+//! order-preserving concatenation across chunks, results and every tally
+//! counter are invariant to the batch size. The original row-at-a-time
+//! implementations survive as `*_rows` reference kernels for equivalence
+//! tests and the bench gate's row-vs-columnar comparison.
+//!
+//! Each kernel returns its output plus a tally of the counters it would
 //! contribute to [`crate::ExecutionMetrics`]; tallies are summed in partition
 //! order, which makes the merged metrics independent of worker interleaving.
 
-use crate::data::partition_for;
-use crate::expr::{evaluate_all, Predicate};
-use rdo_common::{Result, Schema, Tuple, Value};
+use crate::data::{partition_for, partition_for_hash};
+use crate::expr::{evaluate_all, evaluate_all_batch, Predicate};
+use rdo_common::env::{parse_env_positive_usize, read_env};
+use rdo_common::{Batch, Column, Result, Schema, Tuple, Value};
+use rdo_sketch::hll::{hash_bool, hash_float64, hash_int64, hash_null, hash_utf8, hash_value};
 use rdo_storage::SecondaryIndex;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Environment variable selecting the number of rows per kernel batch.
+pub const BATCH_SIZE_ENV: &str = "RDO_BATCH_SIZE";
+
+/// Default rows per kernel batch when `RDO_BATCH_SIZE` is unset or invalid.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// The process-wide kernel batch size: `RDO_BATCH_SIZE` (integer >= 1,
+/// warn-on-invalid) or [`DEFAULT_BATCH_SIZE`]. Read once per process and
+/// cached; results are batch-size invariant, so the knob only trades
+/// per-batch overhead against cache footprint. Tests that sweep sizes use
+/// the explicit `*_chunked` kernel variants instead of mutating the
+/// environment.
+pub fn batch_size() -> usize {
+    static BATCH_SIZE: OnceLock<usize> = OnceLock::new();
+    *BATCH_SIZE.get_or_init(|| {
+        read_env(
+            BATCH_SIZE_ENV,
+            "the default batch size (1024) stays",
+            parse_env_positive_usize,
+        )
+        .unwrap_or(DEFAULT_BATCH_SIZE)
+    })
+}
 
 /// Counters produced by scanning one partition.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,8 +81,65 @@ impl ScanTally {
     }
 }
 
-/// Filters and projects the rows of one partition.
+/// Filters and projects one column batch — the columnar scan kernel.
+/// Counts every input row/byte, applies the conjunction column-wise, and
+/// keeps survivors in input order.
+pub fn scan_batch(
+    schema: &Schema,
+    predicates: &[Predicate],
+    projection: Option<&[usize]>,
+    batch: &Batch,
+) -> Result<(Batch, ScanTally)> {
+    let mut tally = ScanTally {
+        scanned_rows: batch.num_rows() as u64,
+        scanned_bytes: batch.approx_bytes() as u64,
+        kept: 0,
+    };
+    let mask = evaluate_all_batch(predicates, schema, batch)?;
+    let filtered = batch.filter(&mask);
+    tally.kept = filtered.num_rows() as u64;
+    let out = match projection {
+        Some(indexes) => filtered.project(indexes),
+        None => filtered,
+    };
+    Ok((out, tally))
+}
+
+/// Filters and projects the rows of one partition. Row-level adapter over
+/// [`scan_batch`] at the process-wide [`batch_size`].
 pub fn scan_partition(
+    schema: &Schema,
+    predicates: &[Predicate],
+    projection: Option<&[usize]>,
+    rows: &[Tuple],
+) -> Result<(Vec<Tuple>, ScanTally)> {
+    scan_partition_chunked(schema, predicates, projection, rows, batch_size())
+}
+
+/// [`scan_partition`] with an explicit chunk size (tests sweep sizes without
+/// touching the environment). Output and tally are chunk-size invariant.
+pub fn scan_partition_chunked(
+    schema: &Schema,
+    predicates: &[Predicate],
+    projection: Option<&[usize]>,
+    rows: &[Tuple],
+    chunk_size: usize,
+) -> Result<(Vec<Tuple>, ScanTally)> {
+    let mut out = Vec::new();
+    let mut tally = ScanTally::default();
+    for chunk in rows.chunks(chunk_size.max(1)) {
+        let batch = Batch::from_rows(chunk[0].len(), chunk);
+        let (kept, t) = scan_batch(schema, predicates, projection, &batch)?;
+        tally.add(&t);
+        kept.extend_rows_into(&mut out);
+    }
+    Ok((out, tally))
+}
+
+/// The original row-at-a-time scan kernel, kept as the reference
+/// implementation the batch path is tested against (and the row side of the
+/// bench gate's row-vs-columnar case).
+pub fn scan_partition_rows(
     schema: &Schema,
     predicates: &[Predicate],
     projection: Option<&[usize]>,
@@ -78,6 +176,20 @@ pub fn composite_key(row: &Tuple, indexes: &[usize]) -> Option<Vec<Value>> {
     Some(key)
 }
 
+/// Batch analogue of [`composite_key`]: the key of row `row` of a batch, or
+/// `None` if any component is NULL.
+pub fn composite_key_at(batch: &Batch, row: usize, indexes: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(indexes.len());
+    for &c in indexes {
+        let col = batch.column(c);
+        if col.is_null(row) {
+            return None;
+        }
+        key.push(col.value(row));
+    }
+    Some(key)
+}
+
 /// Counters produced by one partition of a hash/broadcast join.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JoinTally {
@@ -98,11 +210,124 @@ impl JoinTally {
     }
 }
 
+/// A join build table over a columnar build side, constructed once per
+/// partition and probed batch-at-a-time. Keys map to build-row indexes in
+/// insertion order, so probe output preserves the row kernel's
+/// probe-major/build-insertion-order sequence exactly.
+pub struct JoinBuildTable {
+    build: Batch,
+    table: HashMap<Vec<Value>, Vec<u32>>,
+}
+
+impl JoinBuildTable {
+    /// Builds the table over `build`'s key columns (NULL keys never enter).
+    pub fn build(build: Batch, key_indexes: &[usize]) -> Self {
+        let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(build.num_rows());
+        for i in 0..build.num_rows() {
+            if let Some(key) = composite_key_at(&build, i, key_indexes) {
+                table.entry(key).or_default().push(i as u32);
+            }
+        }
+        Self { build, table }
+    }
+
+    /// Rows on the build side (counted once per partition, however many
+    /// probe batches follow).
+    pub fn build_rows(&self) -> u64 {
+        self.build.num_rows() as u64
+    }
+
+    /// Probes the table with one batch, emitting `probe ++ build` columns in
+    /// probe order. The returned tally covers this probe batch only —
+    /// `build_rows` stays 0 so callers can sum probe tallies without
+    /// multiply-counting the build side.
+    pub fn probe(&self, probe: &Batch, key_indexes: &[usize]) -> (Batch, JoinTally) {
+        let mut probe_idx: Vec<u32> = Vec::new();
+        let mut build_idx: Vec<u32> = Vec::new();
+        for i in 0..probe.num_rows() {
+            let Some(key) = composite_key_at(probe, i, key_indexes) else {
+                continue;
+            };
+            if let Some(matches) = self.table.get(&key) {
+                for &m in matches {
+                    probe_idx.push(i as u32);
+                    build_idx.push(m);
+                }
+            }
+        }
+        let tally = JoinTally {
+            build_rows: 0,
+            probe_rows: probe.num_rows() as u64,
+            output_rows: probe_idx.len() as u64,
+        };
+        let out = probe.take(&probe_idx).hstack(&self.build.take(&build_idx));
+        (out, tally)
+    }
+}
+
+/// Columnar hash join over two batches: builds a [`JoinBuildTable`] over
+/// `build` and probes it with `probe`, emitting `probe ++ build` columns.
+pub fn hash_join_batch(
+    probe: &Batch,
+    build: &Batch,
+    probe_key_indexes: &[usize],
+    build_key_indexes: &[usize],
+) -> (Batch, JoinTally) {
+    let table = JoinBuildTable::build(build.clone(), build_key_indexes);
+    let (out, mut tally) = table.probe(probe, probe_key_indexes);
+    tally.build_rows = table.build_rows();
+    (out, tally)
+}
+
 /// Builds a hash table over `build_rows` and probes it with `probe_rows`,
 /// emitting `probe ++ build` rows. Used per partition by the hash join (with
 /// co-partitioned inputs) and by the broadcast join (with the replicated build
-/// side).
+/// side). Row-level adapter over the columnar join: the build table is built
+/// once, the probe side streams through in [`batch_size`] chunks.
 pub fn hash_join_partition(
+    probe_rows: &[Tuple],
+    build_rows: &[Tuple],
+    probe_key_indexes: &[usize],
+    build_key_indexes: &[usize],
+) -> (Vec<Tuple>, JoinTally) {
+    hash_join_partition_chunked(
+        probe_rows,
+        build_rows,
+        probe_key_indexes,
+        build_key_indexes,
+        batch_size(),
+    )
+}
+
+/// [`hash_join_partition`] with an explicit probe chunk size. Output and
+/// tally are chunk-size invariant.
+pub fn hash_join_partition_chunked(
+    probe_rows: &[Tuple],
+    build_rows: &[Tuple],
+    probe_key_indexes: &[usize],
+    build_key_indexes: &[usize],
+    chunk_size: usize,
+) -> (Vec<Tuple>, JoinTally) {
+    let build_width = build_rows.first().map(Tuple::len).unwrap_or(0);
+    let table = JoinBuildTable::build(Batch::from_rows(build_width, build_rows), build_key_indexes);
+    let mut tally = JoinTally {
+        build_rows: table.build_rows(),
+        probe_rows: 0,
+        output_rows: 0,
+    };
+    let mut out = Vec::new();
+    for chunk in probe_rows.chunks(chunk_size.max(1)) {
+        let probe = Batch::from_rows(chunk[0].len(), chunk);
+        let (joined, t) = table.probe(&probe, probe_key_indexes);
+        tally.add(&t);
+        joined.extend_rows_into(&mut out);
+    }
+    (out, tally)
+}
+
+/// The original row-at-a-time hash join kernel, kept as the reference
+/// implementation the batch path is tested against.
+pub fn hash_join_partition_rows(
     probe_rows: &[Tuple],
     build_rows: &[Tuple],
     probe_key_indexes: &[usize],
@@ -156,6 +381,10 @@ impl IndexJoinTally {
 /// emitting `indexed ++ probe` rows. `base_rows` is the indexed table's
 /// partition; residual key pairs beyond the indexed one and the scan's local
 /// predicates are checked after each index fetch.
+///
+/// Stays row-at-a-time deliberately: each probe row fetches a handful of
+/// base rows through the index, so there is no contiguous column run for a
+/// batch to amortize over.
 #[allow(clippy::too_many_arguments)]
 pub fn indexed_join_partition(
     broadcast_rows: &[Tuple],
@@ -199,13 +428,112 @@ pub fn indexed_join_partition(
     Ok((out, tally))
 }
 
+/// Stable digest of one column slot without materializing a [`Value`]:
+/// dispatches the variant once per column, then hashes the borrowed payload
+/// through the same primitives `rdo_sketch::hll::hash_value` uses, so
+/// partition placement is representation-invariant (cross-checked in the
+/// tests below and in `rdo-sketch`).
+pub fn column_partition_hash(col: &Column, i: usize) -> u64 {
+    match col {
+        Column::Int64 { values, validity } | Column::Date { values, validity } => {
+            if validity.is_valid(i) {
+                hash_int64(values[i])
+            } else {
+                hash_null()
+            }
+        }
+        Column::Float64 { values, validity } => {
+            if validity.is_valid(i) {
+                hash_float64(values[i])
+            } else {
+                hash_null()
+            }
+        }
+        Column::Utf8 { .. } => match col.str_at(i) {
+            Some(s) => hash_utf8(s),
+            None => hash_null(),
+        },
+        Column::Bool { values, validity } => {
+            if validity.is_valid(i) {
+                hash_bool(values[i])
+            } else {
+                hash_null()
+            }
+        }
+        Column::Mixed { values } => hash_value(&values[i]),
+    }
+}
+
+/// Buckets one batch's rows by the hash of the key column — the columnar
+/// half of a `HashRepartition` exchange. Returns the buckets (indexed by
+/// destination partition, rows in input order) and the rows/bytes that left
+/// partition `from`.
+pub fn repartition_batch(
+    batch: &Batch,
+    key_index: usize,
+    from: usize,
+    num_partitions: usize,
+) -> (Vec<Batch>, u64, u64) {
+    let col = batch.column(key_index);
+    let mut bucket_idx: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
+    let mut moved_rows = 0u64;
+    let mut moved_bytes = 0u64;
+    for i in 0..batch.num_rows() {
+        let to = partition_for_hash(column_partition_hash(col, i), num_partitions);
+        if to != from {
+            moved_rows += 1;
+            moved_bytes += batch.row_bytes(i) as u64;
+        }
+        bucket_idx[to].push(i as u32);
+    }
+    let buckets = bucket_idx.iter().map(|idx| batch.take(idx)).collect();
+    (buckets, moved_rows, moved_bytes)
+}
+
 /// Buckets one source partition's rows by the hash of the key column — the
 /// per-partition half of a `HashRepartition` exchange. Returns the buckets
 /// (indexed by destination partition) and the rows/bytes that left partition
 /// `from` (the shuffle volume the cost model charges for). The exchange
 /// concatenates buckets in source-partition order, so the result is
 /// deterministic no matter which worker ran which source partition.
+/// Row-level adapter over [`repartition_batch`] at the process-wide
+/// [`batch_size`].
 pub fn repartition_partition(
+    rows: &[Tuple],
+    key_index: usize,
+    from: usize,
+    num_partitions: usize,
+) -> (Vec<Vec<Tuple>>, u64, u64) {
+    repartition_partition_chunked(rows, key_index, from, num_partitions, batch_size())
+}
+
+/// [`repartition_partition`] with an explicit chunk size. Buckets and
+/// shuffle counters are chunk-size invariant.
+pub fn repartition_partition_chunked(
+    rows: &[Tuple],
+    key_index: usize,
+    from: usize,
+    num_partitions: usize,
+    chunk_size: usize,
+) -> (Vec<Vec<Tuple>>, u64, u64) {
+    let mut buckets: Vec<Vec<Tuple>> = vec![Vec::new(); num_partitions];
+    let mut moved_rows = 0u64;
+    let mut moved_bytes = 0u64;
+    for chunk in rows.chunks(chunk_size.max(1)) {
+        let batch = Batch::from_rows(chunk[0].len(), chunk);
+        let (batch_buckets, mr, mb) = repartition_batch(&batch, key_index, from, num_partitions);
+        moved_rows += mr;
+        moved_bytes += mb;
+        for (bucket, b) in buckets.iter_mut().zip(&batch_buckets) {
+            b.extend_rows_into(bucket);
+        }
+    }
+    (buckets, moved_rows, moved_bytes)
+}
+
+/// The original row-at-a-time repartition kernel, kept as the reference
+/// implementation the batch path is tested against.
+pub fn repartition_partition_rows(
     rows: &[Tuple],
     key_index: usize,
     from: usize,
@@ -228,7 +556,7 @@ pub fn repartition_partition(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdo_common::{DataType, Schema};
+    use rdo_common::{DataType, FieldRef, Schema};
 
     fn rows(n: i64) -> Vec<Tuple> {
         (0..n)
@@ -238,6 +566,44 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::for_dataset("t", &[("k", DataType::Int64), ("g", DataType::Int64)])
+    }
+
+    /// Rows exercising every column representation the kernels see: typed
+    /// columns with NULL slots, floats with awkward payloads, strings.
+    fn tricky_rows() -> Vec<Tuple> {
+        (0..37)
+            .map(|i| {
+                Tuple::new(vec![
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int64(i % 11)
+                    },
+                    match i % 5 {
+                        0 => Value::Float64(f64::NAN),
+                        1 => Value::Float64(-0.0),
+                        2 => Value::Null,
+                        _ => Value::Float64(i as f64 / 3.0),
+                    },
+                    if i % 3 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Utf8(format!("name-{}", i % 6))
+                    },
+                ])
+            })
+            .collect()
+    }
+
+    fn tricky_schema() -> Schema {
+        Schema::for_dataset(
+            "t",
+            &[
+                ("k", DataType::Int64),
+                ("f", DataType::Float64),
+                ("s", DataType::Utf8),
+            ],
+        )
     }
 
     #[test]
@@ -306,5 +672,112 @@ mod tests {
         let mut right = b;
         right.add(&a);
         assert_eq!(left, right);
+    }
+
+    #[test]
+    fn batch_size_is_positive() {
+        assert!(batch_size() >= 1);
+    }
+
+    #[test]
+    fn scan_is_chunk_size_invariant_and_matches_row_kernel() {
+        let rows = tricky_rows();
+        let schema = tricky_schema();
+        let predicates = vec![
+            Predicate::compare(FieldRef::new("t", "k"), crate::expr::CmpOp::Le, 7i64),
+            Predicate::compare(FieldRef::new("t", "f"), crate::expr::CmpOp::Ge, 0i64),
+        ];
+        let projection = [2usize, 0];
+        let reference =
+            scan_partition_rows(&schema, &predicates, Some(&projection), &rows).unwrap();
+        for chunk_size in [1, 2, 3, 7, 36, 37, 1000] {
+            let chunked =
+                scan_partition_chunked(&schema, &predicates, Some(&projection), &rows, chunk_size)
+                    .unwrap();
+            assert_eq!(chunked, reference, "chunk size {chunk_size}");
+        }
+        // Empty partitions produce no output, no counters, no resolve errors.
+        let empty = scan_partition(&schema, &predicates, None, &[]).unwrap();
+        assert_eq!(empty, (Vec::new(), ScanTally::default()));
+    }
+
+    #[test]
+    fn hash_join_is_chunk_size_invariant_and_matches_row_kernel() {
+        let probe = tricky_rows();
+        let build: Vec<Tuple> = tricky_rows().into_iter().step_by(2).collect();
+        for keys in [&[0usize][..], &[0, 2][..]] {
+            let reference = hash_join_partition_rows(&probe, &build, keys, keys);
+            for chunk_size in [1, 3, 5, 37, 1000] {
+                let chunked = hash_join_partition_chunked(&probe, &build, keys, keys, chunk_size);
+                assert_eq!(chunked, reference, "keys {keys:?} chunk {chunk_size}");
+            }
+        }
+        // Empty sides behave like the row kernel, including the tally.
+        assert_eq!(
+            hash_join_partition(&[], &build, &[0], &[0]),
+            hash_join_partition_rows(&[], &build, &[0], &[0])
+        );
+        assert_eq!(
+            hash_join_partition(&probe, &[], &[0], &[0]),
+            hash_join_partition_rows(&probe, &[], &[0], &[0])
+        );
+    }
+
+    #[test]
+    fn repartition_is_chunk_size_invariant_and_matches_row_kernel() {
+        let rows = tricky_rows();
+        for key_index in [0usize, 1, 2] {
+            let reference = repartition_partition_rows(&rows, key_index, 1, 4);
+            for chunk_size in [1, 3, 8, 37, 1000] {
+                let chunked = repartition_partition_chunked(&rows, key_index, 1, 4, chunk_size);
+                assert_eq!(chunked, reference, "key {key_index} chunk {chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_hash_matches_value_hash() {
+        // Representation invariance of partition placement: hashing a column
+        // slot equals hashing the materialized Value, for typed columns with
+        // NULL slots and for the Mixed fallback alike.
+        let rows = tricky_rows();
+        let batch = Batch::from_rows(3, &rows);
+        for c in 0..batch.num_columns() {
+            let col = batch.column(c);
+            for i in 0..batch.num_rows() {
+                assert_eq!(
+                    column_partition_hash(col, i),
+                    hash_value(&col.value(i)),
+                    "column {c} row {i}"
+                );
+            }
+        }
+        let mixed = Batch::from_rows(
+            1,
+            &[
+                Tuple::new(vec![Value::Int64(1)]),
+                Tuple::new(vec![Value::from("one")]),
+                Tuple::new(vec![Value::Bool(true)]),
+                Tuple::new(vec![Value::Date(9)]),
+                Tuple::new(vec![Value::Null]),
+            ],
+        );
+        let col = mixed.column(0);
+        for i in 0..mixed.num_rows() {
+            assert_eq!(column_partition_hash(col, i), hash_value(&col.value(i)));
+        }
+    }
+
+    #[test]
+    fn join_build_table_counts_build_once() {
+        let probe = rows(10);
+        let build = rows(5);
+        let reference = hash_join_partition_rows(&probe, &build, &[0], &[0]);
+        let chunked = hash_join_partition_chunked(&probe, &build, &[0], &[0], 2);
+        assert_eq!(
+            chunked.1.build_rows, reference.1.build_rows,
+            "build side counted once, not once per probe chunk"
+        );
+        assert_eq!(chunked, reference);
     }
 }

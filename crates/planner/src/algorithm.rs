@@ -38,21 +38,40 @@ impl JoinSideInfo {
     }
 
     /// Marks the side as a bare base-table scan.
-    pub fn bare_base_scan(mut self, value: bool) -> Self {
+    pub fn with_bare_base_scan(mut self, value: bool) -> Self {
         self.is_bare_base_scan = value;
         self
     }
 
     /// Marks the side as filtered by local predicates.
-    pub fn filtered(mut self, value: bool) -> Self {
+    pub fn with_filter(mut self, value: bool) -> Self {
         self.has_filter = value;
         self
     }
 
     /// Marks the side as having a secondary index on the join key.
-    pub fn indexed(mut self, value: bool) -> Self {
+    pub fn with_index(mut self, value: bool) -> Self {
         self.indexed_on_join_key = value;
         self
+    }
+
+    /// Deprecated alias of [`JoinSideInfo::with_bare_base_scan`] (the config
+    /// surface uses consistent `with_*` builder naming).
+    #[deprecated(since = "0.8.0", note = "use `with_bare_base_scan`")]
+    pub fn bare_base_scan(self, value: bool) -> Self {
+        self.with_bare_base_scan(value)
+    }
+
+    /// Deprecated alias of [`JoinSideInfo::with_filter`].
+    #[deprecated(since = "0.8.0", note = "use `with_filter`")]
+    pub fn filtered(self, value: bool) -> Self {
+        self.with_filter(value)
+    }
+
+    /// Deprecated alias of [`JoinSideInfo::with_index`].
+    #[deprecated(since = "0.8.0", note = "use `with_index`")]
+    pub fn indexed(self, value: bool) -> Self {
+        self.with_index(value)
     }
 }
 
@@ -180,9 +199,9 @@ mod tests {
     #[test]
     fn inl_requires_flag_filter_index_and_bare_scan() {
         let fact = JoinSideInfo::new("store_sales", 2_000_000.0)
-            .bare_base_scan(true)
-            .indexed(true);
-        let dim = JoinSideInfo::new("date_dim", 300.0).filtered(true);
+            .with_bare_base_scan(true)
+            .with_index(true);
+        let dim = JoinSideInfo::new("date_dim", 300.0).with_filter(true);
 
         // Disabled by default.
         assert_eq!(
@@ -204,14 +223,14 @@ mod tests {
         );
 
         // Probe side is an intermediate result (not a bare base scan) → broadcast.
-        let intermediate = JoinSideInfo::new("I_1", 2_000_000.0).indexed(true);
+        let intermediate = JoinSideInfo::new("I_1", 2_000_000.0).with_index(true);
         assert_eq!(
             inl_rule.choose(&intermediate, &dim).algorithm,
             JoinAlgorithm::Broadcast
         );
 
         // No index on the probe side's key → broadcast.
-        let fact_no_index = JoinSideInfo::new("store_sales", 2_000_000.0).bare_base_scan(true);
+        let fact_no_index = JoinSideInfo::new("store_sales", 2_000_000.0).with_bare_base_scan(true);
         assert_eq!(
             inl_rule.choose(&fact_no_index, &dim).algorithm,
             JoinAlgorithm::Broadcast
@@ -223,6 +242,20 @@ mod tests {
         let r = rule();
         assert!(r.can_broadcast(1_000.0));
         assert!(!r.can_broadcast(1_000.1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_aliases_still_work() {
+        let side = JoinSideInfo::new("s", 1.0)
+            .bare_base_scan(true)
+            .filtered(true)
+            .indexed(true);
+        let renamed = JoinSideInfo::new("s", 1.0)
+            .with_bare_base_scan(true)
+            .with_filter(true)
+            .with_index(true);
+        assert_eq!(side, renamed);
     }
 
     #[test]

@@ -183,9 +183,9 @@ impl GreedyPlanner {
         let has_filter = has_local_predicates || table_ref.is_temporary();
         let indexed = catalog.has_secondary_index(table, &key.field);
         Ok(JoinSideInfo::new(alias, estimated_rows)
-            .bare_base_scan(is_bare_base_scan)
-            .filtered(has_filter)
-            .indexed(indexed))
+            .with_bare_base_scan(is_bare_base_scan)
+            .with_filter(has_filter)
+            .with_index(indexed))
     }
 
     /// Plans one candidate edge: size estimates, score, algorithm and orientation.
@@ -380,8 +380,8 @@ impl GreedyPlanner {
                 let outer_size = estimator.dataset_size(spec, &outer_alias)?;
                 let outer_info =
                     self.side_info(spec, catalog, &outer_alias, &outer_keys[0].0, outer_size)?;
-                let inner_info =
-                    JoinSideInfo::new("intermediate", first.estimated_cardinality).filtered(true);
+                let inner_info = JoinSideInfo::new("intermediate", first.estimated_cardinality)
+                    .with_filter(true);
                 let choice = self.rule.choose(&inner_info, &outer_info);
                 if choice.build_is_second {
                     // Probe = inner join result, build = remaining dataset.

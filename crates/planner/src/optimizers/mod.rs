@@ -149,11 +149,11 @@ fn side_info_for(
                 .unwrap_or(false);
             let indexed = catalog.has_secondary_index(table, &key.field);
             JoinSideInfo::new(alias.clone(), sub.est_rows)
-                .bare_base_scan(!has_predicates && !temporary)
-                .filtered(has_predicates || temporary)
-                .indexed(indexed)
+                .with_bare_base_scan(!has_predicates && !temporary)
+                .with_filter(has_predicates || temporary)
+                .with_index(indexed)
         }
-        None => JoinSideInfo::new("intermediate", sub.est_rows).filtered(true),
+        None => JoinSideInfo::new("intermediate", sub.est_rows).with_filter(true),
     }
 }
 

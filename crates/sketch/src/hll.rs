@@ -54,6 +54,55 @@ pub fn hash_value(value: &Value) -> u64 {
     hasher.finalize()
 }
 
+// Columnar hash primitives. The batch kernels hash borrowed column slots
+// without materializing a `Value`; each function below replays the exact
+// byte stream `Value::hash` feeds the stable hasher (type tag, then the
+// payload as `Hash` would write it), so for every value
+// `hash_int64(v) == hash_value(&Value::Int64(v))` and likewise for the other
+// variants. A cross-check test below keeps the two representations locked
+// together — grace/repartition placement must be representation-invariant.
+
+/// Digest of an `Int64` (or `Date` — the two hash identically, like
+/// [`Value`]'s own `Hash`, so date-surrogate joins are type-agnostic).
+pub fn hash_int64(v: i64) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write(&[1]);
+    hasher.write(&v.to_ne_bytes());
+    hasher.finalize()
+}
+
+/// Digest of a `Float64` (hashed through its IEEE-754 bit pattern).
+pub fn hash_float64(v: f64) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write(&[2]);
+    hasher.write(&v.to_bits().to_ne_bytes());
+    hasher.finalize()
+}
+
+/// Digest of a `Utf8` string.
+pub fn hash_utf8(s: &str) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write(&[3]);
+    hasher.write(s.as_bytes());
+    hasher.write(&[0xff]);
+    hasher.finalize()
+}
+
+/// Digest of a `Bool`.
+pub fn hash_bool(b: bool) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write(&[4]);
+    hasher.write(&[b as u8]);
+    hasher.finalize()
+}
+
+/// Digest of SQL NULL.
+pub fn hash_null() -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write(&[0]);
+    hasher.finalize()
+}
+
 /// HyperLogLog sketch with `2^precision` registers.
 #[derive(Debug, Clone)]
 pub struct HyperLogLog {
@@ -266,6 +315,37 @@ mod tests {
             b.insert(&Value::Date(i));
         }
         assert_eq!(a.estimate_count(), b.estimate_count());
+    }
+
+    #[test]
+    fn columnar_primitives_match_value_hash() {
+        // The representation-invariance contract: hashing a borrowed column
+        // slot must equal hashing the materialized Value, for every variant
+        // and every awkward payload (NaN, -0.0, infinities, huge strings).
+        for v in [0i64, 1, -1, i64::MIN, i64::MAX, 42] {
+            assert_eq!(hash_int64(v), hash_value(&Value::Int64(v)));
+            assert_eq!(hash_int64(v), hash_value(&Value::Date(v)));
+        }
+        for f in [
+            0.0f64,
+            -0.0,
+            1.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ] {
+            assert_eq!(hash_float64(f), hash_value(&Value::Float64(f)));
+        }
+        let huge = "x".repeat(100_000);
+        for s in ["", "a", "hello world", huge.as_str()] {
+            assert_eq!(hash_utf8(s), hash_value(&Value::Utf8(s.to_string())));
+        }
+        assert_eq!(hash_bool(true), hash_value(&Value::Bool(true)));
+        assert_eq!(hash_bool(false), hash_value(&Value::Bool(false)));
+        assert_eq!(hash_null(), hash_value(&Value::Null));
+        // -0.0 and 0.0 have different bit patterns, hence different digests.
+        assert_ne!(hash_float64(0.0), hash_float64(-0.0));
     }
 
     #[test]

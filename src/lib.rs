@@ -81,7 +81,9 @@ pub use rdo_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
-    pub use rdo_common::{DataType, Field, FieldRef, Relation, Schema, Tuple, Value};
+    pub use rdo_common::{
+        Batch, Column, DataType, Field, FieldRef, NullBitmap, Relation, Schema, Tuple, Value,
+    };
     pub use rdo_core::{
         CheckpointLog, CheckpointedDriver, CostBreakdown, DynamicConfig, DynamicDriver,
         DynamicOutcome, FailureInjector, OverheadReport, QueryRunner, RunReport, Strategy,

@@ -1,0 +1,118 @@
+//! Property tests for the columnar conversion edge: `Batch::from_rows` and
+//! `Batch::to_rows` must be exact inverses for arbitrary rows — NULL-riddled
+//! columns, NaN/-0.0/infinity float payloads, huge strings, heterogeneous
+//! columns that promote to the Mixed representation, empty batches — and the
+//! batch-side byte accounting must equal `Tuple::approx_bytes` slot for slot
+//! (the cost model and spill budgets depend on the two agreeing). The
+//! roundtrip must also commute with chunking, which is what makes the
+//! row-level kernel adapters batch-size invariant.
+
+use proptest::prelude::*;
+// Explicit import: both preludes export a `Strategy` (the proptest trait and
+// the runner's strategy enum); the trait is the one this test uses.
+use proptest::Strategy;
+use runtime_dynamic_optimization::prelude::*;
+
+/// Arbitrary scalar values, biased toward the awkward payloads: NULL, NaN,
+/// negative zero, infinities, empty and huge strings, and the Date variant
+/// that must stay distinct from Int64 through the roundtrip.
+fn value_strategy() -> impl proptest::Strategy<Value = Value> {
+    prop_oneof![
+        3 => Just(Value::Null),
+        3 => any::<i64>().prop_map(Value::Int64),
+        2 => (-1.0e12f64..1.0e12).prop_map(Value::Float64),
+        1 => Just(Value::Float64(f64::NAN)),
+        1 => Just(Value::Float64(-0.0)),
+        1 => Just(Value::Float64(f64::INFINITY)),
+        2 => (0usize..64).prop_map(|n| Value::Utf8("s".repeat(n))),
+        1 => (10_000usize..40_000).prop_map(|n| Value::Utf8("x".repeat(n))),
+        2 => any::<bool>().prop_map(Value::Bool),
+        2 => any::<i64>().prop_map(Value::Date),
+    ]
+}
+
+/// Rows of a fixed width-3 relation (each column draws independently, so
+/// columns end up typed or Mixed depending on the draw).
+fn rows_strategy() -> impl proptest::Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec(
+        (value_strategy(), value_strategy(), value_strategy()),
+        0..40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(a, b, c)| Tuple::new(vec![a, b, c]))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// to_rows ∘ from_rows is the identity, bit-for-bit. (`Value`'s equality
+    /// is the NaN-aware total order, so `assert_eq` on tuples is bit-exact,
+    /// including NaN payloads and the sign of zero.)
+    fn roundtrip_is_identity(rows in rows_strategy()) {
+        let batch = Batch::from_rows(3, &rows);
+        prop_assert_eq!(batch.num_rows(), rows.len());
+        prop_assert_eq!(batch.to_rows(), rows);
+    }
+
+    /// Building a batch from the same rows twice yields equal batches: the
+    /// column-typing inference is deterministic in the input.
+    fn construction_is_deterministic(rows in rows_strategy()) {
+        prop_assert_eq!(Batch::from_rows(3, &rows), Batch::from_rows(3, &rows));
+    }
+
+    /// Batch byte accounting equals the row-side accounting exactly, per row
+    /// and in total.
+    fn byte_accounting_matches_tuples(rows in rows_strategy()) {
+        let batch = Batch::from_rows(3, &rows);
+        for (r, row) in rows.iter().enumerate() {
+            prop_assert_eq!(batch.row_bytes(r), row.approx_bytes(), "row {}", r);
+        }
+        prop_assert_eq!(
+            batch.approx_bytes(),
+            rows.iter().map(Tuple::approx_bytes).sum::<usize>()
+        );
+    }
+
+    /// Chunking rows into batches of any size and concatenating the
+    /// materialized rows reproduces the input — the invariance the kernel
+    /// adapters rely on for `RDO_BATCH_SIZE`-independence.
+    fn roundtrip_commutes_with_chunking(
+        rows in rows_strategy(),
+        chunk_size in 1usize..64,
+    ) {
+        let mut out = Vec::new();
+        for chunk in rows.chunks(chunk_size) {
+            Batch::from_rows(3, chunk).extend_rows_into(&mut out);
+        }
+        prop_assert_eq!(out, rows);
+    }
+
+    /// An all-true filter and an identity take both reproduce the batch.
+    fn trivial_filter_and_take_are_identity(rows in rows_strategy()) {
+        let batch = Batch::from_rows(3, &rows);
+        let mask = vec![true; rows.len()];
+        prop_assert_eq!(batch.filter(&mask), batch.clone());
+        let indices: Vec<u32> = (0..rows.len() as u32).collect();
+        prop_assert_eq!(batch.take(&indices), batch);
+    }
+}
+
+/// Deterministic edge cases that random draws may not pin down.
+#[test]
+fn empty_and_degenerate_batches_roundtrip() {
+    for width in [0usize, 1, 5] {
+        let batch = Batch::from_rows(width, &[]);
+        assert_eq!(batch.num_rows(), 0);
+        assert_eq!(batch.num_columns(), width);
+        assert_eq!(batch.to_rows(), Vec::<Tuple>::new());
+        assert_eq!(batch.approx_bytes(), 0);
+    }
+    // Zero-width rows are legal (projection to nothing).
+    let rows = vec![Tuple::new(vec![]), Tuple::new(vec![])];
+    let batch = Batch::from_rows(0, &rows);
+    assert_eq!(batch.num_rows(), 2);
+    assert_eq!(batch.to_rows(), rows);
+}
