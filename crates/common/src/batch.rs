@@ -22,8 +22,54 @@
 //! executor (serial, parallel, distributed) building a batch from the same
 //! rows builds the identical representation.
 
+use crate::env::{parse_env_bool, parse_env_positive_usize, read_env};
 use crate::tuple::{Relation, Tuple};
 use crate::value::{DataType, Value};
+use std::sync::OnceLock;
+
+/// Environment variable selecting the number of rows per kernel batch.
+pub const BATCH_SIZE_ENV: &str = "RDO_BATCH_SIZE";
+
+/// Default rows per kernel batch when `RDO_BATCH_SIZE` is unset or invalid.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// The process-wide kernel batch size: `RDO_BATCH_SIZE` (integer >= 1,
+/// warn-on-invalid) or [`DEFAULT_BATCH_SIZE`]. Read once per process and
+/// cached; results are batch-size invariant, so the knob only trades
+/// per-batch overhead against cache footprint. Tests that sweep sizes use
+/// the explicit `*_chunked` kernel variants instead of mutating the
+/// environment.
+pub fn batch_size() -> usize {
+    static BATCH_SIZE: OnceLock<usize> = OnceLock::new();
+    *BATCH_SIZE.get_or_init(|| {
+        read_env(
+            BATCH_SIZE_ENV,
+            "the default batch size (1024) stays",
+            parse_env_positive_usize,
+        )
+        .unwrap_or(DEFAULT_BATCH_SIZE)
+    })
+}
+
+/// Environment variable selecting whether data at rest (resident intermediate
+/// partitions, spill pages, wire frames) uses the columnar [`Batch`] layout.
+pub const COLUMNAR_ENV: &str = "RDO_COLUMNAR";
+
+/// The process-wide at-rest format default: `RDO_COLUMNAR` (0/1 switch,
+/// warn-on-invalid) or `true`. Columnar at rest is an optimization, never a
+/// semantic change — results, plans and logical metrics are identical either
+/// way — so the knob exists for A/B measurement and as an escape hatch.
+pub fn columnar_default() -> bool {
+    static COLUMNAR: OnceLock<bool> = OnceLock::new();
+    *COLUMNAR.get_or_init(|| {
+        read_env(
+            COLUMNAR_ENV,
+            "the columnar at-rest format stays on",
+            parse_env_bool,
+        )
+        .unwrap_or(true)
+    })
+}
 
 /// A validity bitmap: one bit per row, set when the slot holds a (non-NULL)
 /// value. Bits are packed into `u64` words; trailing bits of the last word
@@ -619,6 +665,19 @@ impl Batch {
     /// Builds a batch from a relation's rows.
     pub fn from_relation(relation: &Relation) -> Self {
         Self::from_rows(relation.schema().len(), relation.rows())
+    }
+
+    /// Assembles a batch directly from columns (the decode edge of the
+    /// columnar storage/spill/wire codecs). Every column must have the same
+    /// length; that length becomes the row count.
+    pub fn from_columns(columns: Vec<Column>) -> crate::Result<Self> {
+        let rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(crate::RdoError::Execution(
+                "batch columns have mismatched lengths".to_string(),
+            ));
+        }
+        Ok(Self { columns, rows })
     }
 
     /// Materializes every row (the conversion edge back to the tuple world).

@@ -13,7 +13,10 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use batch::{Batch, Column, NullBitmap};
+pub use batch::{
+    batch_size, columnar_default, Batch, Column, NullBitmap, BATCH_SIZE_ENV, COLUMNAR_ENV,
+    DEFAULT_BATCH_SIZE,
+};
 pub use error::{RdoError, Result};
 pub use schema::{unqualified, Field, FieldRef, Schema};
 pub use tuple::{Relation, Tuple};

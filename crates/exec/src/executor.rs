@@ -5,7 +5,7 @@ use crate::cost::ExecutionMetrics;
 use crate::data::PartitionedData;
 use crate::expr::Predicate;
 use crate::grace::{joined_partition, GraceContext, GraceTally};
-use crate::partition::{indexed_join_partition, scan_partition, IndexJoinTally, ScanTally};
+use crate::partition::{indexed_join_partition, scan_batch, IndexJoinTally, ScanTally};
 use crate::plan::{JoinAlgorithm, PhysicalPlan};
 use crate::setup::{prepare_indexed_join, prepare_scan, resolve_keys};
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
@@ -69,27 +69,26 @@ impl<'a> Executor<'a> {
         let table = self.catalog.table(table_name)?;
         let setup = prepare_scan(table, dataset, projection)?;
 
-        // Stream each partition page by page through the scan kernel: a
-        // memory-backed table arrives as one whole-partition page, a spilled
-        // one as buffer-pool pages — the tallies fold identically either way.
+        // Stream each partition batch by batch through the columnar scan
+        // kernel: columnar-backed tables hand over their stored batches with
+        // no row conversion, memory-backed ones are chunked at the batch
+        // size, spilled ones decode each page (columnar pages straight into
+        // their column form). Kernel chunk-invariance makes results and
+        // tallies identical whichever backing delivers the batches.
         let mut partitions: Vec<Vec<Tuple>> = Vec::with_capacity(table.num_partitions());
         let mut tally = ScanTally::default();
         let mut spill_read = SpillReadTally::default();
         for p in 0..table.num_partitions() {
             let mut out_rows: Vec<Tuple> = Vec::new();
-            let page_tally = table.scan_pages(p, |rows| {
-                let (out, partial) = scan_partition(
+            let page_tally = table.scan_batches(p, |batch| {
+                let (out, partial) = scan_batch(
                     &setup.schema,
                     predicates,
                     setup.projection_indexes.as_deref(),
-                    rows,
+                    batch,
                 )?;
                 tally.add(&partial);
-                if out_rows.is_empty() {
-                    out_rows = out;
-                } else {
-                    out_rows.extend(out);
-                }
+                out.extend_rows_into(&mut out_rows);
                 Ok(true)
             })?;
             spill_read.add(&page_tally);

@@ -30,36 +30,15 @@
 
 use crate::data::{partition_for, partition_for_hash};
 use crate::expr::{evaluate_all, evaluate_all_batch, Predicate};
-use rdo_common::env::{parse_env_positive_usize, read_env};
 use rdo_common::{Batch, Column, Result, Schema, Tuple, Value};
 use rdo_sketch::hll::{hash_bool, hash_float64, hash_int64, hash_null, hash_utf8, hash_value};
 use rdo_storage::SecondaryIndex;
 use std::collections::HashMap;
-use std::sync::OnceLock;
 
-/// Environment variable selecting the number of rows per kernel batch.
-pub const BATCH_SIZE_ENV: &str = "RDO_BATCH_SIZE";
-
-/// Default rows per kernel batch when `RDO_BATCH_SIZE` is unset or invalid.
-pub const DEFAULT_BATCH_SIZE: usize = 1024;
-
-/// The process-wide kernel batch size: `RDO_BATCH_SIZE` (integer >= 1,
-/// warn-on-invalid) or [`DEFAULT_BATCH_SIZE`]. Read once per process and
-/// cached; results are batch-size invariant, so the knob only trades
-/// per-batch overhead against cache footprint. Tests that sweep sizes use
-/// the explicit `*_chunked` kernel variants instead of mutating the
-/// environment.
-pub fn batch_size() -> usize {
-    static BATCH_SIZE: OnceLock<usize> = OnceLock::new();
-    *BATCH_SIZE.get_or_init(|| {
-        read_env(
-            BATCH_SIZE_ENV,
-            "the default batch size (1024) stays",
-            parse_env_positive_usize,
-        )
-        .unwrap_or(DEFAULT_BATCH_SIZE)
-    })
-}
+// The batch-size knob moved to `rdo_common` when storage went columnar (the
+// storage layer chunks resident partitions at the same size); re-exported
+// here so kernel call sites keep their import paths.
+pub use rdo_common::{batch_size, BATCH_SIZE_ENV, DEFAULT_BATCH_SIZE};
 
 /// Counters produced by scanning one partition.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

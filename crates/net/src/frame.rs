@@ -15,6 +15,16 @@
 //! roundtrip is exact — NULLs, NaN bit patterns and huge strings survive — so
 //! rows that cross a socket compare bit-identical to rows that never left the
 //! process.
+//!
+//! With `RDO_COLUMNAR` on, a sender frames each page in **both** layouts —
+//! the row codec and the [`rdo_spill::colcodec`] column runs, whose
+//! same-type value runs the LZ compressor squeezes much harder on tabular
+//! data — and ships whichever blob is smaller. Page boundaries are identical
+//! either way (decided by the row codec's size accounting), and the layout
+//! travels purely in the frame-type byte: [`Tag::ColPage`]/[`Tag::ColBucket`]
+//! for columnar bodies, the plain tags for row bodies. Every reader accepts
+//! both families, so a columnar coordinator interoperates with a row-format
+//! worker and vice versa.
 
 use rdo_common::{RdoError, Result, Tuple};
 use rdo_spill::codec::{decode_rows, encode_tuple};
@@ -61,6 +71,15 @@ pub enum Tag {
     Bucket = 9,
     /// Coordinator → worker: liveness probe during connect. Empty payload.
     Ping = 10,
+    /// One page of a row batch in the columnar layout. Payload:
+    /// `rows u32, page blob` where the decompressed body is a
+    /// [`rdo_spill::colcodec`] batch. Batch framing (End termination)
+    /// matches [`Tag::Page`].
+    ColPage = 11,
+    /// One page of one repartition output bucket in the columnar layout.
+    /// Payload: `to u32, rows u32, page blob`. Batch framing matches
+    /// [`Tag::Bucket`].
+    ColBucket = 12,
 }
 
 impl Tag {
@@ -76,6 +95,8 @@ impl Tag {
             8 => Tag::Ack,
             9 => Tag::Bucket,
             10 => Tag::Ping,
+            11 => Tag::ColPage,
+            12 => Tag::ColBucket,
             other => return Err(corrupt(&format!("unknown frame tag {other}"))),
         })
     }
@@ -152,6 +173,15 @@ pub mod payload {
 /// are *not* End-terminated — several buckets share one response, and the
 /// closing [`Tag::Tally`] frame is their terminator.
 ///
+/// With `columnar` set, each page is framed in *both* layouts — the
+/// [`rdo_spill::colcodec`] column runs and the row codec — and the smaller
+/// blob goes on the wire under the matching frame-type byte
+/// ([`Tag::ColPage`]/[`Tag::ColBucket`] for columnar bodies, the plain tags
+/// for row bodies), so a columnar sender never ships more bytes than a row
+/// sender. Page boundaries are decided by the row codec's size accounting
+/// either way, and the receiver dispatches per frame, so the knob never has
+/// to match between peers.
+///
 /// `header` prefixes every page payload (empty for plain [`Tag::Page`]
 /// batches; the repartition response uses it to tag bucket pages with their
 /// destination partition). Returns the number of pages written.
@@ -161,33 +191,53 @@ pub fn write_page_batch(
     header: &[u8],
     rows: &[Tuple],
     compress: bool,
+    columnar: bool,
     scratch: &mut LzScratch,
 ) -> Result<u64> {
+    let col_tag = match tag {
+        Tag::Page => Tag::ColPage,
+        Tag::Bucket => Tag::ColBucket,
+        other => other,
+    };
     let mut body: Vec<u8> = Vec::new();
-    let mut rows_in_page = 0u32;
     let mut pages = 0u64;
     let mut flush =
-        |body: &mut Vec<u8>, rows_in_page: &mut u32, scratch: &mut LzScratch| -> Result<()> {
-            let blob = encode_page_with(scratch, body, compress);
+        |body: &mut Vec<u8>, page_rows: &[Tuple], scratch: &mut LzScratch| -> Result<()> {
+            let row_blob = encode_page_with(scratch, body, compress);
+            let (wire_tag, blob) = if columnar {
+                let width = page_rows.first().map_or(0, Tuple::len);
+                let mut col_body = Vec::new();
+                rdo_spill::colcodec::encode_rows(&mut col_body, width, page_rows);
+                let col_blob = encode_page_with(scratch, &col_body, compress);
+                if col_blob.len() < row_blob.len() {
+                    (col_tag, col_blob)
+                } else {
+                    (tag, row_blob)
+                }
+            } else {
+                (tag, row_blob)
+            };
             let mut payload = Vec::with_capacity(header.len() + 4 + blob.len());
             payload.extend_from_slice(header);
-            payload.extend_from_slice(&rows_in_page.to_le_bytes());
+            payload.extend_from_slice(&(page_rows.len() as u32).to_le_bytes());
             payload.extend_from_slice(&blob);
-            write_frame(w, tag, &payload)?;
+            write_frame(w, wire_tag, &payload)?;
             body.clear();
-            *rows_in_page = 0;
             Ok(())
         };
-    for row in rows {
+    // Page boundaries come from the row codec body size in both layouts, so
+    // page counts and per-page row counts are layout-invariant.
+    let mut page_start = 0usize;
+    for (i, row) in rows.iter().enumerate() {
         encode_tuple(&mut body, row);
-        rows_in_page += 1;
         if body.len() >= WIRE_PAGE_SIZE {
-            flush(&mut body, &mut rows_in_page, scratch)?;
+            flush(&mut body, &rows[page_start..=i], scratch)?;
             pages += 1;
+            page_start = i + 1;
         }
     }
-    if !body.is_empty() {
-        flush(&mut body, &mut rows_in_page, scratch)?;
+    if page_start < rows.len() {
+        flush(&mut body, &rows[page_start..], scratch)?;
         pages += 1;
     }
     if tag == Tag::Page {
@@ -197,23 +247,32 @@ pub fn write_page_batch(
 }
 
 /// Decodes one page payload (`rows u32, page blob` at byte offset `at`) back
-/// into tuples.
-pub fn decode_page_payload(payload: &[u8], at: usize) -> Result<Vec<Tuple>> {
+/// into tuples, dispatching the body layout on the frame tag it arrived
+/// under: [`Tag::Page`]/[`Tag::Bucket`] bodies hold the row codec,
+/// [`Tag::ColPage`]/[`Tag::ColBucket`] bodies hold the columnar codec.
+pub fn decode_page_payload(tag: Tag, payload: &[u8], at: usize) -> Result<Vec<Tuple>> {
     let rows = payload::u32_at(payload, at)? as usize;
     let blob = payload
         .get(at + 4..)
         .ok_or_else(|| corrupt("truncated page blob"))?;
     let body = decode_page(blob)?;
-    decode_rows(&body, rows)
+    match tag {
+        Tag::Page | Tag::Bucket => decode_rows(&body, rows),
+        Tag::ColPage | Tag::ColBucket => rdo_spill::colcodec::decode_rows(&body, rows),
+        other => Err(corrupt(&format!("{other:?} is not a page frame"))),
+    }
 }
 
-/// Reads a [`Tag::Page`] batch until [`Tag::End`], returning the decoded rows.
+/// Reads a page batch until [`Tag::End`], returning the decoded rows. Both
+/// body layouts are accepted ([`Tag::Page`] and [`Tag::ColPage`] frames may
+/// even be mixed within one batch), so a reader never needs to know the
+/// sender's `RDO_COLUMNAR` setting.
 pub fn read_page_batch(r: &mut impl Read) -> Result<Vec<Tuple>> {
     let mut rows = Vec::new();
     loop {
         let (tag, payload) = expect_frame(r)?;
         match tag {
-            Tag::Page => rows.extend(decode_page_payload(&payload, 0)?),
+            Tag::Page | Tag::ColPage => rows.extend(decode_page_payload(tag, &payload, 0)?),
             Tag::End => return Ok(rows),
             other => return Err(corrupt(&format!("expected Page/End, got {other:?}"))),
         }
@@ -258,28 +317,171 @@ mod tests {
 
     #[test]
     fn page_batches_roundtrip_compressed_and_raw() {
-        // Enough rows that the batch spans multiple wire pages.
+        // Enough rows that the batch spans multiple wire pages, in every
+        // (compression, layout) combination.
         let data = rows(20_000);
         for compress in [true, false] {
-            let mut buf = Vec::new();
-            let mut scratch = LzScratch::new();
-            let pages =
-                write_page_batch(&mut buf, Tag::Page, &[], &data, compress, &mut scratch).unwrap();
-            assert!(pages > 1, "multi-page batch (compress={compress})");
-            let mut cursor = &buf[..];
-            let back = read_page_batch(&mut cursor).unwrap();
-            assert_eq!(back, data, "exact roundtrip (compress={compress})");
+            for columnar in [true, false] {
+                let mut buf = Vec::new();
+                let mut scratch = LzScratch::new();
+                let pages = write_page_batch(
+                    &mut buf,
+                    Tag::Page,
+                    &[],
+                    &data,
+                    compress,
+                    columnar,
+                    &mut scratch,
+                )
+                .unwrap();
+                assert!(
+                    pages > 1,
+                    "multi-page batch (compress={compress} columnar={columnar})"
+                );
+                let mut cursor = &buf[..];
+                let back = read_page_batch(&mut cursor).unwrap();
+                assert_eq!(
+                    back, data,
+                    "exact roundtrip (compress={compress} columnar={columnar})"
+                );
+            }
         }
+    }
+
+    /// Rows shaped like the evaluation workloads: an id column, a low-
+    /// cardinality categorical string and a derived float — the shape the
+    /// columnar layout compresses decisively better.
+    fn tabular(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int64(i),
+                    Value::Utf8(format!("payload-{:06}", i % 50)),
+                    Value::Float64(i as f64 / 7.0),
+                ])
+            })
+            .collect()
+    }
+
+    /// The layout knob moves only the frame-type byte and the body layout:
+    /// page boundaries (page count) are decided by the row codec's size
+    /// accounting either way, a columnar sender never ships a longer stream
+    /// (each page keeps the smaller of the two framings), and a reader
+    /// decodes mixed-layout streams.
+    #[test]
+    fn columnar_batches_keep_row_page_boundaries_and_interoperate() {
+        let data = tabular(20_000);
+        let mut scratch = LzScratch::new();
+        let mut row_buf = Vec::new();
+        let row_pages = write_page_batch(
+            &mut row_buf,
+            Tag::Page,
+            &[],
+            &data,
+            true,
+            false,
+            &mut scratch,
+        )
+        .unwrap();
+        let mut col_buf = Vec::new();
+        let col_pages = write_page_batch(
+            &mut col_buf,
+            Tag::Page,
+            &[],
+            &data,
+            true,
+            true,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(col_pages, row_pages, "page boundaries are layout-invariant");
+        assert_eq!(row_buf[0], Tag::Page as u8);
+        assert_eq!(
+            col_buf[0],
+            Tag::ColPage as u8,
+            "tabular pages pick the columnar framing"
+        );
+        assert!(
+            col_buf.len() < row_buf.len(),
+            "columnar stream is smaller on tabular data: {} vs {}",
+            col_buf.len(),
+            row_buf.len()
+        );
+        let mut cursor = &col_buf[..];
+        assert_eq!(read_page_batch(&mut cursor).unwrap(), data);
+
+        // Data where the columnar layout has no edge (unique strings, NULL
+        // holes): the per-page pick falls back to row framing, never worse.
+        let awkward = rows(200);
+        let mut awkward_row = Vec::new();
+        write_page_batch(
+            &mut awkward_row,
+            Tag::Page,
+            &[],
+            &awkward,
+            true,
+            false,
+            &mut scratch,
+        )
+        .unwrap();
+        let mut awkward_col = Vec::new();
+        write_page_batch(
+            &mut awkward_col,
+            Tag::Page,
+            &[],
+            &awkward,
+            true,
+            true,
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(
+            awkward_col.len() <= awkward_row.len(),
+            "the columnar knob never costs wire bytes: {} vs {}",
+            awkward_col.len(),
+            awkward_row.len()
+        );
+
+        // A row-format batch concatenated with a columnar batch decodes as
+        // one stream: the reader dispatches per frame, not per connection.
+        let mut mixed = Vec::new();
+        write_page_batch(
+            &mut mixed,
+            Tag::Page,
+            &[],
+            &data[..100],
+            true,
+            false,
+            &mut scratch,
+        )
+        .unwrap();
+        write_page_batch(
+            &mut mixed,
+            Tag::Page,
+            &[],
+            &data[100..200],
+            true,
+            true,
+            &mut scratch,
+        )
+        .unwrap();
+        let mut cursor = &mixed[..];
+        assert_eq!(read_page_batch(&mut cursor).unwrap(), data[..100]);
+        assert_eq!(read_page_batch(&mut cursor).unwrap(), data[100..200]);
     }
 
     #[test]
     fn empty_batches_are_a_bare_end_frame() {
-        let mut buf = Vec::new();
-        let mut scratch = LzScratch::new();
-        let pages = write_page_batch(&mut buf, Tag::Page, &[], &[], true, &mut scratch).unwrap();
-        assert_eq!(pages, 0);
-        let mut cursor = &buf[..];
-        assert!(read_page_batch(&mut cursor).unwrap().is_empty());
+        for columnar in [false, true] {
+            let mut buf = Vec::new();
+            let mut scratch = LzScratch::new();
+            let pages =
+                write_page_batch(&mut buf, Tag::Page, &[], &[], true, columnar, &mut scratch)
+                    .unwrap();
+            assert_eq!(pages, 0);
+            let mut cursor = &buf[..];
+            assert!(read_page_batch(&mut cursor).unwrap().is_empty());
+        }
     }
 
     #[test]

@@ -115,7 +115,8 @@ fn serve_connection(stream: TcpStream) -> Result<Served> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let compress = SpillConfig::from_env().compress;
+    let spill_env = SpillConfig::from_env();
+    let (compress, columnar) = (spill_env.compress, spill_env.columnar);
     let mut scratch = LzScratch::new();
     // Tracing in worker processes follows the same env knobs as the
     // coordinator (the cluster spawner passes the environment through). Each
@@ -169,6 +170,7 @@ fn serve_connection(stream: TcpStream) -> Result<Served> {
                         &to_header,
                         bucket,
                         compress,
+                        columnar,
                         &mut scratch,
                     )?;
                 }
@@ -195,7 +197,15 @@ fn serve_connection(stream: TcpStream) -> Result<Served> {
                 // partition-agnostic.
                 let _partition = payload::u32_at(&header, 0)?;
                 let rows = read_page_batch(&mut reader)?;
-                write_page_batch(&mut writer, Tag::Page, &[], &rows, compress, &mut scratch)?;
+                write_page_batch(
+                    &mut writer,
+                    Tag::Page,
+                    &[],
+                    &rows,
+                    compress,
+                    columnar,
+                    &mut scratch,
+                )?;
                 writer.flush()?;
             }
             other => {
@@ -220,14 +230,16 @@ pub(crate) fn read_bucketed_response(
     loop {
         let (tag, body) = crate::frame::expect_frame(reader)?;
         match tag {
-            Tag::Bucket => {
+            // Either body layout is fine — the worker picks per its own
+            // RDO_COLUMNAR setting and the tag byte says which arrived.
+            Tag::Bucket | Tag::ColBucket => {
                 let to = payload::u32_at(&body, 0)? as usize;
                 if to >= num_partitions {
                     return Err(RdoError::Execution(format!(
                         "corrupt exchange frame: bucket {to} out of range"
                     )));
                 }
-                buckets[to].extend(decode_page_payload(&body, 4)?);
+                buckets[to].extend(decode_page_payload(tag, &body, 4)?);
             }
             Tag::Tally => {
                 let moved_rows = payload::u64_at(&body, 0)?;
@@ -289,7 +301,10 @@ mod tests {
         header.extend_from_slice(&0u32.to_le_bytes());
         header.extend_from_slice(&4u32.to_le_bytes());
         write_frame(&mut writer, Tag::Repartition, &header).unwrap();
-        write_page_batch(&mut writer, Tag::Page, &[], &data, true, &mut scratch).unwrap();
+        // Ship this command's rows in the columnar layout: the worker's
+        // reader dispatches on the tag byte, so the coordinator's knob never
+        // has to match the worker's.
+        write_page_batch(&mut writer, Tag::Page, &[], &data, true, true, &mut scratch).unwrap();
         writer.flush().unwrap();
         let (buckets, moved_rows, moved_bytes) = read_bucketed_response(&mut reader, 4).unwrap();
         assert_eq!(buckets, expected_buckets);
@@ -297,7 +312,16 @@ mod tests {
 
         // Broadcast: the ack carries the replica's row count.
         write_frame(&mut writer, Tag::Broadcast, &[]).unwrap();
-        write_page_batch(&mut writer, Tag::Page, &[], &data, true, &mut scratch).unwrap();
+        write_page_batch(
+            &mut writer,
+            Tag::Page,
+            &[],
+            &data,
+            true,
+            false,
+            &mut scratch,
+        )
+        .unwrap();
         writer.flush().unwrap();
         let (tag, ack) = crate::frame::expect_frame(&mut reader).unwrap();
         assert_eq!(tag, Tag::Ack);
@@ -305,7 +329,7 @@ mod tests {
 
         // Gather: the partition comes back byte-exact.
         write_frame(&mut writer, Tag::Gather, &2u32.to_le_bytes()).unwrap();
-        write_page_batch(&mut writer, Tag::Page, &[], &data, true, &mut scratch).unwrap();
+        write_page_batch(&mut writer, Tag::Page, &[], &data, true, true, &mut scratch).unwrap();
         writer.flush().unwrap();
         assert_eq!(read_page_batch(&mut reader).unwrap(), data);
 

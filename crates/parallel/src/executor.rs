@@ -13,7 +13,7 @@ use crate::pool::WorkerPool;
 use crate::transport::{default_transport, Transport};
 use rdo_common::{FieldRef, RdoError, Relation, Result, Tuple};
 use rdo_exec::grace::{joined_partition, GraceContext, GraceTally};
-use rdo_exec::partition::{indexed_join_partition, scan_partition, IndexJoinTally, ScanTally};
+use rdo_exec::partition::{indexed_join_partition, scan_batch, IndexJoinTally, ScanTally};
 use rdo_exec::setup::{prepare_indexed_join, prepare_scan, resolve_keys};
 use rdo_exec::{ExecutionMetrics, JoinAlgorithm, PartitionedData, PhysicalPlan, Predicate};
 use rdo_storage::{Catalog, SpillReadTally};
@@ -148,26 +148,24 @@ impl<'a> ParallelExecutor<'a> {
         let table = self.catalog.table_handle(table_name)?;
         let setup = prepare_scan(&table, dataset, projection)?;
 
-        // Each partition streams page by page through the scan kernel —
-        // memory-backed tables deliver one whole-partition page, spilled ones
-        // come back through the buffer pool. Per-partition tallies fold in
-        // partition order, so metrics are identical for every worker count.
+        // Each partition streams batch by batch through the columnar scan
+        // kernel — columnar-backed tables hand over their stored batches with
+        // no row conversion, memory-backed ones are chunked at the batch
+        // size, spilled ones decode each page through the buffer pool.
+        // Per-partition tallies fold in partition order, so metrics are
+        // identical for every worker count and every backing.
         let results = self.map_partitions(table.num_partitions(), |p| {
             let mut out_rows: Vec<Tuple> = Vec::new();
             let mut partial = ScanTally::default();
-            let page_tally = table.scan_pages(p, |rows| {
-                let (out, page_partial) = scan_partition(
+            let page_tally = table.scan_batches(p, |batch| {
+                let (out, page_partial) = scan_batch(
                     &setup.schema,
                     predicates,
                     setup.projection_indexes.as_deref(),
-                    rows,
+                    batch,
                 )?;
                 partial.add(&page_partial);
-                if out_rows.is_empty() {
-                    out_rows = out;
-                } else {
-                    out_rows.extend(out);
-                }
+                out.extend_rows_into(&mut out_rows);
                 Ok(true)
             })?;
             Ok((out_rows, partial, page_tally))

@@ -203,7 +203,13 @@ mod tests {
             Some("o_orderkey"),
         )
         .unwrap();
-        assert_eq!(fast.partitions(), rehashed.partitions());
+        for p in 0..cat.num_partitions() {
+            assert_eq!(
+                fast.partition_to_vec(p).unwrap(),
+                rehashed.partition(p),
+                "partition {p} layouts identical"
+            );
+        }
         assert!(fast.is_temporary() && fast.is_partitioned_on("o_orderkey"));
         assert_eq!(cat.stats().row_count("I_key"), Some(100));
     }

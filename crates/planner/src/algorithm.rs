@@ -54,25 +54,6 @@ impl JoinSideInfo {
         self.indexed_on_join_key = value;
         self
     }
-
-    /// Deprecated alias of [`JoinSideInfo::with_bare_base_scan`] (the config
-    /// surface uses consistent `with_*` builder naming).
-    #[deprecated(since = "0.8.0", note = "use `with_bare_base_scan`")]
-    pub fn bare_base_scan(self, value: bool) -> Self {
-        self.with_bare_base_scan(value)
-    }
-
-    /// Deprecated alias of [`JoinSideInfo::with_filter`].
-    #[deprecated(since = "0.8.0", note = "use `with_filter`")]
-    pub fn filtered(self, value: bool) -> Self {
-        self.with_filter(value)
-    }
-
-    /// Deprecated alias of [`JoinSideInfo::with_index`].
-    #[deprecated(since = "0.8.0", note = "use `with_index`")]
-    pub fn indexed(self, value: bool) -> Self {
-        self.with_index(value)
-    }
 }
 
 /// The rule choosing the join algorithm and the build side.
@@ -242,20 +223,6 @@ mod tests {
         let r = rule();
         assert!(r.can_broadcast(1_000.0));
         assert!(!r.can_broadcast(1_000.1));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_aliases_still_work() {
-        let side = JoinSideInfo::new("s", 1.0)
-            .bare_base_scan(true)
-            .filtered(true)
-            .indexed(true);
-        let renamed = JoinSideInfo::new("s", 1.0)
-            .with_bare_base_scan(true)
-            .with_filter(true)
-            .with_index(true);
-        assert_eq!(side, renamed);
     }
 
     #[test]

@@ -67,6 +67,25 @@ pub fn encode_tuple(buf: &mut Vec<u8>, tuple: &Tuple) {
     }
 }
 
+/// Exact length in bytes [`encode_value`] would append for `value`, computed
+/// without encoding.
+pub fn encoded_value_len(value: &Value) -> usize {
+    match value {
+        Value::Null => 1,
+        Value::Int64(_) | Value::Float64(_) | Value::Date(_) => 9,
+        Value::Utf8(s) => 5 + s.len(),
+        Value::Bool(_) => 2,
+    }
+}
+
+/// Exact length in bytes [`encode_tuple`] would append for `tuple`, computed
+/// without encoding. The columnar page writer uses this to keep its page
+/// boundaries and logical byte counters identical to the row codec's while
+/// storing a different physical layout.
+pub fn encoded_tuple_len(tuple: &Tuple) -> usize {
+    4 + tuple.values().iter().map(encoded_value_len).sum::<usize>()
+}
+
 fn corrupt(what: &str) -> RdoError {
     RdoError::Execution(format!("corrupt spill page: {what}"))
 }
@@ -143,6 +162,11 @@ mod tests {
     fn roundtrip_tuple(tuple: &Tuple) -> Tuple {
         let mut buf = Vec::new();
         encode_tuple(&mut buf, tuple);
+        assert_eq!(
+            buf.len(),
+            encoded_tuple_len(tuple),
+            "predicted length matches the real encoding"
+        );
         let mut pos = 0;
         let out = decode_tuple(&buf, &mut pos).unwrap();
         assert_eq!(pos, buf.len(), "whole encoding consumed");

@@ -21,10 +21,11 @@
 //!   `SpillConfig::prefetch_pages` pages resident in the buffer pool while
 //!   the scanner decompresses and decodes the current one.
 
-use crate::codec::{decode_rows, encode_tuple};
+use crate::codec::{decode_rows, encode_tuple, encoded_tuple_len};
+use crate::colcodec;
 use crate::compress::{decode_page, encode_page_with, LzScratch};
 use crate::manager::{SpillManager, SpillReadTally, SpillWriteTally};
-use rdo_common::{Result, Tuple};
+use rdo_common::{Batch, Result, Tuple};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -36,9 +37,16 @@ struct PageMeta {
     /// Bytes the page occupies in the file (compressed size when the page
     /// compressed).
     stored_len: u32,
-    /// Bytes of row data the page decodes back to.
+    /// Bytes of *row-codec* data the page stands for. In columnar mode the
+    /// physical body is the columnar encoding, but this counter (and every
+    /// tally built from it) still reports the row-codec volume so logical
+    /// metrics are identical whichever layout is on disk.
     logical_len: u32,
     rows: u32,
+    /// Physical layout of the page body: columnar ([`crate::colcodec`]) or
+    /// row-wise ([`crate::codec`]). In-memory only — the page directory never
+    /// hits disk — so the flag costs nothing in the file format.
+    columnar: bool,
 }
 
 #[derive(Debug, Default)]
@@ -56,13 +64,28 @@ struct PartitionPages {
 /// arbitrarily large build side with a bounded transient footprint.
 /// [`SpillPartitionWriter::finish`] flushes the tails and returns the
 /// completed store; dropping an unfinished writer deletes the file.
+///
+/// With `SpillConfig::columnar` on, the writer buffers each partition's
+/// pending rows instead of encoded bytes, and at flush time frames the page
+/// in *both* layouts — column runs ([`crate::colcodec`]) and the row codec —
+/// keeping whichever is smaller after optional compression (each page's
+/// metadata records the winner, and the reader dispatches on it). Page
+/// boundaries, per-page row counts, logical byte counters and the
+/// buffered-bytes accounting are all computed from the *row-codec* lengths
+/// ([`encoded_tuple_len`]), so every logical figure is bit-identical to
+/// row-layout runs — only the stored bytes change, and never upward.
 #[derive(Debug)]
 pub struct SpillPartitionWriter {
     manager: Arc<SpillManager>,
     file_id: u64,
     path: PathBuf,
     parts: Vec<PartitionPages>,
+    /// Row mode: the encoded page body per partition.
     bufs: Vec<Vec<u8>>,
+    /// Columnar mode: rows awaiting the columnar flush, and their exact
+    /// row-codec byte length (drives page boundaries and all accounting).
+    pending: Vec<Vec<Tuple>>,
+    pending_len: Vec<usize>,
     rows_in_buf: Vec<u32>,
     offset: u64,
     page_no: u32,
@@ -73,6 +96,7 @@ pub struct SpillPartitionWriter {
     peak_buffered_bytes: u64,
     page_size: usize,
     compress: bool,
+    columnar: bool,
     scratch: LzScratch,
     finished: bool,
 }
@@ -82,6 +106,7 @@ impl SpillPartitionWriter {
     pub fn new(manager: Arc<SpillManager>, partitions: usize) -> Result<Self> {
         let page_size = manager.config().page_size.max(512);
         let compress = manager.config().compress;
+        let columnar = manager.config().columnar;
         let (file_id, path) = manager.create_file()?;
         Ok(Self {
             manager,
@@ -89,6 +114,8 @@ impl SpillPartitionWriter {
             path,
             parts: (0..partitions).map(|_| PartitionPages::default()).collect(),
             bufs: vec![Vec::new(); partitions],
+            pending: vec![Vec::new(); partitions],
+            pending_len: vec![0; partitions],
             rows_in_buf: vec![0; partitions],
             offset: 0,
             page_no: 0,
@@ -99,24 +126,43 @@ impl SpillPartitionWriter {
             peak_buffered_bytes: 0,
             page_size,
             compress,
+            columnar,
             scratch: LzScratch::new(),
             finished: false,
         })
+    }
+
+    /// Row-codec bytes partition `p` has pending — the page-boundary measure
+    /// in both layouts.
+    fn body_len(&self, p: usize) -> usize {
+        if self.columnar {
+            self.pending_len[p]
+        } else {
+            self.bufs[p].len()
+        }
     }
 
     /// Appends one row to partition `p`, flushing a page when the partition's
     /// buffer reaches the page size (a page holds at least one row, so an
     /// oversized row becomes an oversized page rather than an error).
     pub fn append(&mut self, p: usize, row: &Tuple) -> Result<()> {
-        let before = self.bufs[p].len();
-        encode_tuple(&mut self.bufs[p], row);
-        self.buffered_bytes += (self.bufs[p].len() - before) as u64;
+        let encoded = if self.columnar {
+            let len = encoded_tuple_len(row);
+            self.pending[p].push(row.clone());
+            self.pending_len[p] += len;
+            len
+        } else {
+            let before = self.bufs[p].len();
+            encode_tuple(&mut self.bufs[p], row);
+            self.bufs[p].len() - before
+        };
+        self.buffered_bytes += encoded as u64;
         self.peak_buffered_bytes = self.peak_buffered_bytes.max(self.buffered_bytes);
         self.rows_in_buf[p] += 1;
         self.parts[p].rows += 1;
         self.total_rows += 1;
         self.approx_bytes += row.approx_bytes();
-        if self.bufs[p].len() >= self.page_size {
+        if self.body_len(p) >= self.page_size {
             self.flush_partition(p)?;
         }
         Ok(())
@@ -130,25 +176,52 @@ impl SpillPartitionWriter {
     }
 
     fn flush_partition(&mut self, p: usize) -> Result<()> {
-        let body = std::mem::take(&mut self.bufs[p]);
-        let rows = std::mem::replace(&mut self.rows_in_buf[p], 0);
-        self.buffered_bytes -= body.len() as u64;
-        let blob = {
+        // `logical_len` is always the row-codec volume; in columnar mode the
+        // physical body differs from it, and that difference is the point.
+        // Columnar mode frames *both* layouts and keeps whichever packs
+        // tighter — small or string-unique pages can favor the per-row
+        // stride — recording the winner per page, so the columnar store
+        // never costs a single stored byte over the row store.
+        let (blob, logical_len, columnar_page) = if self.columnar {
+            let rows = std::mem::take(&mut self.pending[p]);
+            let logical = std::mem::replace(&mut self.pending_len[p], 0);
+            let width = rows.first().map_or(0, Tuple::len);
+            let mut col_body = Vec::new();
+            colcodec::encode_batch(&mut col_body, &Batch::from_rows(width, &rows));
+            let mut row_body = Vec::with_capacity(logical);
+            for row in &rows {
+                crate::codec::encode_tuple(&mut row_body, row);
+            }
             let _t = rdo_trace::timer("spill.compress_ns");
-            encode_page_with(&mut self.scratch, &body, self.compress)
+            let col_blob = encode_page_with(&mut self.scratch, &col_body, self.compress);
+            let row_blob = encode_page_with(&mut self.scratch, &row_body, self.compress);
+            if col_blob.len() < row_blob.len() {
+                (col_blob, logical, true)
+            } else {
+                (row_blob, logical, false)
+            }
+        } else {
+            let body = std::mem::take(&mut self.bufs[p]);
+            let logical = body.len();
+            let _t = rdo_trace::timer("spill.compress_ns");
+            let blob = encode_page_with(&mut self.scratch, &body, self.compress);
+            (blob, logical, false)
         };
+        let rows = std::mem::replace(&mut self.rows_in_buf[p], 0);
+        self.buffered_bytes -= logical_len as u64;
         let meta = PageMeta {
             page_no: self.page_no,
             offset: self.offset,
             stored_len: blob.len() as u32,
-            logical_len: body.len() as u32,
+            logical_len: logical_len as u32,
             rows,
+            columnar: columnar_page,
         };
         self.offset += blob.len() as u64;
         self.page_no += 1;
         self.tally.pages += 1;
         self.tally.bytes += blob.len() as u64;
-        self.tally.logical_bytes += body.len() as u64;
+        self.tally.logical_bytes += logical_len as u64;
         self.manager
             .pool()
             .put_page(self.file_id, meta.page_no, meta.offset, blob)?;
@@ -160,7 +233,7 @@ impl SpillPartitionWriter {
     /// store and the logical write volume.
     pub fn finish(mut self) -> Result<(SpilledPartitions, SpillWriteTally)> {
         for p in 0..self.parts.len() {
-            if !self.bufs[p].is_empty() {
+            if self.body_len(p) > 0 {
                 self.flush_partition(p)?;
             }
         }
@@ -264,29 +337,58 @@ impl SpilledPartitions {
         self.pages
     }
 
-    /// Fetches, decompresses and decodes one page, folding it into `tally`
-    /// and handing the rows to `f`.
-    fn visit_page<F>(&self, meta: &PageMeta, tally: &mut SpillReadTally, f: &mut F) -> Result<bool>
+    /// Fetches, decompresses and decodes one page with `decode`, folding it
+    /// into `tally` and handing the decoded item to `f`.
+    fn visit_page_with<T, D, F>(
+        &self,
+        meta: &PageMeta,
+        tally: &mut SpillReadTally,
+        decode: &D,
+        f: &mut F,
+    ) -> Result<bool>
     where
-        F: FnMut(&[Tuple]) -> Result<bool>,
+        D: Fn(&[u8], &PageMeta) -> Result<T>,
+        F: FnMut(&T) -> Result<bool>,
     {
-        let rows = self.manager.pool().with_page(
+        let item = self.manager.pool().with_page(
             self.file_id,
             meta.page_no,
             meta.offset,
             meta.stored_len as usize,
-            |blob| -> Result<Vec<Tuple>> {
+            |blob| -> Result<T> {
                 let body = {
                     let _t = rdo_trace::timer("spill.decompress_ns");
                     decode_page(blob)?
                 };
-                decode_rows(&body, meta.rows as usize)
+                decode(&body, meta)
             },
         )??;
         tally.pages += 1;
         tally.bytes += meta.stored_len as u64;
         tally.logical_bytes += meta.logical_len as u64;
-        f(&rows)
+        f(&item)
+    }
+
+    /// Decodes one page body back to rows, dispatching on the page's layout
+    /// flag.
+    fn decode_page_rows(body: &[u8], meta: &PageMeta) -> Result<Vec<Tuple>> {
+        if meta.columnar {
+            colcodec::decode_rows(body, meta.rows as usize)
+        } else {
+            decode_rows(body, meta.rows as usize)
+        }
+    }
+
+    /// Decodes one page body straight to a [`Batch`]: columnar pages skip the
+    /// row detour entirely, row pages go through `Batch::from_rows`.
+    fn decode_page_batch(body: &[u8], meta: &PageMeta) -> Result<Batch> {
+        if meta.columnar {
+            colcodec::decode_batch(body, meta.rows as usize)
+        } else {
+            let rows = decode_rows(body, meta.rows as usize)?;
+            let width = rows.first().map_or(0, Tuple::len);
+            Ok(Batch::from_rows(width, &rows))
+        }
     }
 
     /// Streams partition `p` page by page: `f` receives each page's decoded
@@ -302,6 +404,25 @@ impl SpilledPartitions {
     pub fn scan_pages<F>(&self, p: usize, mut f: F) -> Result<SpillReadTally>
     where
         F: FnMut(&[Tuple]) -> Result<bool>,
+    {
+        self.scan_pages_with(p, Self::decode_page_rows, |rows: &Vec<Tuple>| f(rows))
+    }
+
+    /// Streams partition `p` page by page as [`Batch`]es — the batch-native
+    /// twin of [`Self::scan_pages`], with the same early-stop, tally and
+    /// read-ahead behaviour. Columnar pages decode straight into their
+    /// column representation with no per-row materialization.
+    pub fn scan_batches<F>(&self, p: usize, f: F) -> Result<SpillReadTally>
+    where
+        F: FnMut(&Batch) -> Result<bool>,
+    {
+        self.scan_pages_with(p, Self::decode_page_batch, f)
+    }
+
+    fn scan_pages_with<T, D, F>(&self, p: usize, decode: D, mut f: F) -> Result<SpillReadTally>
+    where
+        D: Fn(&[u8], &PageMeta) -> Result<T>,
+        F: FnMut(&T) -> Result<bool>,
     {
         let metas = &self.parts[p].pages;
         let lookahead = self.manager.config().prefetch_pages;
@@ -319,7 +440,7 @@ impl SpilledPartitions {
         {
             let mut tally = SpillReadTally::default();
             for meta in metas {
-                if !self.visit_page(meta, &mut tally, &mut f)? {
+                if !self.visit_page_with(meta, &mut tally, &decode, &mut f)? {
                     break;
                 }
             }
@@ -360,7 +481,7 @@ impl SpilledPartitions {
             let _close_guard = CloseOnDrop(&gate);
             let mut tally = SpillReadTally::default();
             for meta in metas {
-                if !self.visit_page(meta, &mut tally, &mut f)? {
+                if !self.visit_page_with(meta, &mut tally, &decode, &mut f)? {
                     break;
                 }
                 gate.advance();
@@ -640,12 +761,16 @@ mod tests {
 
     #[test]
     fn compression_off_stores_raw_pages_and_roundtrips() {
+        // Row layout pinned: the flag-byte identity below is a row-codec
+        // property (columnar bodies are physically smaller than the logical
+        // row volume even uncompressed).
         let data = vec![rows(300, "raw")];
         let raw_mgr = manager_with(
             SpillConfig::default()
                 .with_budget(1)
                 .with_page_size(512)
-                .with_compression(false),
+                .with_compression(false)
+                .with_columnar(false),
         );
         let (raw_store, raw_tally) = SpilledPartitions::write(Arc::clone(&raw_mgr), &data).unwrap();
         // Raw pages cost one flag byte each on top of the row encoding.
@@ -656,7 +781,12 @@ mod tests {
         );
         assert_eq!(&raw_store.read_partition(0).unwrap(), &data[0]);
 
-        let packed_mgr = manager(1, 512);
+        let packed_mgr = manager_with(
+            SpillConfig::default()
+                .with_budget(1)
+                .with_page_size(512)
+                .with_columnar(false),
+        );
         let (packed_store, packed_tally) =
             SpilledPartitions::write(Arc::clone(&packed_mgr), &data).unwrap();
         assert_eq!(
@@ -672,6 +802,108 @@ mod tests {
             packed_store.read_partition(0).unwrap(),
             raw_store.read_partition(0).unwrap()
         );
+    }
+
+    /// The columnar layout's contract: identical rows, page boundaries,
+    /// per-page row counts, logical bytes and buffered-bytes accounting —
+    /// only the stored bytes shrink.
+    #[test]
+    fn columnar_pages_shrink_stored_bytes_and_keep_logical_figures() {
+        // Realistic tabular pages: repeated categorical strings and typed
+        // number columns at the default 64 KiB page size, where column runs
+        // beat the row layout's per-row stride redundancy. (At tiny page
+        // sizes too few rows share a page and the row layout can win — the
+        // equivalence contract holds regardless, only this size assertion
+        // needs full pages.)
+        let tabular = |n: i64, tag: &str| -> Vec<Tuple> {
+            (0..n)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int64(i),
+                        Value::Utf8(format!("{tag}-{:06}", i % 1000)),
+                        Value::Float64(i as f64 / 7.0),
+                    ])
+                })
+                .collect()
+        };
+        let data = [tabular(20_000, "payload"), tabular(5_000, "other")];
+        let mut results = Vec::new();
+        for columnar in [false, true] {
+            let mgr = manager_with(
+                SpillConfig::default()
+                    .with_budget(1)
+                    .with_columnar(columnar),
+            );
+            let mut writer = SpillPartitionWriter::new(Arc::clone(&mgr), data.len()).unwrap();
+            for (p, partition) in data.iter().enumerate() {
+                for row in partition {
+                    writer.append(p, row).unwrap();
+                }
+            }
+            let peak = writer.peak_buffered_bytes();
+            let (store, tally) = writer.finish().unwrap();
+            let reads: Vec<_> = (0..data.len())
+                .map(|p| store.read_partition_tallied(p).unwrap())
+                .collect();
+            results.push((tally, peak, reads, store));
+        }
+        let (row_tally, row_peak, row_reads, _row_store) = &results[0];
+        let (col_tally, col_peak, col_reads, col_store) = &results[1];
+        assert_eq!(col_tally.pages, row_tally.pages, "same page boundaries");
+        assert_eq!(
+            col_tally.logical_bytes, row_tally.logical_bytes,
+            "logical volume is layout-invariant"
+        );
+        assert_eq!(
+            col_peak, row_peak,
+            "buffered accounting is layout-invariant"
+        );
+        assert!(
+            col_tally.bytes < row_tally.bytes,
+            "columnar pages store fewer bytes: {col_tally:?} vs {row_tally:?}"
+        );
+        for (p, (got, expected)) in col_reads.iter().zip(row_reads).enumerate() {
+            assert_eq!(got.0, expected.0, "partition {p} rows identical");
+            assert_eq!(got.1.pages, expected.1.pages);
+            assert_eq!(got.1.logical_bytes, expected.1.logical_bytes);
+            assert_eq!(&got.0, &data[p]);
+        }
+        // Batch scans deliver the same rows and the same logical tally.
+        for (p, partition) in data.iter().enumerate() {
+            let mut via_batches = Vec::new();
+            let tally = col_store
+                .scan_batches(p, |batch| {
+                    via_batches.extend(batch.to_rows());
+                    Ok(true)
+                })
+                .unwrap();
+            assert_eq!(&via_batches, partition);
+            assert_eq!(tally, col_reads[p].1, "batch scan tally matches row scan");
+        }
+    }
+
+    /// `scan_batches` over row-layout pages converts per page — rows and
+    /// tallies still match the row scan exactly.
+    #[test]
+    fn batch_scans_over_row_pages_match_row_scans() {
+        let mgr = manager_with(
+            SpillConfig::default()
+                .with_budget(1)
+                .with_page_size(512)
+                .with_columnar(false),
+        );
+        let data = vec![rows(300, "rb")];
+        let (store, _) = SpilledPartitions::write(Arc::clone(&mgr), &data).unwrap();
+        let (expected, row_tally) = store.read_partition_tallied(0).unwrap();
+        let mut got = Vec::new();
+        let batch_tally = store
+            .scan_batches(0, |batch| {
+                got.extend(batch.to_rows());
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(batch_tally, row_tally);
     }
 
     #[test]

@@ -91,6 +91,12 @@ pub struct Catalog {
     indexes: HashMap<(String, String), SecondaryIndex>,
     stats: StatsCatalog,
     spill: Option<Arc<SpillManager>>,
+    /// Store resident intermediates as columnar batch runs (`RDO_COLUMNAR`,
+    /// on by default; [`Catalog::configure_spill`] overrides it from the
+    /// run's `SpillConfig`). Base datasets always stay row-backed — the
+    /// secondary indexes and the indexed nested-loop join borrow their row
+    /// slices.
+    columnar: bool,
 }
 
 /// Compile-time guarantee that catalog reads can be shared across the worker
@@ -119,6 +125,7 @@ impl Catalog {
             indexes: HashMap::new(),
             stats: StatsCatalog::new(),
             spill: None,
+            columnar: rdo_common::columnar_default(),
         };
         debug_assert!(catalog.num_partitions >= 1, "partition count clamp failed");
         catalog
@@ -136,6 +143,10 @@ impl Catalog {
     /// driver executions reuse one directory and buffer pool) and otherwise
     /// creates a fresh manager.
     pub fn configure_spill(&mut self, config: SpillConfig) -> Result<()> {
+        // The columnar at-rest knob rides on the spill config so one
+        // `DynamicConfig` axis controls every layer; it applies to resident
+        // intermediates whether or not a budget is set.
+        self.columnar = config.columnar;
         if !config.enabled() {
             self.spill = None;
             return Ok(());
@@ -295,6 +306,16 @@ impl Catalog {
                 if let Some(manager) = manager {
                     manager.retain(table.approx_bytes() as u64);
                 }
+                // Resident intermediates rest columnar by default: the batch
+                // kernels consume the stored chunks with no row conversion.
+                // Accounting (`approx_bytes`) is backing-invariant, so the
+                // budget arithmetic above and the release in `drop_table`
+                // agree regardless of the layout.
+                let table = if self.columnar {
+                    table.into_columnar()
+                } else {
+                    table
+                };
                 self.tables.insert(name, Arc::new(table));
                 StoredIntermediate::default()
             }
@@ -595,7 +616,10 @@ mod tests {
         builder.observe_relation(&rel);
         cat.register_intermediate("via_rehash", rel.clone(), Some("o_custkey"), &[], false)
             .unwrap();
-        let expected: Vec<Vec<Tuple>> = cat.table("via_rehash").unwrap().partitions().to_vec();
+        let rehash = cat.table("via_rehash").unwrap();
+        let expected: Vec<Vec<Tuple>> = (0..rehash.num_partitions())
+            .map(|p| rehash.partition_to_vec(p).unwrap())
+            .collect();
 
         let stored = cat
             .register_intermediate_partitioned(
@@ -608,7 +632,9 @@ mod tests {
             .unwrap();
         assert!(!stored.spilled);
         let direct = cat.table("via_parts").unwrap();
-        assert_eq!(direct.partitions(), &expected[..]);
+        for (p, part) in expected.iter().enumerate() {
+            assert_eq!(&direct.partition_to_vec(p).unwrap(), part);
+        }
         assert!(direct.is_temporary() && direct.is_partitioned_on("o_custkey"));
         assert_eq!(cat.stats().row_count("via_parts"), Some(120));
 
@@ -624,6 +650,48 @@ mod tests {
                 builder.build(),
             )
             .is_err());
+    }
+
+    #[test]
+    fn intermediates_rest_columnar_and_base_tables_stay_row_backed() {
+        let mut cat = Catalog::new(4);
+        assert_eq!(
+            cat.columnar,
+            rdo_common::columnar_default(),
+            "a fresh catalog seeds the process-wide rest format"
+        );
+        // Pin columnar on explicitly: the suite also runs under CI legs
+        // that export RDO_COLUMNAR=0 for the whole process.
+        cat.configure_spill(SpillConfig::disabled().with_columnar(true))
+            .unwrap();
+        cat.ingest(
+            "orders",
+            relation(100),
+            IngestOptions::partitioned_on("o_orderkey"),
+        )
+        .unwrap();
+        assert!(
+            !cat.table("orders").unwrap().is_columnar(),
+            "base datasets keep borrowable row partitions"
+        );
+        cat.register_intermediate("I_col", relation(60), Some("o_custkey"), &[], false)
+            .unwrap();
+        let table = cat.table("I_col").unwrap();
+        assert!(table.is_columnar() && table.is_temporary());
+        assert_eq!(table.gather().sorted(), relation(60).sorted());
+
+        // The knob rides on the spill config: a row-layout run converts
+        // nothing.
+        cat.configure_spill(SpillConfig::disabled().with_columnar(false))
+            .unwrap();
+        cat.register_intermediate("I_row", relation(60), Some("o_custkey"), &[], false)
+            .unwrap();
+        let row = cat.table("I_row").unwrap();
+        assert!(!row.is_columnar());
+        assert_eq!(
+            row.gather().sorted(),
+            cat.table("I_col").unwrap().gather().sorted()
+        );
     }
 
     #[test]

@@ -82,7 +82,8 @@ pub use rdo_workloads as workloads;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use rdo_common::{
-        Batch, Column, DataType, Field, FieldRef, NullBitmap, Relation, Schema, Tuple, Value,
+        batch_size, columnar_default, Batch, Column, DataType, Field, FieldRef, NullBitmap,
+        Relation, Schema, Tuple, Value, BATCH_SIZE_ENV, COLUMNAR_ENV, DEFAULT_BATCH_SIZE,
     };
     pub use rdo_core::{
         CheckpointLog, CheckpointedDriver, CostBreakdown, DynamicConfig, DynamicDriver,
@@ -102,6 +103,7 @@ pub mod prelude {
         NextJoinPolicy, Optimizer, PilotRunOptimizer, QuerySpec, WorstOrderOptimizer,
     };
     pub use rdo_sketch::{ColumnStats, EquiHeightHistogram, GkSketch, HyperLogLog, StatsCatalog};
+    pub use rdo_spill::{decode_batch, encode_batch};
     pub use rdo_sql::{compile, BoundQuery, ParamBindings, UdfRegistry};
     pub use rdo_storage::{
         Catalog, IngestOptions, SecondaryIndex, SpillConfig, StoredIntermediate, Table,
