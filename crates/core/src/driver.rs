@@ -8,7 +8,8 @@ use rdo_parallel::{
 use rdo_planner::greedy::join_edges;
 use rdo_planner::{
     reconstruct_after_join, reconstruct_after_pushdown, CostBasedOptimizer, EstimationMode,
-    GreedyPlanner, JoinAlgorithmRule, NextJoinPolicy, Optimizer, QuerySpec, SizeEstimator,
+    GreedyPlanner, JoinAlgorithmRule, LearnedStatsCatalog, NextJoinPolicy, Optimizer, QuerySpec,
+    SizeEstimator,
 };
 use rdo_storage::Catalog;
 use rdo_storage::SpillConfig;
@@ -58,6 +59,18 @@ pub struct DynamicConfig {
     /// `RDO_TRACE` / `RDO_TRACE_SPANS` knobs; disabled tracing leaves the
     /// execution on the exact untraced code path.
     pub trace: rdo_trace::TraceHandle,
+    /// An externally owned worker pool to execute on. `None` (the default)
+    /// spawns a fresh pool per execution; a multi-query server passes its one
+    /// shared pool here so concurrent sessions share threads instead of
+    /// multiplying them.
+    pub pool: Option<WorkerPool>,
+    /// A learned-statistics catalog shared across executions. When set, the
+    /// driver (a) seeds each push-down stage's plan-time estimate from the
+    /// measured cardinality of the same value-qualified filter signature, and
+    /// (b) records every materialized stage's actual row count back into the
+    /// catalog — so *repeat* queries start from measured statistics instead of
+    /// static guesses. `None` keeps the single-query behavior.
+    pub learned: Option<Arc<LearnedStatsCatalog>>,
 }
 
 impl Default for DynamicConfig {
@@ -80,6 +93,8 @@ impl Default for DynamicConfig {
             // Reads RDO_TRACE / RDO_TRACE_SPANS, so exported tracing knobs
             // profile every driver-based code path without code changes.
             trace: rdo_trace::TraceHandle::from_env(),
+            pool: None,
+            learned: None,
         }
     }
 }
@@ -169,6 +184,21 @@ impl DynamicConfig {
         self.trace = trace;
         self
     }
+
+    /// Executes on an externally owned (shared) worker pool instead of
+    /// spawning one per execution (builder style).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches a shared learned-statistics catalog (builder style): push-down
+    /// estimates are seeded from it and every materialized stage's actual
+    /// cardinality is recorded back into it.
+    pub fn with_learned(mut self, learned: Arc<LearnedStatsCatalog>) -> Self {
+        self.learned = Some(learned);
+        self
+    }
 }
 
 /// What one dynamic execution did.
@@ -248,7 +278,10 @@ impl DynamicDriver {
         rdo_trace::serve::ensure_started_from_env();
         rdo_trace::serve::register_query(&spec.name, &trace);
         catalog.configure_spill(self.config.spill)?;
-        let pool = WorkerPool::new(self.config.parallel.workers);
+        let pool = match &self.config.pool {
+            Some(shared) => shared.clone(),
+            None => WorkerPool::new(self.config.parallel.workers),
+        };
         let planner = GreedyPlanner::new(self.config.policy, self.config.rule);
         let mut spec = spec.clone();
         let mut total = ExecutionMetrics::new();
@@ -272,12 +305,24 @@ impl DynamicDriver {
                     let mut stage_metrics = ExecutionMetrics::new();
                     let plan = Self::pushdown_plan(&spec, &alias)?;
                     stage_plans.push(format!("pushdown {}", plan.signature()));
+                    // The value-qualified signature of this filtered scan —
+                    // the key repeat queries find the measured cardinality
+                    // under (the plan signature alone is predicate-blind).
+                    let stage_predicates: Vec<_> =
+                        spec.predicates_for(&alias).into_iter().cloned().collect();
+                    let learned_key =
+                        LearnedStatsCatalog::filter_key(spec.table_of(&alias)?, &stage_predicates);
                     // The planner's estimate for the filtered dataset, recorded
                     // before execution so the audit compares plan-time numbers.
-                    let estimated_rows =
-                        SizeEstimator::new(catalog, catalog.stats(), EstimationMode::Static)
-                            .dataset_size(&spec, &alias)
-                            .ok();
+                    // With a learned catalog attached, a repeat query's
+                    // estimate is the previously measured row count.
+                    let estimator =
+                        SizeEstimator::new(catalog, catalog.stats(), EstimationMode::Static);
+                    let estimator = match self.config.learned.as_deref() {
+                        Some(learned) => estimator.with_learned(learned),
+                        None => estimator,
+                    };
+                    let estimated_rows = estimator.dataset_size(&spec, &alias).ok();
                     let data = {
                         let executor = ParallelExecutor::with_pool(
                             catalog,
@@ -310,6 +355,9 @@ impl DynamicDriver {
                         estimated_rows,
                         actual_rows: materialized.rows,
                     });
+                    if let Some(learned) = &self.config.learned {
+                        learned.observe(&learned_key, materialized.rows);
+                    }
                     temp_tables.push(table_name.clone());
                     spec = reconstruct_after_pushdown(&spec, &alias, &table_name);
                     pushdown.add(&stage_metrics);
@@ -397,6 +445,9 @@ impl DynamicDriver {
                     estimated_rows: Some(planned.estimated_cardinality),
                     actual_rows: materialized.rows,
                 });
+                if let Some(learned) = &self.config.learned {
+                    learned.observe(&plan.signature(), materialized.rows);
+                }
                 temp_tables.push(name);
                 spec = new_spec;
                 total.add(&stage_metrics);
@@ -447,6 +498,9 @@ impl DynamicDriver {
                 estimated_rows: final_estimate,
                 actual_rows: relation.len() as u64,
             });
+            if let Some(learned) = &self.config.learned {
+                learned.observe(&final_plan.signature(), relation.len() as u64);
+            }
             let result = project_result(relation, &spec.projection)?;
 
             Ok(DynamicOutcome {
@@ -888,6 +942,74 @@ mod tests {
         // Grace partition files live only inside a join call.
         let dir = cat.spill_dir().expect("join budget configured");
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn shared_pool_executions_match_private_pool_executions() {
+        let reference = {
+            let mut cat = catalog();
+            DynamicDriver::new(DynamicConfig::default().with_parallel(ParallelConfig::serial()))
+                .execute(&spec(), &mut cat)
+                .unwrap()
+        };
+        // One externally owned pool, reused across two executions — what the
+        // SQL server does across sessions.
+        let pool = WorkerPool::new(2);
+        let config = DynamicConfig::default()
+            .with_parallel(ParallelConfig::serial().with_workers(2))
+            .with_pool(pool.clone());
+        for _ in 0..2 {
+            let mut cat = catalog();
+            let outcome = DynamicDriver::new(config.clone())
+                .execute(&spec(), &mut cat)
+                .unwrap();
+            assert_eq!(outcome.result, reference.result);
+            assert_eq!(outcome.total, reference.total);
+            assert_eq!(outcome.stage_plans, reference.stage_plans);
+        }
+    }
+
+    #[test]
+    fn learned_stats_seed_repeat_runs() {
+        let learned = Arc::new(LearnedStatsCatalog::new());
+        let cold = {
+            let mut cat = catalog();
+            DynamicDriver::new(DynamicConfig::default().with_learned(Arc::clone(&learned)))
+                .execute(&spec(), &mut cat)
+                .unwrap()
+        };
+        assert!(
+            !learned.is_empty(),
+            "the cold run recorded measured cardinalities"
+        );
+        let hits_before = learned.hits();
+
+        // The repeat run: measured stats stand in for the pilot stages, so the
+        // re-optimization loop is skipped entirely.
+        let warm = {
+            let mut cat = catalog();
+            let config = DynamicConfig::default()
+                .with_learned(Arc::clone(&learned))
+                .with_reopt_budget(0);
+            DynamicDriver::new(config)
+                .execute(&spec(), &mut cat)
+                .unwrap()
+        };
+        assert_eq!(warm.result.clone().sorted(), cold.result.clone().sorted());
+        assert_eq!(warm.reoptimization_points, 0);
+        assert!(
+            learned.hits() > hits_before,
+            "the repeat run read the cache"
+        );
+        // The seeded push-down estimate is the measured truth → q-error 1.
+        let pushdown = warm
+            .audit
+            .estimates
+            .iter()
+            .find(|r| r.stage.starts_with("pushdown:"))
+            .expect("warm run still push-downs");
+        assert_eq!(pushdown.estimated_rows, Some(pushdown.actual_rows as f64));
+        assert!(warm.audit.max_q_error() <= cold.audit.max_q_error());
     }
 
     #[test]

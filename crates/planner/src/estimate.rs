@@ -22,6 +22,7 @@
 //! The dynamic approach never needs the oracle: after the predicate push-down
 //! stage the filtered datasets *are* materialized and their statistics are exact.
 
+use crate::learned::LearnedStatsCatalog;
 use crate::query::{JoinCondition, QuerySpec};
 use rdo_common::{RdoError, Result};
 use rdo_exec::expr::evaluate_all;
@@ -43,6 +44,7 @@ pub struct SizeEstimator<'a> {
     catalog: &'a Catalog,
     stats: &'a StatsCatalog,
     mode: EstimationMode,
+    learned: Option<&'a LearnedStatsCatalog>,
 }
 
 impl<'a> SizeEstimator<'a> {
@@ -53,7 +55,19 @@ impl<'a> SizeEstimator<'a> {
             catalog,
             stats,
             mode,
+            learned: None,
         }
+    }
+
+    /// Seeds static estimation from a learned-statistics catalog (builder
+    /// style): when a filtered dataset's value-qualified signature has a
+    /// measured cardinality from an earlier run, [`SizeEstimator::dataset_size`]
+    /// returns it instead of multiplying histogram selectivities under the
+    /// independence assumption. Oracle-mode estimation is unaffected (it is
+    /// already exact).
+    pub fn with_learned(mut self, learned: &'a LearnedStatsCatalog) -> Self {
+        self.learned = Some(learned);
+        self
     }
 
     /// The estimation mode.
@@ -89,6 +103,12 @@ impl<'a> SizeEstimator<'a> {
         match self.mode {
             EstimationMode::Static => {
                 let table = spec.table_of(alias)?;
+                if let Some(learned) = self.learned {
+                    let key = LearnedStatsCatalog::filter_key(table, &predicates);
+                    if let Some(rows) = learned.lookup(&key) {
+                        return Ok(rows as f64);
+                    }
+                }
                 let stats = self.stats.get(table).or_else(|| self.stats.get(alias));
                 let selectivity: f64 = predicates
                     .iter()
@@ -364,6 +384,56 @@ mod tests {
             d, 50.0,
             "a 50-row filtered dataset has at most 50 distinct keys"
         );
+    }
+
+    #[test]
+    fn learned_stats_override_static_estimation() {
+        let cat = catalog();
+        // The correlated pair from `static_size_multiplies_correlated_predicates_incorrectly`:
+        // the truth is 2_500 rows, the independence assumption says ~625.
+        let q = spec()
+            .with_predicate(Predicate::compare(
+                FieldRef::new("orders", "o_status"),
+                CmpOp::Eq,
+                1i64,
+            ))
+            .with_predicate(Predicate::compare(
+                FieldRef::new("orders", "o_priority"),
+                CmpOp::Eq,
+                1i64,
+            ));
+        let unseeded = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static)
+            .dataset_size(&q, "orders")
+            .unwrap();
+        let learned = LearnedStatsCatalog::new();
+        let preds: Vec<_> = q.predicates_for("orders").into_iter().cloned().collect();
+        learned.observe(&LearnedStatsCatalog::filter_key("orders", &preds), 2_500);
+        let est = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static);
+        let seeded = est
+            .with_learned(&learned)
+            .dataset_size(&q, "orders")
+            .unwrap();
+        assert_eq!(seeded, 2_500.0, "measured cardinality wins");
+        assert_ne!(seeded, unseeded);
+        assert_eq!(learned.hits(), 1);
+
+        // A signature with different constants misses and falls back to the
+        // static estimate.
+        let other = spec().with_predicate(Predicate::compare(
+            FieldRef::new("orders", "o_status"),
+            CmpOp::Eq,
+            2i64,
+        ));
+        let est = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static);
+        let fallback = est
+            .with_learned(&learned)
+            .dataset_size(&other, "orders")
+            .unwrap();
+        let static_est = SizeEstimator::new(&cat, cat.stats(), EstimationMode::Static)
+            .dataset_size(&other, "orders")
+            .unwrap();
+        assert_eq!(fallback, static_est);
+        assert_eq!(learned.misses(), 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod algorithm;
 pub mod correlation;
 pub mod estimate;
 pub mod greedy;
+pub mod learned;
 pub mod optimizers;
 pub mod query;
 pub mod reconstruct;
@@ -34,6 +35,7 @@ pub use algorithm::JoinAlgorithmRule;
 pub use correlation::{analyze_predicates, analyze_query, CorrelationReport};
 pub use estimate::{EstimationMode, SizeEstimator};
 pub use greedy::{GreedyPlanner, NextJoinPolicy, PlannedJoin};
+pub use learned::LearnedStatsCatalog;
 pub use optimizers::{
     best_order::BestOrderOptimizer, cost_based::CostBasedOptimizer, pilot_run::PilotRunOptimizer,
     worst_order::WorstOrderOptimizer, Optimizer,

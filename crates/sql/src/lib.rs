@@ -56,6 +56,55 @@ pub use udf::{ParamBindings, ScalarUdf, UdfRegistry, ValueFn};
 use rdo_common::Result;
 use rdo_storage::Catalog;
 
+/// The keywords of the SQL++ subset, folded to upper case by [`normalize`].
+/// Keywords are recognized case-insensitively by the parser, so folding them
+/// never merges two texts that would parse differently.
+const KEYWORDS: &[&str] = &[
+    "select", "distinct", "as", "from", "where", "and", "or", "not", "between", "in", "group",
+    "by", "order", "limit", "asc", "desc",
+];
+
+/// Canonicalizes a query text for use as a plan-cache key: comments and
+/// whitespace collapse, keywords fold to upper case, literals render in a
+/// canonical spelling (`007` → `7`, `"x"` → `'x'`) and a trailing `;` is
+/// dropped. Two texts with the same normal form tokenize identically, so they
+/// parse and bind to the same plan; non-keyword identifiers keep their exact
+/// case, so distinct names never merge.
+pub fn normalize(sql: &str) -> Result<String> {
+    let tokens = token::tokenize(sql).map_err(rdo_common::RdoError::from)?;
+    let mut parts: Vec<String> = Vec::with_capacity(tokens.len());
+    for t in &tokens {
+        let rendered = match &t.kind {
+            token::TokenKind::Ident(s) => {
+                if KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                    s.to_ascii_uppercase()
+                } else {
+                    s.clone()
+                }
+            }
+            token::TokenKind::Int(v) => v.to_string(),
+            token::TokenKind::Float(v) => v.to_string(),
+            token::TokenKind::StringLit(s) => format!("'{s}'"),
+            token::TokenKind::Param(p) => format!("${p}"),
+            token::TokenKind::Comma => ",".to_string(),
+            token::TokenKind::Dot => ".".to_string(),
+            token::TokenKind::LParen => "(".to_string(),
+            token::TokenKind::RParen => ")".to_string(),
+            token::TokenKind::Star => "*".to_string(),
+            token::TokenKind::Minus => "-".to_string(),
+            token::TokenKind::Eq => "=".to_string(),
+            token::TokenKind::Ne => "!=".to_string(),
+            token::TokenKind::Lt => "<".to_string(),
+            token::TokenKind::Le => "<=".to_string(),
+            token::TokenKind::Gt => ">".to_string(),
+            token::TokenKind::Ge => ">=".to_string(),
+            token::TokenKind::Semicolon | token::TokenKind::Eof => continue,
+        };
+        parts.push(rendered);
+    }
+    Ok(parts.join(" "))
+}
+
 /// Parses and binds a SQL++ query in one step.
 pub fn compile(
     sql: &str,
@@ -105,6 +154,38 @@ mod tests {
         assert_eq!(bound.spec.name, "q");
         assert_eq!(bound.spec.joins.len(), 1);
         assert_eq!(bound.spec.predicates.len(), 1);
+    }
+
+    #[test]
+    fn normalize_collapses_formatting_but_not_semantics() {
+        let a = normalize(
+            "select fact.f_id from fact, dim\n  where fact.grp = dim.d_id -- trailing comment\n;",
+        )
+        .unwrap();
+        let b = normalize("SELECT fact.f_id FROM fact , dim WHERE fact . grp = dim.d_id").unwrap();
+        assert_eq!(a, b, "whitespace, comments, keyword case and `;` collapse");
+        let c =
+            normalize("SELECT fact.f_id FROM fact, dim WHERE fact.grp = dim.d_id AND dim.grp < 5")
+                .unwrap();
+        assert_ne!(a, c, "different predicates stay different");
+        // Literal spellings canonicalize; parameters survive.
+        assert_eq!(
+            normalize("SELECT t.a FROM t WHERE t.a = 007 AND t.b = \"x\"").unwrap(),
+            normalize("select t.a from t where t.a = 7 and t.b = 'x'").unwrap()
+        );
+        assert!(normalize("SELECT t.a FROM t WHERE t.a = $moy")
+            .unwrap()
+            .contains("$moy"));
+        // Non-keyword identifier case is preserved (distinct names never merge).
+        assert_ne!(
+            normalize("SELECT T.a FROM T").unwrap(),
+            normalize("SELECT t.a FROM t").unwrap()
+        );
+    }
+
+    #[test]
+    fn normalize_rejects_unlexable_input() {
+        assert!(normalize("SELECT a FROM t WHERE a ~ 3").is_err());
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Start the multi-query SQL server, drive one paper query over TCP twice
+//! (cold, then warm through the plan cache + learned statistics), and print
+//! both run summaries.
+//!
+//! Run with: `cargo run --release --example sql_server`
+//!
+//! With `RDO_METRICS_ADDR` set, the server's session/cache/admission counters
+//! are scrapable on `/metrics` for as long as the process lives; set
+//! `RDO_SERVER_LINGER_MS` to keep it alive after the demo queries (CI starts
+//! this example in the background and scrapes the endpoint).
+
+use rdo_workloads::{paper_udfs, q50_params, Q17_SQL};
+use runtime_dynamic_optimization::prelude::*;
+use runtime_dynamic_optimization::workloads::{BenchmarkEnv, ScaleFactor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = BenchmarkEnv::load(ScaleFactor::gb(2), 4, false, 42)?;
+    let config = ServerConfig::from_env();
+    let server = SqlServer::start(
+        env.catalog.clone(),
+        paper_udfs(),
+        q50_params(9, 2000),
+        config,
+    )?;
+    println!("sql-server listening on {}", server.addr());
+
+    let mut client = Client::connect(&server.addr())?;
+    for label in ["cold", "warm"] {
+        let response = client.query(Q17_SQL)?;
+        let s = &response.summary;
+        println!(
+            "{label}: rows={} cache_hit={} reopt_points={} planner_invocations={} \
+             max_q_error={:.3} learned_hits={} learned_misses={}",
+            s.rows,
+            s.plan_cache_hit,
+            s.reopt_points,
+            s.planner_invocations,
+            s.max_q_error,
+            s.learned_hits,
+            s.learned_misses
+        );
+        println!("{label} plan: {}", s.plan);
+    }
+    println!("{}", client.query(Q17_SQL)?.summary.audit);
+
+    // Keep the process (and its /metrics endpoint) alive for scrapers.
+    if let Some(linger) = rdo_common::env::read_env(
+        "RDO_SERVER_LINGER_MS",
+        "the example exits immediately",
+        rdo_common::env::parse_env_u64,
+    ) {
+        println!("lingering {linger}ms for metrics scrapers");
+        std::thread::sleep(std::time::Duration::from_millis(linger));
+    }
+    Ok(())
+}

@@ -40,6 +40,10 @@
 //! * [`sql`] — the SQL++ frontend (lexer, parser, binder) that turns query text
 //!   into the spec consumed by the optimizers plus the post-join GROUP BY /
 //!   ORDER BY / LIMIT stage;
+//! * [`server`] — the multi-query SQL server front-end: TCP sessions over a
+//!   length-prefixed frame protocol, one shared worker pool, global memory
+//!   admission (`RDO_SERVER_MEM_BUDGET`) and a learned-stats plan cache that
+//!   lets repeat queries plan from measured cardinalities;
 //! * [`lsm`] — the LSM ingestion substrate whose components carry the
 //!   ingestion-time statistics the paper's initial plans rely on.
 //!
@@ -72,6 +76,7 @@ pub use rdo_lsm as lsm;
 pub use rdo_net as net;
 pub use rdo_parallel as parallel;
 pub use rdo_planner as planner;
+pub use rdo_server as server;
 pub use rdo_sketch as sketch;
 pub use rdo_spill as spill;
 pub use rdo_sql as sql;
@@ -100,7 +105,12 @@ pub mod prelude {
     };
     pub use rdo_planner::{
         BestOrderOptimizer, CostBasedOptimizer, DatasetRef, GreedyPlanner, JoinAlgorithmRule,
-        NextJoinPolicy, Optimizer, PilotRunOptimizer, QuerySpec, WorstOrderOptimizer,
+        LearnedStatsCatalog, NextJoinPolicy, Optimizer, PilotRunOptimizer, QuerySpec,
+        WorstOrderOptimizer,
+    };
+    pub use rdo_server::{
+        AdmissionController, Client, ErrorCode, QueryResponse, RunSummary, ServerConfig,
+        ServerHandle, SqlServer,
     };
     pub use rdo_sketch::{ColumnStats, EquiHeightHistogram, GkSketch, HyperLogLog, StatsCatalog};
     pub use rdo_spill::{decode_batch, encode_batch};

@@ -1,0 +1,204 @@
+//! Multi-session server equivalence: N concurrent TCP clients firing the four
+//! paper queries must get results bit-identical to a serial in-process
+//! reference, and repeat queries must hit the plan cache and the learned-stats
+//! catalog — planning statically from measured cardinalities (zero
+//! re-optimization points) with a max q-error no worse than the cold run's.
+
+use rdo_workloads::{paper_udfs, q50_params, Q17_SQL, Q50_SQL, Q8_SQL, Q9_SQL};
+use runtime_dynamic_optimization::prelude::*;
+use runtime_dynamic_optimization::workloads::{BenchmarkEnv, ScaleFactor};
+use std::collections::HashMap;
+
+const QUERIES: [(&str, &str); 4] = [
+    ("Q17", Q17_SQL),
+    ("Q50", Q50_SQL),
+    ("Q8", Q8_SQL),
+    ("Q9", Q9_SQL),
+];
+
+/// The server-side configuration under test. `from_env` first, so the CI leg
+/// exporting `RDO_SERVER_MEM_BUDGET` runs this whole suite through global
+/// admission; the listen address is always pinned to an ephemeral local port.
+fn config() -> ServerConfig {
+    let mut config = ServerConfig::from_env();
+    config.addr = "127.0.0.1:0".to_string();
+    // Generous admission wait: with the CI leg's 1 MiB global budget every
+    // wave serializes, and a loaded runner must not trip the bounded wait
+    // (the timeout path has its own dedicated test).
+    config.admit_timeout_ms = config.admit_timeout_ms.max(120_000);
+    config
+}
+
+/// Serial reference: each paper query compiled and executed in-process with
+/// the same rule/parallelism the server uses, post-processing applied.
+fn serial_reference(env: &BenchmarkEnv, config: &ServerConfig) -> HashMap<String, Relation> {
+    let driver =
+        DynamicDriver::new(DynamicConfig::dynamic(config.rule).with_parallel(config.parallel));
+    QUERIES
+        .iter()
+        .map(|(name, _)| {
+            let bound = rdo_workloads::compile_paper_query(name, &env.catalog).unwrap();
+            let mut catalog = env.catalog.clone();
+            let outcome = driver.execute(&bound.spec, &mut catalog).unwrap();
+            let result = bound.post.apply(outcome.result).unwrap().sorted();
+            (name.to_string(), result)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_sessions_match_serial_reference_and_repeat_queries_hit_the_caches() {
+    let env = BenchmarkEnv::load(ScaleFactor::gb(2), 4, false, 99).unwrap();
+    let config = config();
+    let reference = serial_reference(&env, &config);
+
+    let server = SqlServer::start(
+        env.catalog.clone(),
+        paper_udfs(),
+        q50_params(9, 2000),
+        config,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // ---- Cold wave: 4 simultaneous sessions, one distinct query each. ----
+    let cold: HashMap<String, RunSummary> = QUERIES
+        .iter()
+        .map(|(name, sql)| {
+            let addr = addr.clone();
+            let name = name.to_string();
+            let sql = sql.to_string();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let response = client.query(&sql).unwrap();
+                (name, response)
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .map(|(name, response)| {
+            assert_eq!(
+                response.result.sorted(),
+                reference[&name],
+                "{name}: concurrent cold result differs from the serial reference"
+            );
+            assert!(
+                !response.summary.plan_cache_hit,
+                "{name}: first sight of a query cannot be a cache hit"
+            );
+            (name, response.summary)
+        })
+        .collect();
+    assert_eq!(server.plan_cache_len(), 4, "every cold query is cached");
+
+    // ---- Warm wave: 8 simultaneous sessions, two clients per query. ----
+    let warm_wave: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            let (name, sql) = QUERIES[i % 4];
+            let name = name.to_string();
+            let sql = sql.to_string();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let response = client.query(&sql).unwrap();
+                (name, response)
+            })
+        })
+        .collect();
+    for thread in warm_wave {
+        let (name, response) = thread.join().unwrap();
+        assert_eq!(
+            response.result.sorted(),
+            reference[&name],
+            "{name}: concurrent warm result differs from the serial reference"
+        );
+        assert!(
+            response.summary.plan_cache_hit,
+            "{name}: repeat = cache hit"
+        );
+    }
+
+    // ---- Warm singles: the learned-stats guarantees, per query. ----
+    let mut client = Client::connect(&addr).unwrap();
+    for (name, sql) in QUERIES {
+        let response = client.query(sql).unwrap();
+        let warm = &response.summary;
+        let cold = &cold[name];
+        assert_eq!(response.result.sorted(), reference[name], "{name}");
+        assert!(
+            warm.plan_cache_hit,
+            "{name}: repeat query hits the plan cache"
+        );
+        assert_eq!(
+            warm.reopt_points, 0,
+            "{name}: a repeat query plans statically from learned statistics \
+             instead of re-running pilot stages"
+        );
+        assert!(
+            warm.reopt_points <= cold.reopt_points,
+            "{name}: warm runs never re-optimize more than cold runs"
+        );
+        assert!(
+            warm.learned_hits > cold.learned_hits,
+            "{name}: the warm run's estimates came from the learned-stats \
+             catalog (hits {} -> {})",
+            cold.learned_hits,
+            warm.learned_hits
+        );
+        assert!(
+            warm.max_q_error <= cold.max_q_error + 1e-9,
+            "{name}: planning from measured cardinalities cannot be less \
+             accurate (cold q-error {}, warm {})",
+            cold.max_q_error,
+            warm.max_q_error
+        );
+    }
+
+    // Server-side counters saw every session and both cache outcomes.
+    let counters = server.trace().counters();
+    assert_eq!(counters.get("server.sessions_opened"), Some(&13u64));
+    assert_eq!(counters.get("server.plan_cache_misses"), Some(&4u64));
+    assert_eq!(counters.get("server.plan_cache_hits"), Some(&12u64));
+    assert_eq!(counters.get("server.queries_ok"), Some(&16u64));
+    assert!(server.learned().hits() > 0);
+}
+
+#[test]
+fn equivalent_sql_spellings_share_one_cache_entry() {
+    let env = BenchmarkEnv::load(ScaleFactor::gb(1), 4, false, 5).unwrap();
+    let server = SqlServer::start(
+        env.catalog.clone(),
+        paper_udfs(),
+        q50_params(9, 2000),
+        config(),
+    )
+    .unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+
+    let first = client.query(Q17_SQL).unwrap();
+    assert!(!first.summary.plan_cache_hit);
+    // The same query reformatted: lower-case keywords, collapsed whitespace
+    // and a trailing semicolon normalize to the same cache key. (Identifier
+    // case is significant, so only the keywords are refolded.)
+    let respelled = format!(
+        "{};",
+        Q17_SQL
+            .replace('\n', "   ")
+            .replace("SELECT", "select")
+            .replace("FROM", "from")
+            .replace("WHERE", "where")
+            .replace("AND", "and")
+    );
+    let second = client.query(&respelled).unwrap();
+    assert!(
+        second.summary.plan_cache_hit,
+        "a reformatted spelling of a cached query is a cache hit"
+    );
+    assert_eq!(server.plan_cache_len(), 1);
+    assert_eq!(
+        second.result.sorted(),
+        first.result.sorted(),
+        "both spellings compute the same answer"
+    );
+}

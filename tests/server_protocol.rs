@@ -1,0 +1,134 @@
+//! Protocol robustness: malformed SQL answers with a structured error frame
+//! (the session stays usable), while truncated / oversized / garbage frames
+//! and mid-query disconnects error only the offending session — the listener
+//! and every other session keep serving.
+
+use rdo_server::protocol::{read_frame, write_raw_frame, Tag};
+use runtime_dynamic_optimization::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+
+/// A tiny single-table catalog: protocol tests need a live server, not a
+/// representative workload.
+fn tiny_catalog() -> Catalog {
+    let mut catalog = Catalog::new(2);
+    let schema = Schema::for_dataset("t", &[("id", DataType::Int64), ("v", DataType::Int64)]);
+    let rows = (0..32)
+        .map(|i| Tuple::new(vec![Value::Int64(i), Value::Int64(i % 3)]))
+        .collect();
+    catalog
+        .ingest(
+            "t",
+            Relation::new(schema, rows).unwrap(),
+            IngestOptions::partitioned_on("id"),
+        )
+        .unwrap();
+    catalog
+}
+
+fn start_server() -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    };
+    SqlServer::start(
+        tiny_catalog(),
+        UdfRegistry::new(),
+        ParamBindings::new(),
+        config,
+    )
+    .unwrap()
+}
+
+const VALID_SQL: &str = "SELECT t.id FROM t WHERE t.v = 1";
+
+#[test]
+fn malformed_sql_is_a_structured_error_not_a_hangup() {
+    let server = start_server();
+    let mut client = Client::connect(&server.addr()).unwrap();
+
+    let err = client.query("SELEKT everything FROM nowhere").unwrap_err();
+    assert!(
+        err.to_string().contains("invalid sql"),
+        "parse failures carry the invalid-sql code: {err}"
+    );
+    let err = client.query("SELECT t.id FROM missing_table").unwrap_err();
+    assert!(err.to_string().contains("invalid sql"), "{err}");
+
+    // The same session is still fully usable after both error frames.
+    let response = client.query(VALID_SQL).unwrap();
+    assert_eq!(response.result.len(), 32 / 3 + 1);
+    assert_eq!(
+        server.trace().counters().get("server.queries_ok"),
+        Some(&1u64)
+    );
+}
+
+#[test]
+fn garbage_frames_error_one_session_without_wedging_the_server() {
+    let server = start_server();
+    let addr = server.addr();
+
+    // 1. Unknown frame tag.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    write_raw_frame(&mut stream, 99, b"???").unwrap();
+    let (tag, _) = read_frame(&mut stream).unwrap().expect("error frame");
+    assert_eq!(tag, Tag::Error);
+
+    // 2. Oversized length prefix (claims 4 GiB): refused before allocation.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut header = vec![Tag::Query as u8];
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    stream.write_all(&header).unwrap();
+    let (tag, _) = read_frame(&mut stream).unwrap().expect("error frame");
+    assert_eq!(tag, Tag::Error);
+
+    // 3. Truncated frame: a header promising 100 bytes, then disconnect.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut header = vec![Tag::Query as u8];
+    header.extend_from_slice(&100u32.to_le_bytes());
+    stream.write_all(&header).unwrap();
+    stream.write_all(b"only a few").unwrap();
+    drop(stream);
+
+    // 4. A well-formed frame of a server-to-client tag.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    write_raw_frame(&mut stream, Tag::ResultEnd as u8, &[]).unwrap();
+    let (tag, _) = read_frame(&mut stream).unwrap().expect("error frame");
+    assert_eq!(tag, Tag::Error);
+
+    // 5. Mid-query disconnect: send a query, vanish before the response.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    write_raw_frame(&mut stream, Tag::Query as u8, VALID_SQL.as_bytes()).unwrap();
+    drop(stream);
+
+    // After all five abuses a fresh session is served normally.
+    let mut client = Client::connect(&addr).unwrap();
+    let response = client.query(VALID_SQL).unwrap();
+    assert_eq!(response.result.len(), 11);
+    assert_eq!(response.summary.rows, 11);
+}
+
+#[test]
+fn sessions_are_independent() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let mut healthy = Client::connect(&addr).unwrap();
+    assert_eq!(healthy.query(VALID_SQL).unwrap().result.len(), 11);
+
+    // A second session dies on a protocol error...
+    let mut broken = TcpStream::connect(&addr).unwrap();
+    write_raw_frame(&mut broken, 42, b"junk").unwrap();
+    let (tag, _) = read_frame(&mut broken).unwrap().expect("error frame");
+    assert_eq!(tag, Tag::Error);
+    assert!(
+        read_frame(&mut broken).unwrap().is_none(),
+        "the broken session is closed after its error frame"
+    );
+
+    // ...while the healthy session keeps working (cache hit the second time).
+    let response = healthy.query(VALID_SQL).unwrap();
+    assert_eq!(response.result.len(), 11);
+    assert!(response.summary.plan_cache_hit);
+}
