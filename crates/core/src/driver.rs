@@ -445,9 +445,12 @@ impl DynamicDriver {
                     estimated_rows: Some(planned.estimated_cardinality),
                     actual_rows: materialized.rows,
                 });
-                if let Some(learned) = &self.config.learned {
-                    learned.observe(&plan.signature(), materialized.rows);
-                }
+                // Join-stage cardinalities are NOT recorded in the learned
+                // catalog: `plan.signature()` renders filtered-scan leaves
+                // predicate-blind (`σ(table)`), so the key would collide
+                // across queries with different constants. Only the
+                // value-qualified `filter_key` observations of the push-down
+                // stages feed the catalog.
                 temp_tables.push(name);
                 spec = new_spec;
                 total.add(&stage_metrics);
@@ -498,9 +501,9 @@ impl DynamicDriver {
                 estimated_rows: final_estimate,
                 actual_rows: relation.len() as u64,
             });
-            if let Some(learned) = &self.config.learned {
-                learned.observe(&final_plan.signature(), relation.len() as u64);
-            }
+            // Like the join stages above, the final plan's signature is
+            // predicate-blind (any single-table filtered query renders as
+            // `σ(table)`), so its cardinality is not observed under it.
             let result = project_result(relation, &spec.projection)?;
 
             Ok(DynamicOutcome {

@@ -20,44 +20,99 @@
 //!
 //! The catalog is shared across concurrent sessions (`&self` everywhere,
 //! interior locking) and counts hits and misses so the server can surface
-//! stats-cache effectiveness in `/metrics`.
+//! stats-cache effectiveness in `/metrics`. Keys derive from client SQL
+//! text, so a server-owned catalog must be [`LearnedStatsCatalog::bounded`]:
+//! when the cap is exceeded, the least-recently-touched entry is evicted.
 
 use rdo_exec::{Predicate, PredicateExpr};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// One learned entry: the measured row count plus a recency stamp for
+/// eviction.
+#[derive(Debug, Clone, Copy)]
+struct Learned {
+    rows: u64,
+    touched: u64,
+}
+
+#[derive(Debug, Default)]
+struct Entries {
+    map: HashMap<String, Learned>,
+    clock: u64,
+}
+
+impl Entries {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
 /// Measured subplan cardinalities keyed by canonical subplan signature.
 #[derive(Debug, Default)]
 pub struct LearnedStatsCatalog {
-    entries: Mutex<HashMap<String, u64>>,
+    entries: Mutex<Entries>,
+    /// Maximum number of entries; `None` is unbounded (single-query use).
+    cap: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl LearnedStatsCatalog {
-    /// An empty catalog.
+    /// An empty, unbounded catalog.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records the measured cardinality of a subplan (last observation wins —
-    /// under data drift the freshest measurement is the right one).
-    pub fn observe(&self, key: &str, rows: u64) {
-        self.entries
-            .lock()
-            .expect("learned-stats lock poisoned")
-            .insert(key.to_string(), rows);
+    /// An empty catalog holding at most `cap` subplans; observing past the
+    /// cap evicts the least-recently-touched entry. Servers keying off
+    /// client-controlled SQL text must use this constructor so a client
+    /// iterating literal values inline cannot grow the catalog without
+    /// bound.
+    pub fn bounded(cap: usize) -> Self {
+        Self {
+            cap: Some(cap.max(1)),
+            ..Self::default()
+        }
     }
 
-    /// Looks a subplan up, counting the hit or miss.
+    /// Records the measured cardinality of a subplan (last observation wins —
+    /// under data drift the freshest measurement is the right one). On a
+    /// bounded catalog, inserting a fresh key past the cap first evicts the
+    /// least-recently-touched entry.
+    pub fn observe(&self, key: &str, rows: u64) {
+        let mut entries = self.entries.lock().expect("learned-stats lock poisoned");
+        let touched = entries.tick();
+        if let Some(cap) = self.cap {
+            if !entries.map.contains_key(key) {
+                while entries.map.len() >= cap {
+                    let coldest = entries
+                        .map
+                        .iter()
+                        .min_by_key(|(_, v)| v.touched)
+                        .map(|(k, _)| k.clone())
+                        .expect("map at cap is non-empty");
+                    entries.map.remove(&coldest);
+                }
+            }
+        }
+        entries
+            .map
+            .insert(key.to_string(), Learned { rows, touched });
+    }
+
+    /// Looks a subplan up, counting the hit or miss (a hit also refreshes the
+    /// entry's eviction recency).
     pub fn lookup(&self, key: &str) -> Option<u64> {
-        let found = self
-            .entries
-            .lock()
-            .expect("learned-stats lock poisoned")
-            .get(key)
-            .copied();
+        let mut entries = self.entries.lock().expect("learned-stats lock poisoned");
+        let touched = entries.tick();
+        let found = entries.map.get_mut(key).map(|entry| {
+            entry.touched = touched;
+            entry.rows
+        });
+        drop(entries);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -65,14 +120,15 @@ impl LearnedStatsCatalog {
         found
     }
 
-    /// Looks a subplan up without touching the hit/miss counters (for tests
-    /// and introspection).
+    /// Looks a subplan up without touching the hit/miss counters or the
+    /// eviction recency (for tests and introspection).
     pub fn peek(&self, key: &str) -> Option<u64> {
         self.entries
             .lock()
             .expect("learned-stats lock poisoned")
+            .map
             .get(key)
-            .copied()
+            .map(|entry| entry.rows)
     }
 
     /// Number of learned subplans.
@@ -80,6 +136,7 @@ impl LearnedStatsCatalog {
         self.entries
             .lock()
             .expect("learned-stats lock poisoned")
+            .map
             .len()
     }
 
@@ -156,6 +213,24 @@ mod tests {
         learned.observe("k", 10);
         learned.observe("k", 20);
         assert_eq!(learned.peek("k"), Some(20));
+    }
+
+    #[test]
+    fn bounded_catalog_evicts_least_recently_touched() {
+        let learned = LearnedStatsCatalog::bounded(2);
+        learned.observe("a", 1);
+        learned.observe("b", 2);
+        // Touch "a" so "b" is now the coldest entry.
+        assert_eq!(learned.lookup("a"), Some(1));
+        learned.observe("c", 3);
+        assert_eq!(learned.len(), 2);
+        assert_eq!(learned.peek("b"), None, "coldest entry evicted");
+        assert_eq!(learned.peek("a"), Some(1));
+        assert_eq!(learned.peek("c"), Some(3));
+        // Re-observing an existing key never evicts.
+        learned.observe("a", 10);
+        assert_eq!(learned.len(), 2);
+        assert_eq!(learned.peek("a"), Some(10));
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::protocol::{
     encode_error, encode_rows, encode_schema, encode_summary, read_frame, write_frame, Tag,
     ROWS_PER_FRAME,
 };
-use rdo_common::env::{parse_env_u64, parse_or_warn};
+use rdo_common::env::{parse_env_positive_usize, parse_env_u64, parse_or_warn};
 use rdo_common::{Relation, Result};
 use rdo_core::{DynamicConfig, DynamicDriver};
 use rdo_parallel::{ParallelConfig, WorkerPool};
@@ -66,9 +66,19 @@ pub const ADMIT_TIMEOUT_ENV: &str = "RDO_SERVER_ADMIT_TIMEOUT_MS";
 /// `RDO_SERVER_QUERY_GRANT`: the per-query memory grant requested from the
 /// global budget (default 64 MiB; clamped to the budget).
 pub const QUERY_GRANT_ENV: &str = "RDO_SERVER_QUERY_GRANT";
+/// `RDO_SERVER_PLAN_CACHE_CAP`: maximum number of cached bound plans
+/// (default 256). Past the cap the least-recently-used plan is evicted, so a
+/// client iterating literal values inline cannot grow the cache without
+/// bound (`$param` bindings are the right tool for value-varying queries).
+pub const PLAN_CACHE_CAP_ENV: &str = "RDO_SERVER_PLAN_CACHE_CAP";
+/// `RDO_SERVER_LEARNED_CAP`: maximum number of learned-stats entries
+/// (default 4096), evicted least-recently-touched past the cap.
+pub const LEARNED_CAP_ENV: &str = "RDO_SERVER_LEARNED_CAP";
 
 const DEFAULT_ADMIT_TIMEOUT_MS: u64 = 10_000;
 const DEFAULT_QUERY_GRANT: u64 = 64 << 20;
+const DEFAULT_PLAN_CACHE_CAP: usize = 256;
+const DEFAULT_LEARNED_CAP: usize = 4096;
 
 /// Server configuration; every knob has an `RDO_SERVER_*` environment
 /// variable read through the shared warn-on-invalid parsers.
@@ -83,6 +93,10 @@ pub struct ServerConfig {
     pub admit_timeout_ms: u64,
     /// Per-query grant requested from the budget (`RDO_SERVER_QUERY_GRANT`).
     pub query_grant: u64,
+    /// Plan-cache entry bound (`RDO_SERVER_PLAN_CACHE_CAP`).
+    pub plan_cache_cap: usize,
+    /// Learned-stats entry bound (`RDO_SERVER_LEARNED_CAP`).
+    pub learned_cap: usize,
     /// Parallelism of the shared worker pool (the `RDO_WORKERS` family).
     pub parallel: ParallelConfig,
     /// Join-algorithm rule queries plan under.
@@ -96,6 +110,8 @@ impl Default for ServerConfig {
             mem_budget: None,
             admit_timeout_ms: DEFAULT_ADMIT_TIMEOUT_MS,
             query_grant: DEFAULT_QUERY_GRANT,
+            plan_cache_cap: DEFAULT_PLAN_CACHE_CAP,
+            learned_cap: DEFAULT_LEARNED_CAP,
             parallel: ParallelConfig::default(),
             rule: JoinAlgorithmRule::default(),
         }
@@ -117,6 +133,13 @@ impl ServerConfig {
         fn get(lookup: &impl Fn(&str) -> Option<String>, var: &str, fallback: &str) -> Option<u64> {
             lookup(var).and_then(|raw| parse_or_warn(var, &raw, fallback, parse_env_u64))
         }
+        fn get_count(
+            lookup: &impl Fn(&str) -> Option<String>,
+            var: &str,
+            fallback: &str,
+        ) -> Option<usize> {
+            lookup(var).and_then(|raw| parse_or_warn(var, &raw, fallback, parse_env_positive_usize))
+        }
         let defaults = Self::default();
         Self {
             mem_budget: get(&lookup, MEM_BUDGET_ENV, "admission stays disabled"),
@@ -132,18 +155,72 @@ impl ServerConfig {
                 "the default per-query grant stays in effect",
             )
             .unwrap_or(defaults.query_grant),
+            plan_cache_cap: get_count(
+                &lookup,
+                PLAN_CACHE_CAP_ENV,
+                "the default plan-cache cap stays in effect",
+            )
+            .unwrap_or(defaults.plan_cache_cap),
+            learned_cap: get_count(
+                &lookup,
+                LEARNED_CAP_ENV,
+                "the default learned-stats cap stays in effect",
+            )
+            .unwrap_or(defaults.learned_cap),
             addr: lookup(ADDR_ENV).unwrap_or(defaults.addr),
             ..defaults
         }
     }
 }
 
-/// A cached bound plan: the compile output of one normalized SQL text, reused
-/// verbatim by repeat queries (the stable name keeps intermediate-table names
-/// and plan signatures identical across runs).
-#[derive(Debug, Clone)]
-struct CacheEntry {
-    bound: Arc<BoundQuery>,
+/// A bounded LRU map. The plan cache keys on client-controlled SQL text —
+/// every distinct inline literal is a new key — so the map must evict rather
+/// than grow with the workload's value diversity. Eviction scans for the
+/// least-recently-used entry; the cap is small enough that O(cap) is noise
+/// next to compiling a plan.
+struct Lru<V> {
+    cap: usize,
+    clock: u64,
+    entries: HashMap<String, (u64, V)>,
+}
+
+impl<V: Clone> Lru<V> {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(touched, value)| {
+            *touched = clock;
+            value.clone()
+        })
+    }
+
+    fn insert(&mut self, key: String, value: V) {
+        self.clock += 1;
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= self.cap {
+                let coldest = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (touched, _))| *touched)
+                    .map(|(k, _)| k.clone())
+                    .expect("map at cap is non-empty");
+                self.entries.remove(&coldest);
+            }
+        }
+        self.entries.insert(key, (self.clock, value));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 /// State shared by every session of one server.
@@ -154,7 +231,10 @@ struct Shared {
     pool: WorkerPool,
     admission: Option<Arc<AdmissionController>>,
     learned: Arc<LearnedStatsCatalog>,
-    cache: Mutex<HashMap<String, CacheEntry>>,
+    /// Bound plans keyed by normalized SQL text, reused verbatim by repeat
+    /// queries (the stable name keeps intermediate-table names and plan
+    /// signatures identical across runs).
+    cache: Mutex<Lru<Arc<BoundQuery>>>,
     trace: TraceHandle,
     config: ServerConfig,
 }
@@ -188,8 +268,8 @@ impl SqlServer {
             params,
             pool: WorkerPool::new(config.parallel.workers),
             admission: config.mem_budget.map(AdmissionController::new),
-            learned: Arc::new(LearnedStatsCatalog::new()),
-            cache: Mutex::new(HashMap::new()),
+            learned: Arc::new(LearnedStatsCatalog::bounded(config.learned_cap)),
+            cache: Mutex::new(Lru::new(config.plan_cache_cap)),
             trace,
             config,
         });
@@ -367,8 +447,8 @@ fn run_query(
     //    and plans statically from learned statistics (no pilot stages).
     let key = rdo_sql::normalize(sql).map_err(invalid)?;
     let cached = {
-        let cache = shared.cache.lock().expect("cache mutex poisoned");
-        cache.get(&key).cloned()
+        let mut cache = shared.cache.lock().expect("cache mutex poisoned");
+        cache.get(&key)
     };
     let warm = cached.is_some();
     shared.trace.counter(
@@ -380,7 +460,7 @@ fn run_query(
         1,
     );
     let bound = match cached {
-        Some(entry) => entry.bound,
+        Some(bound) => bound,
         None => Arc::new(
             rdo_sql::compile(
                 sql,
@@ -473,7 +553,7 @@ fn run_query(
                 // Cache only plans that executed successfully, so a poisoned
                 // entry can never pin a failing plan.
                 let mut cache = shared.cache.lock().expect("cache mutex poisoned");
-                cache.entry(key).or_insert(CacheEntry { bound });
+                cache.insert(key, bound);
             }
             shared
                 .trace
@@ -498,18 +578,24 @@ mod tests {
         assert_eq!(defaults.mem_budget, None);
         assert_eq!(defaults.admit_timeout_ms, DEFAULT_ADMIT_TIMEOUT_MS);
         assert_eq!(defaults.query_grant, DEFAULT_QUERY_GRANT);
+        assert_eq!(defaults.plan_cache_cap, DEFAULT_PLAN_CACHE_CAP);
+        assert_eq!(defaults.learned_cap, DEFAULT_LEARNED_CAP);
 
         let config = ServerConfig::from_env_with(|var| match var {
             ADDR_ENV => Some("0.0.0.0:5432".to_string()),
             MEM_BUDGET_ENV => Some("1048576".to_string()),
             ADMIT_TIMEOUT_ENV => Some("250".to_string()),
             QUERY_GRANT_ENV => Some("65536".to_string()),
+            PLAN_CACHE_CAP_ENV => Some("8".to_string()),
+            LEARNED_CAP_ENV => Some("128".to_string()),
             _ => None,
         });
         assert_eq!(config.addr, "0.0.0.0:5432");
         assert_eq!(config.mem_budget, Some(1 << 20));
         assert_eq!(config.admit_timeout_ms, 250);
         assert_eq!(config.query_grant, 65536);
+        assert_eq!(config.plan_cache_cap, 8);
+        assert_eq!(config.learned_cap, 128);
     }
 
     #[test]
@@ -520,15 +606,39 @@ mod tests {
             MEM_BUDGET_ENV => Some("64MB".to_string()),
             ADMIT_TIMEOUT_ENV => Some("soon".to_string()),
             QUERY_GRANT_ENV => Some("-5".to_string()),
+            PLAN_CACHE_CAP_ENV => Some("0".to_string()),
+            LEARNED_CAP_ENV => Some("lots".to_string()),
             _ => None,
         });
         assert_eq!(config.mem_budget, None, "admission stays disabled");
         assert_eq!(config.admit_timeout_ms, DEFAULT_ADMIT_TIMEOUT_MS);
         assert_eq!(config.query_grant, DEFAULT_QUERY_GRANT);
+        assert_eq!(
+            config.plan_cache_cap, DEFAULT_PLAN_CACHE_CAP,
+            "caps need >= 1"
+        );
+        assert_eq!(config.learned_cap, DEFAULT_LEARNED_CAP);
         // The underlying parser produces the warning text read_env prints.
         let warning = parse_env_u64(MEM_BUDGET_ENV, "64MB", "admission stays disabled")
             .expect_err("64MB is not a byte count");
         assert!(warning.contains(MEM_BUDGET_ENV) && warning.contains("admission stays disabled"));
+    }
+
+    #[test]
+    fn lru_bounds_entries_and_tracks_recency() {
+        let mut lru = Lru::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.get("a"), Some(1), "touch a so b is coldest");
+        lru.insert("c".into(), 3);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get("b"), None, "coldest entry evicted");
+        assert_eq!(lru.get("a"), Some(1));
+        assert_eq!(lru.get("c"), Some(3));
+        // Re-inserting an existing key refreshes instead of evicting.
+        lru.insert("a".into(), 10);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get("a"), Some(10));
     }
 
     #[test]

@@ -118,20 +118,25 @@ pub fn write_raw_frame(writer: &mut impl Write, tag: u8, payload: &[u8]) -> Resu
 /// between frames); a close mid-frame, an unknown tag or an oversized length
 /// is an error.
 pub fn read_frame(reader: &mut impl Read) -> Result<Option<(Tag, Vec<u8>)>> {
-    let mut header = [0u8; 5];
-    match reader.read_exact(&mut header) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-            // Distinguish "no more frames" from "died mid-header": peek at
-            // whether anything was read is not possible with read_exact, so
-            // retry byte-wise for the first byte.
-            return Ok(None);
+    // Read the tag byte on its own: EOF before it is a clean end-of-stream
+    // (the peer closed between frames), while EOF anywhere after it means the
+    // peer died mid-frame and must be reported as an error.
+    let mut tag_byte = [0u8; 1];
+    loop {
+        match reader.read(&mut tag_byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RdoError::Io(format!("frame header read: {e}"))),
         }
-        Err(e) => return Err(RdoError::Io(format!("frame header read: {e}"))),
     }
-    let tag = Tag::from_u8(header[0])
-        .ok_or_else(|| RdoError::Io(format!("unknown frame tag {}", header[0])))?;
-    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    let mut len_bytes = [0u8; 4];
+    reader
+        .read_exact(&mut len_bytes)
+        .map_err(|e| RdoError::Io(format!("frame header truncated: {e}")))?;
+    let tag = Tag::from_u8(tag_byte[0])
+        .ok_or_else(|| RdoError::Io(format!("unknown frame tag {}", tag_byte[0])))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
     if len > MAX_FRAME_LEN {
         return Err(RdoError::Io(format!(
             "frame length {len} exceeds the {MAX_FRAME_LEN} byte limit"
@@ -551,6 +556,13 @@ mod tests {
         assert_eq!(payload, b"SELECT 1");
         // Clean EOF between frames.
         assert!(read_frame(&mut &[][..]).unwrap().is_none());
+        // A peer dying after 1-4 header bytes is a mid-frame close, not a
+        // clean disconnect.
+        for sent in 1..5 {
+            let fragment = vec![Tag::Query as u8; sent];
+            let err = read_frame(&mut &fragment[..]).unwrap_err();
+            assert!(err.to_string().contains("truncated"), "{sent} bytes: {err}");
+        }
         // Unknown tag.
         let bad = [99u8, 0, 0, 0, 0];
         assert!(read_frame(&mut &bad[..]).is_err());

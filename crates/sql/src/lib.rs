@@ -70,6 +70,12 @@ const KEYWORDS: &[&str] = &[
 /// dropped. Two texts with the same normal form tokenize identically, so they
 /// parse and bind to the same plan; non-keyword identifiers keep their exact
 /// case, so distinct names never merge.
+///
+/// Each literal rendering is injective: embedded single quotes double
+/// (`"x'y"` → `'x''y'`, so a double-quoted literal containing quotes can
+/// never spell out a different query's predicate structure), and floats
+/// always carry a decimal point (`7.0` → `7.0`, never `7`), so an integer and
+/// a float that happen to print alike stay distinct keys.
 pub fn normalize(sql: &str) -> Result<String> {
     let tokens = token::tokenize(sql).map_err(rdo_common::RdoError::from)?;
     let mut parts: Vec<String> = Vec::with_capacity(tokens.len());
@@ -83,8 +89,22 @@ pub fn normalize(sql: &str) -> Result<String> {
                 }
             }
             token::TokenKind::Int(v) => v.to_string(),
-            token::TokenKind::Float(v) => v.to_string(),
-            token::TokenKind::StringLit(s) => format!("'{s}'"),
+            token::TokenKind::Float(v) => {
+                // `f64::to_string` drops a whole-number fraction (`7.0` →
+                // "7"), which would merge with `Int(7)`; keep the point so
+                // the two token kinds never share a rendering.
+                let s = v.to_string();
+                if s.contains('.') {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            // Doubling embedded quotes keeps every interior `'` run even, so
+            // a literal can never mimic the `' '` boundary between two
+            // adjacent literals (or close itself early and leak predicate
+            // text into the key).
+            token::TokenKind::StringLit(s) => format!("'{}'", s.replace('\'', "''")),
             token::TokenKind::Param(p) => format!("${p}"),
             token::TokenKind::Comma => ",".to_string(),
             token::TokenKind::Dot => ".".to_string(),
@@ -180,6 +200,28 @@ mod tests {
         assert_ne!(
             normalize("SELECT T.a FROM T").unwrap(),
             normalize("SELECT t.a FROM t").unwrap()
+        );
+    }
+
+    #[test]
+    fn normalize_renders_literals_injectively() {
+        // A double-quoted literal containing single quotes must not spell out
+        // a different query's predicate structure: these two queries have one
+        // vs two predicates and must not share a plan-cache key.
+        let one_predicate = normalize("SELECT t.a FROM t WHERE t.a = \"x' AND t.b = 'y\"").unwrap();
+        let two_predicates = normalize("SELECT t.a FROM t WHERE t.a = 'x' AND t.b = 'y'").unwrap();
+        assert_ne!(one_predicate, two_predicates);
+        // Embedded quotes double, so the rendering stays injective.
+        assert!(one_predicate.contains("'x'' AND t.b = ''y'"));
+        // Int(7) and Float(7.0) tokenize differently and must not merge.
+        assert_ne!(
+            normalize("SELECT t.a FROM t WHERE t.a = 7").unwrap(),
+            normalize("SELECT t.a FROM t WHERE t.a = 7.0").unwrap()
+        );
+        // Equal floats in different spellings still canonicalize together.
+        assert_eq!(
+            normalize("SELECT t.a FROM t WHERE t.a = 7.0").unwrap(),
+            normalize("SELECT t.a FROM t WHERE t.a = 07.00").unwrap()
         );
     }
 
